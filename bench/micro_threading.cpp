@@ -1,0 +1,152 @@
+// Microbenchmarks of the threading primitives (google-benchmark): the
+// "about one hundred cycles" context switch (§2.1), fork/join, yield, and
+// synchronization costs on this host's real runtime.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "context/context.hpp"
+#include "context/stack.hpp"
+#include "runtime/lpt.hpp"
+
+namespace {
+
+using namespace lpt;
+
+// --- raw user-level context switch ---------------------------------------
+
+struct PingPongCtx {
+  Context main_ctx;
+  Context ult_ctx;
+  bool stop = false;
+};
+
+void pingpong_entry(void* arg) {
+  auto* pp = static_cast<PingPongCtx*>(arg);
+  for (;;) context_switch(pp->ult_ctx, pp->main_ctx);
+}
+
+void BM_ContextSwitchRoundTrip(benchmark::State& state) {
+  Stack stack(64 * 1024);
+  PingPongCtx pp;
+  pp.ult_ctx = make_context(stack.base(), stack.size(), pingpong_entry, &pp);
+  for (auto _ : state) {
+    context_switch(pp.main_ctx, pp.ult_ctx);  // in + out = 2 switches
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ContextSwitchRoundTrip);
+
+// --- runtime operations ----------------------------------------------------
+
+void BM_SpawnJoin(benchmark::State& state) {
+  Runtime rt{RuntimeOptions{}};
+  for (auto _ : state) {
+    Thread t = rt.spawn([] {});
+    t.join();
+  }
+}
+BENCHMARK(BM_SpawnJoin);
+
+void BM_SpawnJoinBatch64(benchmark::State& state) {
+  Runtime rt{RuntimeOptions{}};
+  for (auto _ : state) {
+    std::vector<Thread> ts;
+    ts.reserve(64);
+    for (int i = 0; i < 64; ++i) ts.push_back(rt.spawn([] {}));
+    for (auto& t : ts) t.join();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SpawnJoinBatch64);
+
+/// Run the benchmark's timed loop inside a ULT (the operations under test
+/// are only legal in ULT context).
+template <typename Body>
+void run_in_ult(benchmark::State& state, Body&& body, int workers = 1) {
+  RuntimeOptions o;
+  o.num_workers = workers;
+  Runtime rt(o);
+  Thread t = rt.spawn([&] { body(state, rt); });
+  t.join();
+}
+
+void BM_YieldEmptyQueue(benchmark::State& state) {
+  // Yield with nothing else runnable: a scheduler round trip (2 switches +
+  // pool traffic).
+  run_in_ult(state, [](benchmark::State& s, Runtime&) {
+    for (auto _ : s) this_thread::yield();
+  });
+}
+BENCHMARK(BM_YieldEmptyQueue);
+
+void BM_YieldPingPong(benchmark::State& state) {
+  // Two ULTs alternating on one worker: the §2.1 "costs only about one
+  // hundred cycles" path, through the full scheduler.
+  run_in_ult(state, [](benchmark::State& s, Runtime& rt) {
+    std::atomic<bool> stop{false};
+    Thread peer = rt.spawn([&] {
+      while (!stop.load(std::memory_order_relaxed)) this_thread::yield();
+    });
+    for (auto _ : s) this_thread::yield();
+    stop.store(true);
+    peer.join();
+  });
+}
+BENCHMARK(BM_YieldPingPong);
+
+void BM_MutexLockUnlockUncontended(benchmark::State& state) {
+  run_in_ult(state, [](benchmark::State& s, Runtime&) {
+    Mutex m;
+    for (auto _ : s) {
+      m.lock();
+      m.unlock();
+    }
+  });
+}
+BENCHMARK(BM_MutexLockUnlockUncontended);
+
+void BM_SpawnJoinFromUlt(benchmark::State& state) {
+  run_in_ult(state, [](benchmark::State& s, Runtime& rt) {
+    for (auto _ : s) {
+      Thread t = rt.spawn([] {});
+      t.join();
+    }
+  });
+}
+BENCHMARK(BM_SpawnJoinFromUlt);
+
+void BM_BarrierTwoParties(benchmark::State& state) {
+  run_in_ult(
+      state,
+      [](benchmark::State& s, Runtime& rt) {
+        // Two barriers per round so the termination flag is published
+        // between them: the peer's post-round check is then synchronized
+        // with the round in which the flag was set (a single barrier would
+        // race the last-arriver's flag store against the waking check).
+        Barrier bar(2);
+        std::atomic<bool> stop{false};
+        Thread peer = rt.spawn([&] {
+          for (;;) {
+            bar.arrive_and_wait();
+            bar.arrive_and_wait();
+            if (stop.load(std::memory_order_acquire)) break;
+          }
+        });
+        for (auto _ : s) {
+          bar.arrive_and_wait();
+          bar.arrive_and_wait();
+        }
+        bar.arrive_and_wait();
+        stop.store(true, std::memory_order_release);
+        bar.arrive_and_wait();
+        peer.join();
+        s.SetItemsProcessed(s.iterations() * 2);  // two crossings per round
+      },
+      2);
+}
+BENCHMARK(BM_BarrierTwoParties);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Deadlock prevention (paper §4.1): a tiled Cholesky whose tile kernels run
+// MKL-style inner teams that busy-wait on a memory flag at the end of each
+// call. On nonpreemptive M:N threads this wedges; with preemptive threads
+// the same program completes — no source changes to the "library".
+//
+//   $ ./examples/deadlock_prevention
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <vector>
+
+#include "apps/cholesky/cholesky.hpp"
+#include "apps/linalg/blas.hpp"
+#include "common/time.hpp"
+
+using namespace lpt;
+using namespace lpt::apps;
+
+namespace {
+
+/// Run the factorization in a child process with a wall-clock budget.
+/// Returns true if it completed, false if it had to be killed (deadlock).
+bool run_in_child(bool preemptive, double* out_diff_ok) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  pid_t pid = fork();
+  if (pid == 0) {
+    close(fds[0]);
+    RuntimeOptions ro;
+    ro.num_workers = 2;
+    if (preemptive) {
+      ro.timer = TimerKind::PerWorkerAligned;
+      ro.interval_us = 1000;
+    }
+    Runtime rt(ro);
+
+    TiledCholeskyOptions opts;
+    opts.tiles = 4;
+    opts.tile_n = 24;
+    opts.inner_width = 3;                 // inner "MKL" team per GEMM
+    opts.inner_wait = TeamWait::kSpin;    // faithful busy-wait barrier
+    if (preemptive) opts.preempt = Preempt::KltSwitch;
+
+    const int n = opts.tiles * opts.tile_n;
+    std::vector<double> a(static_cast<std::size_t>(n) * n);
+    make_spd(n, a.data(), n, 11);
+    std::vector<double> ref = a;
+    cholesky_reference(n, ref.data(), n);
+
+    tiled_cholesky(rt, opts, a.data(), n);
+    const double diff = lower_max_diff(n, a.data(), n, ref.data(), n);
+    const char ok = diff < 1e-9 ? 1 : 0;
+    ssize_t ignored = write(fds[1], &ok, 1);
+    (void)ignored;
+    _exit(0);
+  }
+  close(fds[1]);
+  const std::int64_t deadline = now_ns() + 5'000'000'000ll;
+  int status = 0;
+  bool finished = false;
+  while (now_ns() < deadline) {
+    if (waitpid(pid, &status, WNOHANG) == pid) {
+      finished = true;
+      break;
+    }
+    usleep(20'000);
+  }
+  char ok = 0;
+  if (finished) {
+    ssize_t ignored = read(fds[0], &ok, 1);
+    (void)ignored;
+  } else {
+    kill(pid, SIGKILL);
+    waitpid(pid, &status, 0);
+  }
+  close(fds[0]);
+  *out_diff_ok = ok;
+  return finished;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Tiled Cholesky, 4x4 tiles of 24x24, inner 3-thread teams with\n"
+              "busy-wait end-of-call barriers (the MKL pattern), 2 workers.\n\n");
+
+  double ok = 0;
+  std::printf("[1/2] nonpreemptive M:N threads ... ");
+  std::fflush(stdout);
+  const bool nonpre = run_in_child(false, &ok);
+  std::printf("%s\n", nonpre ? "completed (lucky schedule)"
+                             : "DEADLOCK — killed after 5 s, as §4.1 predicts");
+
+  std::printf("[2/2] preemptive (KLT-switching, 1 ms timer) ... ");
+  std::fflush(stdout);
+  const bool pre = run_in_child(true, &ok);
+  std::printf("%s%s\n", pre ? "completed" : "DEADLOCK (unexpected!)",
+              (pre && ok) ? ", factorization verified against reference" : "");
+
+  std::printf("\nPreemption guarantees every thread is scheduled within a\n"
+              "finite time, so busy-wait synchronization cannot wedge the\n"
+              "runtime — no library rewrites (\"reverse engineering\") needed.\n");
+  return pre && ok ? 0 : 1;
+}

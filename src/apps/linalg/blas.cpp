@@ -1,0 +1,87 @@
+#include "apps/linalg/blas.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace lpt::apps {
+
+void dgemm_nt_minus(int m, int n, int k, const double* a, int lda,
+                    const double* b, int ldb, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    for (int p = 0; p < k; ++p) {
+      const double bjp = b[j + p * ldb];
+      const double* ap = a + p * lda;
+      double* cj = c + j * ldc;
+      for (int i = 0; i < m; ++i) cj[i] -= ap[i] * bjp;
+    }
+  }
+}
+
+void dsyrk_ln_minus(int n, int k, const double* a, int lda, double* c, int ldc) {
+  for (int j = 0; j < n; ++j) {
+    for (int p = 0; p < k; ++p) {
+      const double ajp = a[j + p * lda];
+      const double* ap = a + p * lda;
+      double* cj = c + j * ldc;
+      for (int i = j; i < n; ++i) cj[i] -= ap[i] * ajp;
+    }
+  }
+}
+
+void dtrsm_rltn(int m, int n, const double* l, int ldl, double* b, int ldb) {
+  // Solve X * L^T = B for X, L lower triangular: column sweep.
+  for (int j = 0; j < n; ++j) {
+    const double diag = l[j + j * ldl];
+    double* bj = b + j * ldb;
+    for (int i = 0; i < m; ++i) bj[i] /= diag;
+    for (int jj = j + 1; jj < n; ++jj) {
+      const double ljj = l[jj + j * ldl];
+      double* bjj = b + jj * ldb;
+      for (int i = 0; i < m; ++i) bjj[i] -= bj[i] * ljj;
+    }
+  }
+}
+
+bool dpotrf_lower(int n, double* a, int lda) {
+  for (int j = 0; j < n; ++j) {
+    double d = a[j + j * lda];
+    for (int p = 0; p < j; ++p) d -= a[j + p * lda] * a[j + p * lda];
+    if (d <= 0.0) return false;
+    d = std::sqrt(d);
+    a[j + j * lda] = d;
+    for (int i = j + 1; i < n; ++i) {
+      double s = a[i + j * lda];
+      for (int p = 0; p < j; ++p) s -= a[i + p * lda] * a[j + p * lda];
+      a[i + j * lda] = s / d;
+    }
+  }
+  return true;
+}
+
+bool cholesky_reference(int n, double* a, int lda) { return dpotrf_lower(n, a, lda); }
+
+double lower_max_diff(int n, const double* a, int lda, const double* b, int ldb) {
+  double mx = 0;
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) {
+      const double d = std::fabs(a[i + j * lda] - b[i + j * ldb]);
+      if (d > mx) mx = d;
+    }
+  return mx;
+}
+
+void make_spd(int n, double* a, int lda, unsigned seed) {
+  Xoshiro256 rng(seed);
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) {
+      const double v = rng.next_double() - 0.5;
+      a[i + j * lda] = v;
+      a[j + i * lda] = v;
+    }
+  // Diagonal dominance makes it positive definite.
+  for (int j = 0; j < n; ++j) a[j + j * lda] += n;
+}
+
+}  // namespace lpt::apps

@@ -1,0 +1,36 @@
+// Minimal dense kernels (column-major, double) backing the Cholesky
+// application: the operations SLATE's kernel issues per tile — DGEMM, DSYRK,
+// DTRSM, DPOTRF (§4.1). Correctness-first reference implementations; tested
+// against naive full-matrix factorizations.
+#pragma once
+
+#include <cstddef>
+
+namespace lpt::apps {
+
+/// C(m x n) -= A(m x k) * B(n x k)^T   (the trailing update of Cholesky)
+void dgemm_nt_minus(int m, int n, int k, const double* a, int lda,
+                    const double* b, int ldb, double* c, int ldc);
+
+/// C(n x n) -= A(n x k) * A(n x k)^T, lower triangle only (SYRK).
+void dsyrk_ln_minus(int n, int k, const double* a, int lda, double* c, int ldc);
+
+/// B(m x n) <- B * L^-T where L is the lower-triangular n x n tile (TRSM,
+/// right-side, lower, transposed — the Cholesky panel solve).
+void dtrsm_rltn(int m, int n, const double* l, int ldl, double* b, int ldb);
+
+/// Unblocked Cholesky of the lower triangle of A(n x n). Returns false if
+/// the matrix is not positive definite.
+bool dpotrf_lower(int n, double* a, int lda);
+
+/// Reference full-matrix lower Cholesky (for tests).
+bool cholesky_reference(int n, double* a, int lda);
+
+/// max_ij |a_ij - b_ij| over the lower triangle.
+double lower_max_diff(int n, const double* a, int lda, const double* b, int ldb);
+
+/// Fill `a` (n x n, lda) with a deterministic symmetric positive definite
+/// matrix (random-ish entries, diagonally dominated).
+void make_spd(int n, double* a, int lda, unsigned seed);
+
+}  // namespace lpt::apps

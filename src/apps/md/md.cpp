@@ -1,0 +1,222 @@
+#include "apps/md/md.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/prng.hpp"
+
+namespace lpt::apps {
+
+namespace {
+
+struct System {
+  int n = 0;
+  double box = 0;
+  std::vector<double> x, y, z, vx, vy, vz, fx, fy, fz;
+
+  double min_image(double d) const {
+    if (d > 0.5 * box) return d - box;
+    if (d < -0.5 * box) return d + box;
+    return d;
+  }
+};
+
+constexpr double kCutoff = 2.5;
+constexpr double kCutoff2 = kCutoff * kCutoff;
+
+void init_lattice(System& s, const MdOptions& o) {
+  const int c = o.cells_per_side;
+  s.n = c * c * c;
+  s.box = std::cbrt(static_cast<double>(s.n) / o.density);
+  const double a = s.box / c;
+  s.x.resize(s.n);
+  s.y.resize(s.n);
+  s.z.resize(s.n);
+  s.vx.assign(s.n, 0);
+  s.vy.assign(s.n, 0);
+  s.vz.assign(s.n, 0);
+  s.fx.assign(s.n, 0);
+  s.fy.assign(s.n, 0);
+  s.fz.assign(s.n, 0);
+
+  Xoshiro256 rng(12345);
+  int p = 0;
+  double svx = 0, svy = 0, svz = 0;
+  for (int i = 0; i < c; ++i)
+    for (int j = 0; j < c; ++j)
+      for (int k = 0; k < c; ++k, ++p) {
+        s.x[p] = (i + 0.5) * a;
+        s.y[p] = (j + 0.5) * a;
+        s.z[p] = (k + 0.5) * a;
+        s.vx[p] = rng.next_double() - 0.5;
+        s.vy[p] = rng.next_double() - 0.5;
+        s.vz[p] = rng.next_double() - 0.5;
+        svx += s.vx[p];
+        svy += s.vy[p];
+        svz += s.vz[p];
+      }
+  // Remove centre-of-mass drift.
+  for (int i = 0; i < s.n; ++i) {
+    s.vx[i] -= svx / s.n;
+    s.vy[i] -= svy / s.n;
+    s.vz[i] -= svz / s.n;
+  }
+}
+
+/// Forces on particles [i0, i1); returns the 0.5-weighted potential share.
+double force_range(System& s, int i0, int i1) {
+  double pot = 0;
+  for (int i = i0; i < i1; ++i) {
+    double fxi = 0, fyi = 0, fzi = 0;
+    for (int j = 0; j < s.n; ++j) {
+      if (j == i) continue;
+      const double dx = s.min_image(s.x[i] - s.x[j]);
+      const double dy = s.min_image(s.y[i] - s.y[j]);
+      const double dz = s.min_image(s.z[i] - s.z[j]);
+      const double r2 = dx * dx + dy * dy + dz * dz;
+      if (r2 >= kCutoff2) continue;
+      const double ir2 = 1.0 / r2;
+      const double ir6 = ir2 * ir2 * ir2;
+      const double lj = 24.0 * ir6 * (2.0 * ir6 - 1.0) * ir2;  // f/r
+      fxi += lj * dx;
+      fyi += lj * dy;
+      fzi += lj * dz;
+      pot += 0.5 * (4.0 * ir6 * (ir6 - 1.0));
+    }
+    s.fx[i] = fxi;
+    s.fy[i] = fyi;
+    s.fz[i] = fzi;
+  }
+  return pot;
+}
+
+double kinetic(const System& s) {
+  double ke = 0;
+  for (int i = 0; i < s.n; ++i)
+    ke += 0.5 * (s.vx[i] * s.vx[i] + s.vy[i] * s.vy[i] + s.vz[i] * s.vz[i]);
+  return ke;
+}
+
+/// Parallel force computation: one team of ULTs per call (the Kokkos-style
+/// per-parallel-region spawn of §4.3).
+double compute_forces(Runtime& rt, System& s, int threads) {
+  const int per = (s.n + threads - 1) / threads;
+  std::vector<double> pots(threads, 0.0);
+  std::vector<Thread> team;
+  for (int t = 1; t < threads; ++t) {
+    const int i0 = t * per;
+    const int i1 = std::min(s.n, i0 + per);
+    if (i0 >= i1) break;
+    team.push_back(rt.spawn([&s, &pots, t, i0, i1] { pots[t] = force_range(s, i0, i1); }));
+  }
+  pots[0] = force_range(s, 0, std::min(s.n, per));
+  for (auto& t : team) t.join();
+  double pot = 0;
+  for (double p : pots) pot += p;
+  return pot;
+}
+
+struct AnalysisJob {
+  std::vector<double> snap_vx, snap_vy, snap_vz;  // snapshot buffer
+  std::vector<std::atomic<std::uint64_t>> bins;
+  std::atomic<int> remaining{0};
+
+  explicit AnalysisJob(int nbins) : bins(nbins) {
+    for (auto& b : bins) b.store(0);
+  }
+};
+
+}  // namespace
+
+MdResult md_run(Runtime& rt, const MdOptions& opts) {
+  LPT_CHECK(!this_thread::in_ult());
+  System s;
+  init_lattice(s, opts);
+
+  MdResult res;
+  res.n_particles = s.n;
+
+  double pot = compute_forces(rt, s, opts.threads);
+  res.initial_energy = pot + kinetic(s);
+
+  std::vector<std::unique_ptr<AnalysisJob>> jobs;
+  std::vector<Thread> analysis_threads;
+  std::atomic<int> analyses_done{0};
+
+  const double dt = opts.dt;
+  for (int step = 0; step < opts.steps; ++step) {
+    // Velocity Verlet: half kick + drift.
+    for (int i = 0; i < s.n; ++i) {
+      s.vx[i] += 0.5 * dt * s.fx[i];
+      s.vy[i] += 0.5 * dt * s.fy[i];
+      s.vz[i] += 0.5 * dt * s.fz[i];
+      s.x[i] = std::fmod(s.x[i] + dt * s.vx[i] + s.box, s.box);
+      s.y[i] = std::fmod(s.y[i] + dt * s.vy[i] + s.box, s.box);
+      s.z[i] = std::fmod(s.z[i] + dt * s.vz[i] + s.box, s.box);
+    }
+
+    // Launch in situ analysis on a snapshot (low priority: it must not
+    // delay the simulation team).
+    if (opts.in_situ && step % opts.analysis_interval == 0) {
+      auto job = std::make_unique<AnalysisJob>(opts.histogram_bins);
+      job->snap_vx = s.vx;
+      job->snap_vy = s.vy;
+      job->snap_vz = s.vz;
+      job->remaining.store(opts.analysis_threads);
+      AnalysisJob* j = job.get();
+      jobs.push_back(std::move(job));
+
+      ThreadAttrs attrs;
+      attrs.priority = 1;  // low class (PriorityScheduler)
+      attrs.preempt = opts.analysis_preempt;
+      const int per = (s.n + opts.analysis_threads - 1) / opts.analysis_threads;
+      for (int t = 0; t < opts.analysis_threads; ++t) {
+        const int i0 = t * per;
+        const int i1 = std::min(s.n, i0 + per);
+        analysis_threads.push_back(rt.spawn(
+            [j, i0, i1, &opts, &analyses_done] {
+              for (int i = i0; i < i1; ++i) {
+                const double sp =
+                    std::sqrt(j->snap_vx[i] * j->snap_vx[i] +
+                              j->snap_vy[i] * j->snap_vy[i] +
+                              j->snap_vz[i] * j->snap_vz[i]);
+                int bin = static_cast<int>(sp * 8.0);
+                if (bin >= static_cast<int>(j->bins.size()))
+                  bin = static_cast<int>(j->bins.size()) - 1;
+                j->bins[bin].fetch_add(1, std::memory_order_relaxed);
+              }
+              if (j->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+                analyses_done.fetch_add(1);
+            },
+            attrs));
+      }
+    }
+
+    pot = compute_forces(rt, s, opts.threads);
+
+    for (int i = 0; i < s.n; ++i) {
+      s.vx[i] += 0.5 * dt * s.fx[i];
+      s.vy[i] += 0.5 * dt * s.fy[i];
+      s.vz[i] += 0.5 * dt * s.fz[i];
+    }
+
+    const double e = pot + kinetic(s);
+    const double drift =
+        std::fabs(e - res.initial_energy) /
+        std::max(1.0, std::fabs(res.initial_energy));
+    if (drift > res.max_energy_drift) res.max_energy_drift = drift;
+    res.final_energy = e;
+  }
+
+  for (auto& t : analysis_threads) t.join();
+  res.analyses_completed = analyses_done.load();
+  if (!jobs.empty()) {
+    res.last_histogram.resize(opts.histogram_bins);
+    for (int b = 0; b < opts.histogram_bins; ++b)
+      res.last_histogram[b] = jobs.back()->bins[b].load();
+  }
+  return res;
+}
+
+}  // namespace lpt::apps

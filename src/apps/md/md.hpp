@@ -1,0 +1,46 @@
+// Mini molecular dynamics with in situ analysis (LAMMPS stand-in, §4.3):
+// Lennard-Jones particles, velocity-Verlet integration, force computation
+// parallelised over a worker-wide team each step, and an in situ speed
+// histogram computed by dedicated low-priority analysis threads over a
+// snapshot buffer while the simulation keeps running.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/lpt.hpp"
+
+namespace lpt::apps {
+
+struct MdOptions {
+  int cells_per_side = 5;   ///< particles start on a cells^3 cubic lattice
+  double density = 0.8;     ///< reduced LJ density
+  double dt = 0.002;
+  int steps = 40;
+  int threads = 4;          ///< simulation team width per step
+
+  bool in_situ = false;
+  int analysis_interval = 1;  ///< analyse every k steps
+  int analysis_threads = 3;
+  int histogram_bins = 32;
+  /// Analysis threads are low-priority and (per §4.3) signal-yield
+  /// preemptive; simulation threads stay nonpreemptive.
+  Preempt analysis_preempt = Preempt::None;
+};
+
+struct MdResult {
+  int n_particles = 0;
+  double initial_energy = 0;  ///< total energy (kinetic + potential)
+  double final_energy = 0;
+  double max_energy_drift = 0;  ///< max |E(t) - E(0)| / |E(0)|
+  int analyses_completed = 0;
+  /// Sum over bins of the last histogram == n_particles (when in_situ).
+  std::vector<std::uint64_t> last_histogram;
+};
+
+/// Run the simulation on the given runtime (callable from an external
+/// thread). Uses SchedulerKind::Priority semantics when analysis threads are
+/// given priority 1 — build the Runtime accordingly for the in situ case.
+MdResult md_run(Runtime& rt, const MdOptions& opts);
+
+}  // namespace lpt::apps

@@ -1,0 +1,214 @@
+#include "apps/multigrid/multigrid.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace lpt::apps {
+
+namespace {
+
+/// One grid level: (n+2)^3 storage with a zero Dirichlet ghost shell.
+struct Level {
+  int n = 0;
+  double h2 = 0;  // h^2
+  std::vector<double> u, f, r;
+
+  explicit Level(int n_) : n(n_) {
+    const double h = 1.0 / n;
+    h2 = h * h;
+    const std::size_t total = static_cast<std::size_t>(n + 2) * (n + 2) * (n + 2);
+    u.assign(total, 0.0);
+    f.assign(total, 0.0);
+    r.assign(total, 0.0);
+  }
+  std::size_t idx(int i, int j, int k) const {
+    return (static_cast<std::size_t>(k) * (n + 2) + j) * (n + 2) + i;
+  }
+};
+
+struct Solver {
+  const MultigridOptions* opts;
+  std::vector<std::unique_ptr<Level>> levels;
+  Barrier bar;
+  std::vector<double> tmp;  // scratch for Jacobi (finest size fits all)
+
+  explicit Solver(const MultigridOptions& o)
+      : opts(&o), bar(o.threads) {
+    int n = o.n;
+    for (int l = 0; l < o.levels; ++l) {
+      LPT_CHECK_MSG(n >= 2 && n % 2 == 0, "grid size must halve cleanly");
+      levels.push_back(std::make_unique<Level>(n));
+      if (l + 1 < o.levels) n /= 2;
+    }
+    tmp.assign(levels[0]->u.size(), 0.0);
+  }
+
+  /// [z0, z1) plane range of thread `tid` on an n-plane grid.
+  static std::pair<int, int> range(int n, int tid, int nthreads) {
+    const int per = (n + nthreads - 1) / nthreads;
+    const int z0 = 1 + tid * per;
+    const int z1 = std::min(n + 1, z0 + per);
+    return {z0, std::max(z0, z1)};
+  }
+
+  /// Weighted Jacobi: u <- u + w * (h^2 f + sum(nbr) - 6u) / 6.
+  void smooth(Level& L, int iters, int tid) {
+    const auto [z0, z1] = range(L.n, tid, opts->threads);
+    constexpr double w = 2.0 / 3.0;
+    for (int it = 0; it < iters; ++it) {
+      for (int k = z0; k < z1; ++k)
+        for (int j = 1; j <= L.n; ++j)
+          for (int i = 1; i <= L.n; ++i) {
+            const std::size_t c = L.idx(i, j, k);
+            const double nbr = L.u[c - 1] + L.u[c + 1] +
+                               L.u[c - (L.n + 2)] + L.u[c + (L.n + 2)] +
+                               L.u[c - static_cast<std::size_t>(L.n + 2) * (L.n + 2)] +
+                               L.u[c + static_cast<std::size_t>(L.n + 2) * (L.n + 2)];
+            tmp[c] = L.u[c] + w * (L.h2 * L.f[c] + nbr - 6.0 * L.u[c]) / 6.0;
+          }
+      bar.arrive_and_wait();
+      for (int k = z0; k < z1; ++k)
+        for (int j = 1; j <= L.n; ++j)
+          for (int i = 1; i <= L.n; ++i) {
+            const std::size_t c = L.idx(i, j, k);
+            L.u[c] = tmp[c];
+          }
+      bar.arrive_and_wait();
+    }
+  }
+
+  /// r = f + laplace(u) (for -laplace(u) = f).
+  void residual(Level& L, int tid) {
+    const auto [z0, z1] = range(L.n, tid, opts->threads);
+    for (int k = z0; k < z1; ++k)
+      for (int j = 1; j <= L.n; ++j)
+        for (int i = 1; i <= L.n; ++i) {
+          const std::size_t c = L.idx(i, j, k);
+          const double nbr = L.u[c - 1] + L.u[c + 1] + L.u[c - (L.n + 2)] +
+                             L.u[c + (L.n + 2)] +
+                             L.u[c - static_cast<std::size_t>(L.n + 2) * (L.n + 2)] +
+                             L.u[c + static_cast<std::size_t>(L.n + 2) * (L.n + 2)];
+          L.r[c] = L.f[c] + (nbr - 6.0 * L.u[c]) / L.h2;
+        }
+    bar.arrive_and_wait();
+  }
+
+  /// Cell-centered full weighting: coarse f = average of 8 fine residuals.
+  void restrict_to(Level& fine, Level& coarse, int tid) {
+    const auto [z0, z1] = range(coarse.n, tid, opts->threads);
+    for (int K = z0; K < z1; ++K)
+      for (int J = 1; J <= coarse.n; ++J)
+        for (int I = 1; I <= coarse.n; ++I) {
+          double s = 0;
+          for (int dk = 0; dk < 2; ++dk)
+            for (int dj = 0; dj < 2; ++dj)
+              for (int di = 0; di < 2; ++di)
+                s += fine.r[fine.idx(2 * I - 1 + di, 2 * J - 1 + dj,
+                                     2 * K - 1 + dk)];
+          const std::size_t c = coarse.idx(I, J, K);
+          coarse.f[c] = s / 8.0;
+          coarse.u[c] = 0.0;
+        }
+    bar.arrive_and_wait();
+  }
+
+  /// Cell-centered trilinear prolongation: fine u += interpolated coarse
+  /// correction (weights 3/4 parent, 1/4 nearest neighbour per dimension).
+  /// Piecewise-constant transfer would violate the m_r + m_p > 2 transfer-
+  /// order condition for Poisson and stall the V-cycle.
+  void prolong_add(Level& coarse, Level& fine, int tid) {
+    const auto [z0, z1] = range(fine.n, tid, opts->threads);
+    auto parent = [](int fi) { return (fi + 1) / 2; };
+    auto neighbor = [](int fi) { return (fi % 2 == 1) ? (fi + 1) / 2 - 1
+                                                      : (fi + 1) / 2 + 1; };
+    for (int fk = z0; fk < z1; ++fk)
+      for (int fj = 1; fj <= fine.n; ++fj)
+        for (int fi = 1; fi <= fine.n; ++fi) {
+          const int I = parent(fi), J = parent(fj), K = parent(fk);
+          const int In = neighbor(fi), Jn = neighbor(fj), Kn = neighbor(fk);
+          // Ghost shell (index 0 / n+1) holds zeros: homogeneous Dirichlet.
+          double v = 0;
+          const int is[2] = {I, In}, js[2] = {J, Jn}, ks[2] = {K, Kn};
+          const double wx[2] = {0.75, 0.25}, wy[2] = {0.75, 0.25},
+                       wz[2] = {0.75, 0.25};
+          for (int a = 0; a < 2; ++a)
+            for (int b = 0; b < 2; ++b)
+              for (int c = 0; c < 2; ++c)
+                v += wx[a] * wy[b] * wz[c] *
+                     coarse.u[coarse.idx(is[a], js[b], ks[c])];
+          fine.u[fine.idx(fi, fj, fk)] += v;
+        }
+    bar.arrive_and_wait();
+  }
+
+  void vcycle(int level, int tid) {
+    Level& L = *levels[level];
+    if (level + 1 == static_cast<int>(levels.size())) {
+      smooth(L, 40, tid);  // coarsest: smooth hard
+      return;
+    }
+    smooth(L, opts->pre_smooth, tid);
+    residual(L, tid);
+    restrict_to(L, *levels[level + 1], tid);
+    vcycle(level + 1, tid);
+    prolong_add(*levels[level + 1], L, tid);
+    smooth(L, opts->post_smooth, tid);
+  }
+};
+
+}  // namespace
+
+double residual_norm(int n, const std::vector<double>& u,
+                     const std::vector<double>& f) {
+  Level L(n);
+  LPT_CHECK(u.size() == L.u.size() && f.size() == L.f.size());
+  const double h2 = L.h2;
+  double acc = 0;
+  for (int k = 1; k <= n; ++k)
+    for (int j = 1; j <= n; ++j)
+      for (int i = 1; i <= n; ++i) {
+        const std::size_t c = L.idx(i, j, k);
+        const double nbr = u[c - 1] + u[c + 1] + u[c - (n + 2)] + u[c + (n + 2)] +
+                           u[c - static_cast<std::size_t>(n + 2) * (n + 2)] +
+                           u[c + static_cast<std::size_t>(n + 2) * (n + 2)];
+        const double r = f[c] + (nbr - 6.0 * u[c]) / h2;
+        acc += r * r;
+      }
+  return std::sqrt(acc / (static_cast<double>(n) * n * n));
+}
+
+MultigridResult multigrid_solve(Runtime& rt, const MultigridOptions& opts,
+                                const std::vector<double>& f,
+                                std::vector<double>& u) {
+  LPT_CHECK(!this_thread::in_ult());
+  Solver solver(opts);
+  Level& fine = *solver.levels[0];
+  LPT_CHECK_MSG(f.size() == fine.f.size(), "f must be (n+2)^3 with ghost shell");
+  fine.f = f;
+  if (u.size() == fine.u.size()) fine.u = u;
+
+  MultigridResult res;
+  res.initial_residual = residual_norm(opts.n, fine.u, fine.f);
+
+  std::vector<Thread> team;
+  ThreadAttrs attrs;
+  attrs.preempt = opts.preempt;
+  for (int t = 0; t < opts.threads; ++t) {
+    attrs.home_pool = t;
+    team.push_back(rt.spawn(
+        [&solver, &opts, t] {
+          for (int c = 0; c < opts.vcycles; ++c) solver.vcycle(0, t);
+        },
+        attrs));
+  }
+  for (auto& t : team) t.join();
+
+  res.final_residual = residual_norm(opts.n, fine.u, fine.f);
+  res.vcycles_run = opts.vcycles;
+  u = fine.u;
+  return res;
+}
+
+}  // namespace lpt::apps

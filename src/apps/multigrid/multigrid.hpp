@@ -1,0 +1,42 @@
+// Mini geometric multigrid (HPGMG-FV stand-in, §4.2): a 3-D 7-point Poisson
+// solver with V-cycles — weighted-Jacobi smoothing, full-weighting
+// restriction, trilinear-ish prolongation — parallelised as a fixed team of
+// ULTs that split each grid operation and synchronize at lpt::Barrier, the
+// bulk-synchronous structure thread packing stresses.
+#pragma once
+
+#include <vector>
+
+#include "runtime/lpt.hpp"
+
+namespace lpt::apps {
+
+struct MultigridOptions {
+  int n = 32;          ///< finest grid is n^3 interior points (power of two)
+  int levels = 3;      ///< V-cycle depth
+  int pre_smooth = 2;
+  int post_smooth = 2;
+  int vcycles = 8;
+  int threads = 4;     ///< fixed worker-team size (one ULT per "core")
+  Preempt preempt = Preempt::None;
+};
+
+struct MultigridResult {
+  double initial_residual = 0;
+  double final_residual = 0;
+  int vcycles_run = 0;
+};
+
+/// Solve  -laplace(u) = f  on the unit cube (Dirichlet 0 boundary, h = 1/n)
+/// with `opts.vcycles` V-cycles on the given runtime. `f` has n^3 entries
+/// (x-fastest ordering); `u` is overwritten with the solution estimate.
+/// Callable from an external (non-ULT) thread.
+MultigridResult multigrid_solve(Runtime& rt, const MultigridOptions& opts,
+                                const std::vector<double>& f,
+                                std::vector<double>& u);
+
+/// L2 norm of the residual f + laplace(u) (h-scaled), exposed for tests.
+double residual_norm(int n, const std::vector<double>& u,
+                     const std::vector<double>& f);
+
+}  // namespace lpt::apps

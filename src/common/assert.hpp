@@ -1,0 +1,39 @@
+// Runtime checks that stay enabled in release builds.
+//
+// The threading runtime manipulates raw contexts and signal state; silent
+// corruption is far worse than an aborted run, so LPT_CHECK is always on.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lpt {
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file, int line,
+                                    const char* msg) {
+  // fprintf is not async-signal-safe, but we are already crashing.
+  std::fprintf(stderr, "LPT_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace lpt
+
+#define LPT_CHECK(expr)                                              \
+  do {                                                               \
+    if (__builtin_expect(!(expr), 0))                                \
+      ::lpt::check_fail(#expr, __FILE__, __LINE__, nullptr);         \
+  } while (0)
+
+#define LPT_CHECK_MSG(expr, msg)                                     \
+  do {                                                               \
+    if (__builtin_expect(!(expr), 0))                                \
+      ::lpt::check_fail(#expr, __FILE__, __LINE__, (msg));           \
+  } while (0)
+
+// Check a libc call that reports failure via -1/errno.
+#define LPT_CHECK_SYSCALL(call)                                      \
+  do {                                                               \
+    if (__builtin_expect((call) == -1, 0))                           \
+      ::lpt::check_fail(#call, __FILE__, __LINE__, strerror(errno)); \
+  } while (0)

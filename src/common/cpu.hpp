@@ -1,0 +1,25 @@
+// Small CPU/OS helpers: pause hint, cache line size, thread ids.
+#pragma once
+
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cstdint>
+
+namespace lpt {
+
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Spin-wait hint; reduces power and sibling-hyperthread contention.
+inline void cpu_pause() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+/// Kernel thread id of the calling thread (Linux). Async-signal-safe.
+inline pid_t gettid_syscall() { return static_cast<pid_t>(::syscall(SYS_gettid)); }
+
+}  // namespace lpt

@@ -1,0 +1,86 @@
+// Thin futex wrapper (Linux). All operations are async-signal-safe: they are
+// plain syscalls on a 32-bit word, which is exactly why the paper's
+// KLT-switching optimization (§3.3.1) replaces sigsuspend/pthread_kill with
+// futexes — the suspend/resume pair must run inside a signal handler.
+#pragma once
+
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdint>
+
+namespace lpt {
+
+inline long futex(std::atomic<std::uint32_t>* addr, int op, std::uint32_t val,
+                  const timespec* timeout = nullptr) {
+  return ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(addr), op, val,
+                   timeout, nullptr, 0);
+}
+
+/// Block while *addr == expected. Spurious wakeups possible; caller loops.
+inline void futex_wait(std::atomic<std::uint32_t>* addr, std::uint32_t expected) {
+  futex(addr, FUTEX_WAIT_PRIVATE, expected);
+}
+
+/// Block while *addr == expected, for at most timeout_ns. Spurious wakeups
+/// and timeouts are indistinguishable to the caller; loop on the predicate.
+inline void futex_wait_timeout(std::atomic<std::uint32_t>* addr,
+                               std::uint32_t expected, std::int64_t timeout_ns) {
+  timespec ts;
+  ts.tv_sec = timeout_ns / 1'000'000'000;
+  ts.tv_nsec = timeout_ns % 1'000'000'000;
+  futex(addr, FUTEX_WAIT_PRIVATE, expected, &ts);
+}
+
+/// Wake up to `count` waiters. Returns number woken.
+inline int futex_wake(std::atomic<std::uint32_t>* addr, int count = 1) {
+  return static_cast<int>(futex(addr, FUTEX_WAKE_PRIVATE,
+                                static_cast<std::uint32_t>(count)));
+}
+
+/// One-shot binary event on a futex word. set() is async-signal-safe.
+class FutexEvent {
+ public:
+  void wait() {
+    while (state_.load(std::memory_order_acquire) == 0) futex_wait(&state_, 0);
+  }
+  bool is_set() const { return state_.load(std::memory_order_acquire) != 0; }
+  void set() {
+    state_.store(1, std::memory_order_release);
+    futex_wake(&state_, INT32_MAX);
+  }
+  void reset() { state_.store(0, std::memory_order_release); }
+
+ private:
+  std::atomic<std::uint32_t> state_{0};
+};
+
+/// Counting gate: arrive() releases one pass of wait(). Both ends are
+/// async-signal-safe. Used for parking kernel threads in the KLT pool.
+class FutexGate {
+ public:
+  /// Block until a ticket is available, then consume it.
+  void wait() {
+    for (;;) {
+      std::uint32_t c = tickets_.load(std::memory_order_acquire);
+      while (c > 0) {
+        if (tickets_.compare_exchange_weak(c, c - 1, std::memory_order_acq_rel))
+          return;
+      }
+      futex_wait(&tickets_, 0);
+    }
+  }
+  /// Release one waiter (or bank a ticket if none is waiting yet).
+  void post() {
+    tickets_.fetch_add(1, std::memory_order_acq_rel);
+    futex_wake(&tickets_, 1);
+  }
+
+ private:
+  std::atomic<std::uint32_t> tickets_{0};
+};
+
+}  // namespace lpt

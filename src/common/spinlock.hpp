@@ -1,0 +1,49 @@
+// Test-and-test-and-set spinlock with exponential backoff.
+//
+// The runtime uses spinlocks only in scheduler context or under a
+// PreemptGuard (see runtime/worker.hpp): a user-level thread must never be
+// preempted while holding one, or the scheduler that next tries to acquire
+// it on the same worker would spin forever (paper §3.5.3 discusses exactly
+// this lock/preemption hazard).
+#pragma once
+
+#include <atomic>
+
+#include "common/cpu.hpp"
+
+namespace lpt {
+
+class Spinlock {
+ public:
+  void lock() {
+    int spins = 1;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      do {
+        for (int i = 0; i < spins; ++i) cpu_pause();
+        if (spins < 1024) spins <<= 1;
+      } while (flag_.load(std::memory_order_relaxed));
+    }
+  }
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for Spinlock (std::lock_guard works too; this avoids <mutex>).
+class SpinlockGuard {
+ public:
+  explicit SpinlockGuard(Spinlock& l) : lock_(l) { lock_.lock(); }
+  ~SpinlockGuard() { lock_.unlock(); }
+  SpinlockGuard(const SpinlockGuard&) = delete;
+  SpinlockGuard& operator=(const SpinlockGuard&) = delete;
+
+ private:
+  Spinlock& lock_;
+};
+
+}  // namespace lpt

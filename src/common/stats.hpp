@@ -1,0 +1,35 @@
+// Sample accumulator with the summary statistics the paper reports:
+// mean, standard deviation (Fig 4, Figs 7–9 plot mean±stddev) and
+// median/percentiles (Table 1 reports medians).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lpt {
+
+class Stats {
+ public:
+  void add(double sample) { samples_.push_back(sample); }
+  void clear() { samples_.clear(); }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double sum() const;
+  double mean() const;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace lpt

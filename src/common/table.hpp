@@ -1,0 +1,30 @@
+// Column-aligned ASCII table printer for the benchmark harnesses, so every
+// bench binary emits the paper's table/figure rows in a uniform format.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lpt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; missing trailing cells render empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render to `out` (defaults to stdout) with a header separator.
+  void print(std::FILE* out = stdout) const;
+
+  /// printf-style cell formatting convenience.
+  static std::string fmt(const char* format, ...)
+      __attribute__((format(printf, 1, 2)));
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lpt

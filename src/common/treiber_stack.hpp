@@ -1,0 +1,50 @@
+// Intrusive lock-free Treiber stack.
+//
+// Push and pop are wait-free-ish (lock-free) and async-signal-safe, which the
+// KLT pool requires: the preemption signal handler pops an idle kernel thread
+// from the pool (paper §3.1.2) and may push one back.
+//
+// ABA note: nodes in this codebase (KltCtl, creation requests) are never
+// freed while the pool exists and a node is only re-pushed by its unique
+// owner after it was popped, so the classic ABA hazard (reuse while a racing
+// pop still holds the old head) is benign here: the CAS can only succeed if
+// head and next are both consistent again, which for these single-owner
+// nodes implies a correct pop.
+#pragma once
+
+#include <atomic>
+
+namespace lpt {
+
+struct TreiberNode {
+  TreiberNode* next = nullptr;
+};
+
+template <typename T>  // T must derive from TreiberNode
+class TreiberStack {
+ public:
+  void push(T* node) {
+    TreiberNode* head = head_.load(std::memory_order_relaxed);
+    do {
+      node->next = head;
+    } while (!head_.compare_exchange_weak(head, node, std::memory_order_release,
+                                          std::memory_order_relaxed));
+  }
+
+  T* pop() {
+    TreiberNode* head = head_.load(std::memory_order_acquire);
+    while (head != nullptr) {
+      if (head_.compare_exchange_weak(head, head->next, std::memory_order_acq_rel,
+                                      std::memory_order_acquire))
+        return static_cast<T*>(head);
+    }
+    return nullptr;
+  }
+
+  bool empty() const { return head_.load(std::memory_order_acquire) == nullptr; }
+
+ private:
+  std::atomic<TreiberNode*> head_{nullptr};
+};
+
+}  // namespace lpt

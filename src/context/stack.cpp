@@ -1,0 +1,79 @@
+#include "context/stack.hpp"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace lpt {
+
+namespace {
+std::size_t page_size() {
+  static const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  return ps;
+}
+}  // namespace
+
+Stack::Stack(std::size_t usable_size) {
+  const std::size_t ps = page_size();
+  const std::size_t usable = (usable_size + ps - 1) / ps * ps;
+  const std::size_t total = usable + ps;  // + guard page
+  void* p = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  LPT_CHECK_MSG(p != MAP_FAILED, "mmap for ULT stack failed");
+  LPT_CHECK(::mprotect(p, ps, PROT_NONE) == 0);
+  map_ = p;
+  map_size_ = total;
+  base_ = static_cast<char*>(p) + ps;
+  size_ = usable;
+}
+
+Stack::~Stack() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+Stack::Stack(Stack&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)),
+      base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+Stack& Stack::operator=(Stack&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Stack StackPool::acquire() {
+  {
+    SpinlockGuard g(lock_);
+    if (!free_.empty()) {
+      Stack s = std::move(free_.back());
+      free_.pop_back();
+      return s;
+    }
+  }
+  return Stack(stack_size_);
+}
+
+void StackPool::release(Stack&& s) {
+  LPT_CHECK(s.valid());
+  SpinlockGuard g(lock_);
+  free_.push_back(std::move(s));
+}
+
+std::size_t StackPool::cached() const {
+  SpinlockGuard g(lock_);
+  return free_.size();
+}
+
+}  // namespace lpt

@@ -1,0 +1,57 @@
+// Stacks for user-level threads: mmap'd regions with an inaccessible guard
+// page below the usable area, plus a free-list pool so the fork/join fast
+// path never touches mmap (M:N threads owe much of their speed to cheap
+// thread creation, §1/§2.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/spinlock.hpp"
+
+namespace lpt {
+
+/// One mmap'd stack. Movable, non-copyable; unmaps on destruction.
+class Stack {
+ public:
+  Stack() = default;
+  /// Maps usable_size rounded up to whole pages, plus one guard page below.
+  explicit Stack(std::size_t usable_size);
+  ~Stack();
+  Stack(Stack&& other) noexcept;
+  Stack& operator=(Stack&& other) noexcept;
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  bool valid() const { return base_ != nullptr; }
+  /// Lowest usable address (just above the guard page).
+  void* base() const { return base_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  void* map_ = nullptr;        // includes guard page
+  std::size_t map_size_ = 0;
+  void* base_ = nullptr;       // usable area
+  std::size_t size_ = 0;
+};
+
+/// Thread-safe pool of equally sized stacks.
+class StackPool {
+ public:
+  explicit StackPool(std::size_t stack_size) : stack_size_(stack_size) {}
+
+  /// Pop a cached stack or map a fresh one.
+  Stack acquire();
+  /// Return a stack for reuse (must have been acquired from this pool).
+  void release(Stack&& s);
+
+  std::size_t stack_size() const { return stack_size_; }
+  std::size_t cached() const;
+
+ private:
+  std::size_t stack_size_;
+  mutable Spinlock lock_;
+  std::vector<Stack> free_;
+};
+
+}  // namespace lpt

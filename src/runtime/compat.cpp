@@ -1,0 +1,130 @@
+#include "runtime/compat.hpp"
+
+#include <cerrno>
+
+#include "common/futex.hpp"
+#include "common/spinlock.hpp"
+
+namespace lpt::compat {
+
+namespace {
+
+/// Join/retval state shared between the running thread and the handle.
+struct CompatCtl {
+  void* (*fn)(void*) = nullptr;
+  void* arg = nullptr;
+  void* retval = nullptr;
+  Thread thread;           // joinable lpt handle (empty when detached)
+  bool detached = false;
+};
+
+}  // namespace
+
+int thread_create(thread_t* out, const thread_attr_t* attr,
+                  void* (*start_routine)(void*), void* arg) {
+  if (out == nullptr || start_routine == nullptr) return EINVAL;
+  Runtime* rt = Runtime::current();
+  if (rt == nullptr) return EAGAIN;
+
+  thread_attr_t a = attr != nullptr ? *attr : thread_attr_t{};
+  auto* ctl = new CompatCtl;
+  ctl->fn = start_routine;
+  ctl->arg = arg;
+  ctl->detached = a.detached;
+
+  ThreadAttrs ta;
+  ta.preempt = a.preempt;
+  ta.priority = a.priority;
+  ta.stack_size = a.stack_size;
+
+  if (a.detached) {
+    rt->spawn_detached(
+        [ctl] {
+          ctl->fn(ctl->arg);
+          delete ctl;  // nobody joins a detached thread
+        },
+        ta);
+    out->ctl = nullptr;  // pthread-style: handle of a detached thread is dead
+    return 0;
+  }
+
+  ctl->thread = rt->spawn([ctl] { ctl->retval = ctl->fn(ctl->arg); }, ta);
+  out->ctl = ctl;
+  return 0;
+}
+
+int thread_join(thread_t t, void** retval) {
+  auto* ctl = static_cast<CompatCtl*>(t.ctl);
+  if (ctl == nullptr || ctl->detached || !ctl->thread.joinable()) return EINVAL;
+  ctl->thread.join();
+  if (retval != nullptr) *retval = ctl->retval;
+  delete ctl;
+  return 0;
+}
+
+int thread_detach(thread_t t) {
+  auto* ctl = static_cast<CompatCtl*>(t.ctl);
+  if (ctl == nullptr || ctl->detached) return EINVAL;
+  // lpt has no post-hoc detach; emulate by joining from a reaper ULT so the
+  // caller does not block.
+  Runtime* rt = Runtime::current();
+  if (rt == nullptr) return EAGAIN;
+  rt->spawn_detached([ctl]() mutable {
+    ctl->thread.join();
+    delete ctl;
+  });
+  return 0;
+}
+
+int yield() {
+  this_thread::yield();
+  return 0;
+}
+
+int mutex_init(mutex_t* m) { return m != nullptr ? 0 : EINVAL; }
+int mutex_lock(mutex_t* m) {
+  m->impl.lock();
+  return 0;
+}
+int mutex_trylock(mutex_t* m) { return m->impl.try_lock() ? 0 : EBUSY; }
+int mutex_unlock(mutex_t* m) {
+  m->impl.unlock();
+  return 0;
+}
+int mutex_destroy(mutex_t* m) { return m != nullptr ? 0 : EINVAL; }
+
+int cond_init(cond_t* c) { return c != nullptr ? 0 : EINVAL; }
+int cond_wait(cond_t* c, mutex_t* m) {
+  c->impl.wait(m->impl);
+  return 0;
+}
+int cond_signal(cond_t* c) {
+  c->impl.notify_one();
+  return 0;
+}
+int cond_broadcast(cond_t* c) {
+  c->impl.notify_all();
+  return 0;
+}
+int cond_destroy(cond_t* c) { return c != nullptr ? 0 : EINVAL; }
+
+int rwlock_init(rwlock_t* rw) { return rw != nullptr ? 0 : EINVAL; }
+int rwlock_rdlock(rwlock_t* rw) {
+  rw->impl.lock_shared();
+  return 0;
+}
+int rwlock_wrlock(rwlock_t* rw) {
+  rw->impl.lock();
+  return 0;
+}
+int rwlock_rdunlock(rwlock_t* rw) {
+  rw->impl.unlock_shared();
+  return 0;
+}
+int rwlock_wrunlock(rwlock_t* rw) {
+  rw->impl.unlock();
+  return 0;
+}
+int rwlock_destroy(rwlock_t* rw) { return rw != nullptr ? 0 : EINVAL; }
+
+}  // namespace lpt::compat

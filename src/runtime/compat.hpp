@@ -1,0 +1,83 @@
+// A Pthreads-shaped veneer over preemptive M:N threads.
+//
+// Paper §3.5.2 frames "a complete substitute for existing 1:1 threads
+// implementations" as the goal that preemption makes *possible* (and lists
+// what a full drop-in would still need: TLS/fs-register virtualization,
+// compiler cooperation). This header provides the practical subset: the
+// pthread create/join/mutex/cond/rwlock vocabulary with pthread-style error
+// returns, running on whatever lpt::Runtime is active. Code ported to it
+// keeps its structure; by defaulting every thread to KLT-switching
+// preemption it behaves like 1:1 threads even around busy-wait loops and
+// KLT-local state (§3.4's "when in doubt" recommendation).
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/lpt.hpp"
+
+namespace lpt::compat {
+
+struct thread_attr_t {
+  bool detached = false;
+  std::size_t stack_size = 0;  ///< 0 = runtime default
+  /// Defaults to KLT-switching: correct for arbitrary (KLT-dependent) code.
+  Preempt preempt = Preempt::KltSwitch;
+  int priority = 0;
+};
+
+/// Opaque thread handle (pthread_t analogue). Value-copyable.
+struct thread_t {
+  void* ctl = nullptr;
+};
+
+/// pthread_create analogue. Requires an active lpt::Runtime.
+/// Returns 0, or EAGAIN when no runtime is active.
+int thread_create(thread_t* out, const thread_attr_t* attr,
+                  void* (*start_routine)(void*), void* arg);
+
+/// pthread_join analogue; *retval (if non-null) receives the start routine's
+/// return value. Returns 0, EINVAL for a null/detached handle.
+int thread_join(thread_t t, void** retval);
+
+/// pthread_detach analogue: the handle becomes unusable, resources are
+/// reclaimed when the thread finishes.
+int thread_detach(thread_t t);
+
+/// sched_yield analogue (no-op outside ULT context).
+int yield();
+
+// --- mutex -----------------------------------------------------------------
+
+struct mutex_t {
+  Mutex impl;
+};
+int mutex_init(mutex_t* m);
+int mutex_lock(mutex_t* m);
+int mutex_trylock(mutex_t* m);  ///< 0 or EBUSY
+int mutex_unlock(mutex_t* m);
+int mutex_destroy(mutex_t* m);
+
+// --- condition variable ------------------------------------------------------
+
+struct cond_t {
+  CondVar impl;
+};
+int cond_init(cond_t* c);
+int cond_wait(cond_t* c, mutex_t* m);
+int cond_signal(cond_t* c);
+int cond_broadcast(cond_t* c);
+int cond_destroy(cond_t* c);
+
+// --- reader-writer lock ------------------------------------------------------
+
+struct rwlock_t {
+  RwLock impl;
+};
+int rwlock_init(rwlock_t* rw);
+int rwlock_rdlock(rwlock_t* rw);
+int rwlock_wrlock(rwlock_t* rw);
+int rwlock_rdunlock(rwlock_t* rw);
+int rwlock_wrunlock(rwlock_t* rw);
+int rwlock_destroy(rwlock_t* rw);
+
+}  // namespace lpt::compat

@@ -1,0 +1,58 @@
+// Cross-translation-unit internals of the runtime. Not installed; not part
+// of the public API.
+#pragma once
+
+#include <atomic>
+
+#include "runtime/runtime.hpp"
+#include "runtime/sync.hpp"
+
+namespace lpt::detail {
+
+/// Process-global active runtime (anchor for the signal handler).
+std::atomic<Runtime*>& runtime_slot();
+inline Runtime* runtime_instance() {
+  return runtime_slot().load(std::memory_order_acquire);
+}
+
+/// The ULT running on the calling KLT, or nullptr (scheduler/external).
+ThreadCtl* current_ult_or_null();
+
+/// NoPreemptGuard internals, usable with an explicit ThreadCtl so the guard
+/// survives a migration to another KLT (the depth lives in the ThreadCtl).
+void begin_no_preempt(ThreadCtl* self);
+void end_no_preempt(ThreadCtl* self);
+
+// --- suspension primitives -------------------------------------------------
+// All of these context switch to the worker's scheduler and are deliberately
+// not inlined: after the switch the ULT may run on a *different* kernel
+// thread, so every TLS access inside re-derives its address.
+
+/// Voluntary yield of the current ULT.
+void suspend_yield(ThreadCtl* self);
+
+/// Block the current ULT. The scheduler unlocks `sl` (and then `m`, if
+/// non-null) only after the thread's context is fully saved, closing the
+/// enqueue-before-save race.
+void suspend_block(ThreadCtl* self, Spinlock* sl, Mutex* m);
+
+/// Terminate the current ULT (no save; the scheduler recycles the stack).
+[[noreturn]] void suspend_exit(ThreadCtl* self);
+
+// --- preemption-handler bodies (called from the signal handler) ------------
+
+/// Signal-yield (§3.1.1): switch to the scheduler from inside the handler.
+void handler_signal_yield(Worker* w, ThreadCtl* t);
+
+/// KLT-switching (§3.1.2): remap the worker to a pool KLT and park this one
+/// inside the handler; returns without preempting when no KLT is available
+/// (a creation request is posted and the thread retries at the next tick).
+void handler_klt_switch(Runtime* rt, Worker* w, ThreadCtl* t);
+
+/// Resume a KLT parked inside the handler (futex or sigsuspend, per options).
+void wake_bound_klt(Runtime* rt, KltCtl* k);
+
+/// Re-enter ULT mode after a resume (sets in_ult on the *current* KLT).
+void mark_in_ult();
+
+}  // namespace lpt::detail

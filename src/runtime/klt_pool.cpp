@@ -1,0 +1,88 @@
+#include "runtime/klt_pool.hpp"
+
+#include "common/assert.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/signals.hpp"
+
+namespace lpt {
+
+void KltPool::configure(int num_workers, bool use_local_pools) {
+  use_local_ = use_local_pools;
+  local_.clear();
+  for (int i = 0; i < num_workers; ++i)
+    local_.push_back(std::make_unique<LocalPool>());
+}
+
+KltCtl* KltPool::try_pop(int worker_rank) {
+  if (use_local_ && worker_rank >= 0 &&
+      worker_rank < static_cast<int>(local_.size())) {
+    LocalPool& lp = *local_[worker_rank];
+    if (KltCtl* k = lp.stack.pop()) {
+      lp.size.fetch_sub(1, std::memory_order_relaxed);
+      return k;
+    }
+  }
+  return global_.pop();
+}
+
+void KltPool::push(KltCtl* k) {
+  if (use_local_ && k->home_worker >= 0 &&
+      k->home_worker < static_cast<int>(local_.size())) {
+    LocalPool& lp = *local_[k->home_worker];
+    if (lp.size.load(std::memory_order_relaxed) < kLocalCap) {
+      lp.size.fetch_add(1, std::memory_order_relaxed);
+      lp.stack.push(k);
+      return;
+    }
+  }
+  global_.push(k);
+}
+
+std::vector<KltCtl*> KltPool::drain() {
+  std::vector<KltCtl*> out;
+  while (KltCtl* k = global_.pop()) out.push_back(k);
+  for (auto& lp : local_)
+    while (KltCtl* k = lp->stack.pop()) {
+      lp->size.fetch_sub(1, std::memory_order_relaxed);
+      out.push_back(k);
+    }
+  return out;
+}
+
+void KltCreator::start(Runtime& rt) {
+  rt_ = &rt;
+  max_in_flight_ = rt.num_workers();  // one outstanding creation per worker
+  stop_.store(false, std::memory_order_release);
+  LPT_CHECK(pthread_create(&thread_, nullptr, &KltCreator::thread_main, this) == 0);
+  started_ = true;
+}
+
+void KltCreator::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  gate_.post();
+  pthread_join(thread_, nullptr);
+  started_ = false;
+}
+
+void* KltCreator::thread_main(void* arg) {
+  static_cast<KltCreator*>(arg)->loop();
+  return nullptr;
+}
+
+void KltCreator::loop() {
+  signals::block_runtime_signals();
+  for (;;) {
+    gate_.wait();
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Batch: satisfy every outstanding request before sleeping again.
+    std::uint32_t n = pending_.exchange(0, std::memory_order_acq_rel);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      rt_->create_klt(/*starts_parked=*/true);  // parks itself in the pool
+      created_.fetch_add(1, std::memory_order_relaxed);
+      in_flight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  }
+}
+
+}  // namespace lpt

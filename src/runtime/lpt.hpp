@@ -1,0 +1,16 @@
+// Umbrella header of the lpt library (Lightweight Preemptive Threads):
+// include this to use the public API.
+//
+//   Runtime / RuntimeOptions / Thread / ThreadAttrs  — runtime + spawning
+//   Preempt / TimerKind / SchedulerKind / KltSuspend — configuration enums
+//   this_thread::yield / in_ult / worker_rank        — current-thread ops
+//   Mutex / CondVar / Barrier / BusyFlag             — ULT-aware sync
+//   NoPreemptGuard                                   — defer preemption
+#pragma once
+
+#include "runtime/options.hpp"       // IWYU pragma: export
+#include "runtime/parallel_for.hpp"  // IWYU pragma: export
+#include "runtime/runtime.hpp"       // IWYU pragma: export
+#include "runtime/sync.hpp"          // IWYU pragma: export
+#include "runtime/sync_extra.hpp"    // IWYU pragma: export
+#include "runtime/thread.hpp"        // IWYU pragma: export

@@ -1,0 +1,82 @@
+// Configuration surface of the preemptive M:N runtime.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace lpt {
+
+class Runtime;
+class Scheduler;
+
+/// Per-thread preemption type (paper §3.4: all three coexist in one app).
+enum class Preempt : std::uint8_t {
+  None,         ///< traditional nonpreemptive ULT — cheapest, must yield
+  SignalYield,  ///< §3.1.1 — handler context-switches; KLT-independent code only
+  KltSwitch,    ///< §3.1.2 — whole KLT suspended; safe for KLT-dependent code
+};
+
+/// Preemption-timer strategy (paper §3.2).
+enum class TimerKind : std::uint8_t {
+  None,                   ///< no implicit preemption
+  PerWorkerAligned,       ///< per-worker ticks, expirations staggered (§3.2.1)
+  PerWorkerCreationTime,  ///< per-worker ticks, all in phase (the naive baseline)
+  PosixPerWorker,         ///< real timer_create(SIGEV_THREAD_ID) per worker, aligned
+  ProcessOneToAll,        ///< one process timer; initiator signals all eligible (§3.2.2)
+  ProcessChain,           ///< one process timer; handlers forward one-by-one (§3.2.2)
+};
+
+/// How KLT-switching parks a kernel thread inside the signal handler (§3.3.1).
+enum class KltSuspend : std::uint8_t {
+  Futex,       ///< optimized: FUTEX_WAIT in handler / FUTEX_WAKE to resume
+  Sigsuspend,  ///< portable baseline: sigsuspend + pthread_kill resume signal
+};
+
+/// Built-in scheduler selection; a custom factory overrides it.
+enum class SchedulerKind : std::uint8_t {
+  WorkStealing,  ///< BOLT-like default: per-worker FIFO + random stealing (§4.1)
+  Packing,       ///< Algorithm 1: private/shared pools for thread packing (§4.2)
+  Priority,      ///< two-class: high-prio FIFO before low-prio LIFO (§4.3)
+};
+
+struct RuntimeOptions {
+  /// Number of workers ("N"). The paper creates one per core; on this host
+  /// any value is legal (workers are kernel threads the OS time-slices).
+  int num_workers = 4;
+
+  TimerKind timer = TimerKind::None;
+  /// Preemption interval. The paper sweeps 100 µs – 10 ms (Fig 6).
+  std::int64_t interval_us = 10'000;
+
+  SchedulerKind scheduler = SchedulerKind::WorkStealing;
+  /// When set, overrides `scheduler`; called once during startup.
+  std::function<std::unique_ptr<Scheduler>(Runtime&)> scheduler_factory;
+
+  /// Default ULT stack size (overridable per thread).
+  std::size_t stack_size = 256 * 1024;
+
+  KltSuspend klt_suspend = KltSuspend::Futex;
+  /// Worker-local KLT pools in front of the global pool (§3.3.2).
+  bool worker_local_klt_pool = true;
+  /// Number of spare KLTs created eagerly at startup (they park immediately);
+  /// more are created on demand by the KLT creator.
+  int initial_spare_klts = 0;
+
+  /// Pin worker KLTs to cores round-robin (no-op beyond available cores).
+  bool pin_workers = false;
+};
+
+/// Per-thread spawn attributes.
+struct ThreadAttrs {
+  Preempt preempt = Preempt::None;
+  /// Scheduling class for SchedulerKind::Priority: 0 = high, 1 = low.
+  int priority = 0;
+  /// Home pool for SchedulerKind::Packing; -1 = assign round-robin.
+  int home_pool = -1;
+  /// 0 = use RuntimeOptions::stack_size.
+  std::size_t stack_size = 0;
+};
+
+}  // namespace lpt

@@ -1,0 +1,56 @@
+#include "runtime/parallel_for.hpp"
+
+#include "common/assert.hpp"
+
+namespace lpt {
+
+namespace {
+
+void split_range(Runtime& rt, std::int64_t lo, std::int64_t hi,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn,
+                 const ParallelForOptions& opts) {
+  if (hi - lo <= opts.grain) {
+    if (hi > lo) fn(lo, hi);
+    return;
+  }
+  const std::int64_t mid = lo + (hi - lo) / 2;
+  // Right half becomes a child ULT; continue left inline (depth-first keeps
+  // the executing worker's working set contiguous). The captured references
+  // outlive the child: this frame joins it before returning.
+  Thread right = rt.spawn(
+      [&rt, mid, hi, &fn, &opts] { split_range(rt, mid, hi, fn, opts); },
+      opts.attrs);
+  split_range(rt, lo, mid, fn, opts);
+  right.join();
+}
+
+}  // namespace
+
+void parallel_for_range(Runtime& rt, std::int64_t begin, std::int64_t end,
+                        const std::function<void(std::int64_t, std::int64_t)>& fn,
+                        const ParallelForOptions& opts) {
+  LPT_CHECK(opts.grain >= 1);
+  if (end <= begin) return;
+  if (this_thread::in_ult()) {
+    split_range(rt, begin, end, fn, opts);
+    return;
+  }
+  // External callers get a root ULT so splitting is cooperative throughout.
+  Thread root = rt.spawn(
+      [&rt, begin, end, &fn, &opts] { split_range(rt, begin, end, fn, opts); },
+      opts.attrs);
+  root.join();
+}
+
+void parallel_for(Runtime& rt, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  const ParallelForOptions& opts) {
+  parallel_for_range(
+      rt, begin, end,
+      [&fn](std::int64_t lo, std::int64_t hi) {
+        for (std::int64_t i = lo; i < hi; ++i) fn(i);
+      },
+      opts);
+}
+
+}  // namespace lpt

@@ -1,0 +1,35 @@
+// Fork-join helpers on top of the runtime — the minimal OpenMP-like surface
+// the mini-apps use (DESIGN.md: BOLT's full OpenMP ABI layer is out of
+// scope; these helpers stand in for the `parallel for` / task constructs the
+// paper's applications rely on).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/runtime.hpp"
+
+namespace lpt {
+
+struct ParallelForOptions {
+  /// Ranges at or below this size run inline; larger ranges split in half
+  /// and the right half becomes a new ULT (recursive binary splitting).
+  std::int64_t grain = 1024;
+  /// Attributes for the spawned ULTs (preemption type, priority, ...).
+  ThreadAttrs attrs{};
+};
+
+/// Apply fn(i) for every i in [begin, end), in parallel. Callable from ULT
+/// context (splits cooperatively) or from an external thread (wraps the root
+/// range in a ULT and waits). Returns when every iteration completed.
+void parallel_for(Runtime& rt, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& fn,
+                  const ParallelForOptions& opts = {});
+
+/// Block-range variant: fn(lo, hi) on disjoint chunks covering [begin, end).
+/// The chunk decomposition is the same binary splitting as parallel_for.
+void parallel_for_range(Runtime& rt, std::int64_t begin, std::int64_t end,
+                        const std::function<void(std::int64_t, std::int64_t)>& fn,
+                        const ParallelForOptions& opts = {});
+
+}  // namespace lpt

@@ -1,0 +1,409 @@
+#include "runtime/runtime.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <climits>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "runtime/internal.hpp"
+#include "runtime/signals.hpp"
+#include "runtime/timer.hpp"
+
+namespace lpt {
+
+namespace detail {
+
+std::atomic<Runtime*>& runtime_slot() {
+  static std::atomic<Runtime*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Entry of every worker scheduler context (runs on the dedicated stack).
+void scheduler_trampoline(void* arg) {
+  static_cast<Worker*>(arg)->scheduler_loop();
+  LPT_CHECK_MSG(false, "scheduler_loop returned");
+}
+
+/// Entry of every ULT context.
+void thread_trampoline(void* arg) {
+  auto* t = static_cast<ThreadCtl*>(arg);
+  detail::mark_in_ult();
+  t->fn();
+  detail::suspend_exit(t);
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions opts)
+    : opts_(std::move(opts)), stack_pool_(opts_.stack_size) {
+  LPT_CHECK(opts_.num_workers >= 1);
+  LPT_CHECK(opts_.interval_us >= 1);
+
+  Runtime* expected = nullptr;
+  LPT_CHECK_MSG(detail::runtime_slot().compare_exchange_strong(expected, this),
+                "only one lpt::Runtime may be active per process");
+
+  signals::install_handlers();
+
+  n_active_.store(opts_.num_workers, std::memory_order_release);
+
+  for (int r = 0; r < opts_.num_workers; ++r) {
+    auto w = std::make_unique<Worker>();
+    w->rt = this;
+    w->rank = r;
+    w->sched_stack = Stack(128 * 1024);
+    w->sched_ctx = make_context(w->sched_stack.base(), w->sched_stack.size(),
+                                &scheduler_trampoline, w.get());
+    workers_.push_back(std::move(w));
+  }
+
+  if (opts_.scheduler_factory) {
+    sched_ = opts_.scheduler_factory(*this);
+  } else {
+    switch (opts_.scheduler) {
+      case SchedulerKind::WorkStealing:
+        sched_ = std::make_unique<WorkStealingScheduler>();
+        break;
+      case SchedulerKind::Packing:
+        sched_ = std::make_unique<PackingScheduler>();
+        break;
+      case SchedulerKind::Priority:
+        sched_ = std::make_unique<PriorityScheduler>();
+        break;
+    }
+  }
+  sched_->init(*this);
+
+  klt_pool_.configure(opts_.num_workers, opts_.worker_local_klt_pool);
+  klt_creator_.start(*this);
+
+  // Launch one host KLT per worker.
+  for (int r = 0; r < opts_.num_workers; ++r) {
+    KltCtl* k = create_klt();
+    k->action = KltAction::kBecomeWorker;
+    k->assign_worker = workers_[r].get();
+    k->gate.post();
+  }
+
+  for (int i = 0; i < opts_.initial_spare_klts; ++i)
+    create_klt(/*starts_parked=*/true);
+
+  timer_ = PreemptionTimer::make(opts_.timer);
+  if (timer_) timer_->start(*this);
+}
+
+Runtime::~Runtime() {
+  if (timer_) timer_->stop();
+  klt_creator_.stop();
+
+  shutdown_.store(true, std::memory_order_release);
+  set_active_workers(num_workers());  // unpark packing-suspended workers
+  notify_work();
+
+  // Wake every parked spare with an exit assignment. Worker-host KLTs leave
+  // through the scheduler's exit path and ignore the extra ticket.
+  {
+    SpinlockGuard g(klts_lock_);
+    for (auto& k : klts_) {
+      k->action = KltAction::kExit;
+      k->gate.post();
+    }
+  }
+  {
+    SpinlockGuard g(klts_lock_);
+    for (auto& k : klts_) pthread_join(k->pthread, nullptr);
+  }
+
+  detail::runtime_slot().store(nullptr, std::memory_order_release);
+}
+
+Runtime* Runtime::current() { return detail::runtime_instance(); }
+
+KltCtl* Runtime::create_klt(bool starts_parked) {
+  auto owned = std::make_unique<KltCtl>();
+  owned->rt = this;
+  owned->starts_parked = starts_parked;
+  KltCtl* k = owned.get();
+  {
+    SpinlockGuard g(klts_lock_);
+    klts_.push_back(std::move(owned));
+  }
+  LPT_CHECK(pthread_create(&k->pthread, nullptr, &Runtime::klt_entry, k) == 0);
+  return k;
+}
+
+void* Runtime::klt_entry(void* arg) {
+  auto* k = static_cast<KltCtl*>(arg);
+  k->rt->klt_main(k);
+  return nullptr;
+}
+
+void Runtime::klt_main(KltCtl* self) {
+  self->tid.store(gettid_syscall(), std::memory_order_release);
+  WorkerTls* tls = worker_tls();
+  tls->klt = self;
+  signals::block_runtime_signals();
+  signals::unblock_preempt();
+
+  if (self->starts_parked) klt_pool_.push(self);
+
+  for (;;) {
+    self->gate.wait();
+    const KltAction a = self->action;
+    self->action = KltAction::kNone;
+    if (a == KltAction::kExit) return;
+    LPT_CHECK(a == KltAction::kBecomeWorker);
+
+    Worker* w = self->assign_worker;
+    worker_tls()->worker = w;
+    self->home_worker = w->rank;
+
+    if (opts_.pin_workers) {
+      const long ncpu = sysconf(_SC_NPROCESSORS_ONLN);
+      if (ncpu > 0) {
+        cpu_set_t set;
+        CPU_ZERO(&set);
+        CPU_SET(static_cast<unsigned>(w->rank % ncpu), &set);
+        pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+      }
+    }
+    w->current_klt.store(self, std::memory_order_release);
+    w->current_tid.store(self->tid.load(std::memory_order_relaxed),
+                         std::memory_order_release);
+
+    context_switch(self->native_ctx, w->sched_ctx);
+
+    // Released by the scheduler (resume protocol or shutdown).
+    KltCtl* peer = self->pending_wake;
+    self->pending_wake = nullptr;
+    const bool wake_in_handler = self->pending_wake_in_handler;
+    self->pending_wake_in_handler = false;
+    const KltNativeOp op = self->native_op;
+    self->native_op = KltNativeOp::kPark;
+
+    if (peer != nullptr) {
+      // The wake happens here — off the scheduler stack — so the woken side
+      // can safely resume or re-enter that scheduler context.
+      if (wake_in_handler)
+        detail::wake_bound_klt(this, peer);
+      else
+        peer->gate.post();
+    }
+    if (op == KltNativeOp::kExit) return;
+
+    worker_tls()->worker = nullptr;
+    klt_pool_.push(self);
+  }
+}
+
+ThreadCtl* Runtime::spawn_ctl(std::function<void()> fn, ThreadAttrs attrs,
+                              bool detached) {
+  auto* t = new ThreadCtl;
+  t->rt = this;
+  t->fn = std::move(fn);
+  t->preempt = attrs.preempt;
+  t->priority = attrs.priority;
+  t->detached = detached;
+  t->home_pool =
+      attrs.home_pool >= 0
+          ? attrs.home_pool
+          : spawn_rr_.fetch_add(1, std::memory_order_relaxed) % num_workers();
+
+  t->stack = attrs.stack_size == 0 ? stack_pool_.acquire() : Stack(attrs.stack_size);
+  t->ctx = make_context(t->stack.base(), t->stack.size(), &thread_trampoline, t);
+
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  Worker* hint = self != nullptr
+                     ? worker_tls()->worker
+                     : workers_[t->home_pool % num_workers()].get();
+  sched_->enqueue(t, hint, EnqueueKind::kSpawn);
+  detail::end_no_preempt(self);
+  notify_work();
+  return t;
+}
+
+Thread Runtime::spawn(std::function<void()> fn, ThreadAttrs attrs) {
+  return Thread(spawn_ctl(std::move(fn), attrs, /*detached=*/false));
+}
+
+void Runtime::spawn_detached(std::function<void()> fn, ThreadAttrs attrs) {
+  spawn_ctl(std::move(fn), attrs, /*detached=*/true);
+}
+
+void Runtime::set_active_workers(int n) {
+  LPT_CHECK(n >= 1 && n <= num_workers());
+  n_active_.store(n, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->wake_word.fetch_add(1, std::memory_order_acq_rel);
+    futex_wake(&w->wake_word, INT_MAX);
+  }
+  notify_work();
+}
+
+std::uint64_t Runtime::total_preemptions() const {
+  std::uint64_t sum = 0;
+  for (const auto& w : workers_)
+    sum += w->n_preempt_signal_yield.load(std::memory_order_relaxed) +
+           w->n_preempt_klt_switch.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::uint64_t Runtime::total_klts() const {
+  SpinlockGuard g(const_cast<Spinlock&>(klts_lock_));
+  return klts_.size();
+}
+
+Runtime::Stats Runtime::stats() const {
+  Stats s;
+  for (const auto& w : workers_) {
+    Stats::PerWorker pw;
+    pw.scheduled = w->n_scheduled.load(std::memory_order_relaxed);
+    pw.preempt_signal_yield =
+        w->n_preempt_signal_yield.load(std::memory_order_relaxed);
+    pw.preempt_klt_switch =
+        w->n_preempt_klt_switch.load(std::memory_order_relaxed);
+    pw.steals = w->n_steals.load(std::memory_order_relaxed);
+    pw.parked = w->parked.load(std::memory_order_relaxed);
+    s.workers.push_back(pw);
+  }
+  s.klts_created = total_klts();
+  s.klts_on_demand = klt_creator_.created();
+  s.active_workers = active_workers();
+  return s;
+}
+
+void Runtime::notify_work() {
+  work_seq_.fetch_add(1, std::memory_order_acq_rel);
+  futex_wake(&work_seq_, INT_MAX);
+}
+
+void Runtime::idle_wait(std::uint32_t seen_seq) {
+  // Bounded nap: timer signals, packing changes, and shutdown re-check the
+  // loop conditions anyway.
+  futex_wait_timeout(&work_seq_, seen_seq, 1'000'000 /* 1 ms */);
+}
+
+void Runtime::finalize_thread(ThreadCtl* t) {
+  LPT_CHECK(t->load_state() == ThreadState::kFinished);
+  t->fn = nullptr;  // release captures in scheduler context
+
+  // Recycle default-sized stacks through the pool (sizes are page-rounded,
+  // so compare against the rounded pool size).
+  const std::size_t page = 4096;
+  const std::size_t pooled = (stack_pool_.stack_size() + page - 1) / page * page;
+  if (t->stack.valid() && t->stack.size() == pooled) {
+    stack_pool_.release(std::move(t->stack));
+  }
+
+  // Everything dereferencing t must happen before the done flag is
+  // published: an external joiner may return from futex_wait and delete the
+  // control block the instant done != 0.
+  const bool detached = t->detached;
+  std::vector<ThreadCtl*> joiners;
+  {
+    SpinlockGuard g(t->waiters_lock);
+    t->done.store(1, std::memory_order_release);
+    joiners.swap(t->waiters);
+  }
+  // Waking a possibly already-freed futex word is benign: FUTEX_WAKE only
+  // looks the address up; loops on the predicate absorb spurious wakes.
+  futex_wake(&t->done, INT_MAX);
+
+  Worker* hint = worker_tls()->worker;
+  for (ThreadCtl* j : joiners) {
+    j->store_state(ThreadState::kReady);
+    sched_->enqueue(j, hint, EnqueueKind::kUnblock);
+  }
+  if (!joiners.empty()) notify_work();
+  if (detached) delete t;
+}
+
+// ---------------------------------------------------------------------------
+// Thread handle
+// ---------------------------------------------------------------------------
+
+Thread::~Thread() {
+  if (ctl_ != nullptr) join();
+}
+
+Thread& Thread::operator=(Thread&& o) noexcept {
+  if (this != &o) {
+    if (ctl_ != nullptr) join();
+    ctl_ = o.ctl_;
+    o.ctl_ = nullptr;
+  }
+  return *this;
+}
+
+std::uint64_t Thread::preemptions() const {
+  LPT_CHECK(ctl_ != nullptr);
+  return ctl_->preemptions.load(std::memory_order_relaxed);
+}
+
+void Thread::join() {
+  LPT_CHECK_MSG(ctl_ != nullptr, "join on empty Thread handle");
+  ThreadCtl* t = ctl_;
+
+  ThreadCtl* self = detail::current_ult_or_null();
+  if (self != nullptr) {
+    LPT_CHECK_MSG(self != t, "thread cannot join itself");
+    for (;;) {
+      if (t->done.load(std::memory_order_acquire) != 0) break;
+      detail::begin_no_preempt(self);
+      t->waiters_lock.lock();
+      if (t->done.load(std::memory_order_acquire) != 0) {
+        t->waiters_lock.unlock();
+        detail::end_no_preempt(self);
+        break;
+      }
+      t->waiters.push_back(self);
+      detail::suspend_block(self, &t->waiters_lock, nullptr);
+      detail::end_no_preempt(self);
+    }
+  } else {
+    while (t->done.load(std::memory_order_acquire) == 0) futex_wait(&t->done, 0);
+  }
+
+  delete t;
+  ctl_ = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// this_thread & NoPreemptGuard
+// ---------------------------------------------------------------------------
+
+namespace this_thread {
+
+void yield() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  if (self == nullptr) return;
+  detail::suspend_yield(self);
+}
+
+bool in_ult() { return detail::current_ult_or_null() != nullptr; }
+
+int worker_rank() {
+  WorkerTls* tls = worker_tls();
+  if (tls->worker == nullptr || !tls->in_ult) return -1;
+  return tls->worker->rank;
+}
+
+}  // namespace this_thread
+
+NoPreemptGuard::NoPreemptGuard() {
+  detail::begin_no_preempt(detail::current_ult_or_null());
+}
+
+NoPreemptGuard::~NoPreemptGuard() {
+  detail::end_no_preempt(detail::current_ult_or_null());
+}
+
+}  // namespace lpt

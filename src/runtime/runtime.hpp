@@ -1,0 +1,149 @@
+// The preemptive M:N threading runtime — public entry point of the library.
+//
+//   lpt::RuntimeOptions opts;
+//   opts.num_workers = 8;
+//   opts.timer = lpt::TimerKind::PerWorkerAligned;
+//   opts.interval_us = 1000;
+//   lpt::Runtime rt(opts);
+//   auto t = rt.spawn([]{ heavy_loop(); }, {.preempt = lpt::Preempt::KltSwitch});
+//   t.join();
+//
+// One Runtime may be active per process at a time (the preemption signal
+// handler needs a process-global anchor); sequential create/destroy is fine.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "common/futex.hpp"
+#include "common/spinlock.hpp"
+#include "context/stack.hpp"
+#include "runtime/klt_pool.hpp"
+#include "runtime/options.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/thread.hpp"
+#include "runtime/worker.hpp"
+
+namespace lpt {
+
+class PreemptionTimer;
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions opts = {});
+  /// All spawned threads must have been joined (or have finished, if
+  /// detached) before destruction.
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Create a ULT. Callable from ULTs and from external kernel threads.
+  Thread spawn(std::function<void()> fn, ThreadAttrs attrs = {});
+  /// Fire-and-forget variant; the runtime frees the control block at exit.
+  void spawn_detached(std::function<void()> fn, ThreadAttrs attrs = {});
+
+  /// Thread packing (§4.2): workers with rank >= n park at their next
+  /// scheduling point (a preemption point for preemptive threads); their
+  /// queued threads are picked up by the remaining active workers.
+  void set_active_workers(int n);
+  int active_workers() const { return n_active_.load(std::memory_order_acquire); }
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  Scheduler& scheduler() { return *sched_; }
+  const RuntimeOptions& options() const { return opts_; }
+
+  /// The process's active runtime, or nullptr.
+  static Runtime* current();
+
+  /// Sum of implicit preemptions across workers (both techniques).
+  std::uint64_t total_preemptions() const;
+  /// KLTs ever created (workers + pool spares); reaches M+N only in the
+  /// paper's worst case where KLT-switching degenerates to 1:1 (§3.1.2).
+  std::uint64_t total_klts() const;
+
+  /// Point-in-time counters for observability/tuning.
+  struct Stats {
+    struct PerWorker {
+      std::uint64_t scheduled = 0;           ///< threads dispatched
+      std::uint64_t preempt_signal_yield = 0;
+      std::uint64_t preempt_klt_switch = 0;
+      std::uint64_t steals = 0;
+      bool parked = false;                   ///< packing-suspended right now
+    };
+    std::vector<PerWorker> workers;
+    std::uint64_t klts_created = 0;   ///< incl. initial worker hosts
+    std::uint64_t klts_on_demand = 0; ///< created by the KLT creator
+    int active_workers = 0;
+  };
+  Stats stats() const;
+
+  // ----- internal API (runtime components; not for applications) -----
+
+  Worker& worker(int rank) { return *workers_[rank]; }
+  KltPool& klt_pool() { return klt_pool_; }
+  KltCreator& klt_creator() { return klt_creator_; }
+  StackPool& stack_pool() { return stack_pool_; }
+  bool shutting_down() const { return shutdown_.load(std::memory_order_acquire); }
+
+  /// Allocate + register a KltCtl and start its pthread (runs klt_main).
+  /// `starts_parked` spares enter the KLT pool before their first wait.
+  KltCtl* create_klt(bool starts_parked = false);
+
+  /// Wake idle workers after an enqueue.
+  void notify_work();
+  /// Idle worker: sleep until notify_work or timeout.
+  void idle_wait(std::uint32_t seen_seq);
+  std::uint32_t work_seq() const { return work_seq_.load(std::memory_order_acquire); }
+
+  /// Finalize a terminated thread: recycle its stack, wake joiners, free the
+  /// control block if detached. Called by the scheduler after the exit switch.
+  void finalize_thread(ThreadCtl* t);
+
+ private:
+  friend struct Worker;
+  static void* klt_entry(void* arg);
+  void klt_main(KltCtl* self);
+  ThreadCtl* spawn_ctl(std::function<void()> fn, ThreadAttrs attrs, bool detached);
+
+  RuntimeOptions opts_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<Scheduler> sched_;
+  std::unique_ptr<PreemptionTimer> timer_;
+
+  KltPool klt_pool_;
+  KltCreator klt_creator_;
+  StackPool stack_pool_;
+
+  mutable Spinlock klts_lock_;
+  std::vector<std::unique_ptr<KltCtl>> klts_;  // registry; joined at shutdown
+
+  std::atomic<int> n_active_{0};
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint32_t> work_seq_{0};
+  std::atomic<int> spawn_rr_{0};  // round-robin hint for external spawns
+};
+
+namespace this_thread {
+
+/// Cooperative yield; no-op when called outside a ULT.
+void yield();
+/// True when the calling code runs inside a ULT.
+bool in_ult();
+/// Worker rank hosting the calling ULT, or -1 outside ULT context.
+int worker_rank();
+
+}  // namespace this_thread
+
+/// Defers implicit preemption for the guarded scope; if a preemption signal
+/// arrived meanwhile, the guard's destructor yields voluntarily. Use around
+/// short critical sections whose locks the scheduler also takes (§3.5.3).
+class NoPreemptGuard {
+ public:
+  NoPreemptGuard();
+  ~NoPreemptGuard();
+  NoPreemptGuard(const NoPreemptGuard&) = delete;
+  NoPreemptGuard& operator=(const NoPreemptGuard&) = delete;
+};
+
+}  // namespace lpt

@@ -1,0 +1,89 @@
+// Algorithm 1 of the paper: the scheduler specialized for thread packing.
+//
+// With N_total pools and N_active <= N_total active workers, each active
+// worker owns the private pools {rank, rank + N_active, ...} below
+// N_private = N_active * floor(N_total / N_active), and all active workers
+// share the pools [N_private, N_total). Each worker alternates between one
+// thread from a private pool and one from a shared pool; since every worker
+// runs a slice of one preemption interval, shared-pool threads are scheduled
+// round-robin across all active workers while private-pool threads keep
+// locality.
+#include "runtime/scheduler.hpp"
+
+#include "common/assert.hpp"
+#include "runtime/runtime.hpp"
+
+namespace lpt {
+
+void PackingScheduler::init(Runtime& rt) {
+  rt_ = &rt;
+  n_total_ = rt.num_workers();
+  pools_.clear();
+  for (int i = 0; i < n_total_; ++i)
+    pools_.push_back(std::make_unique<ThreadQueue>());
+  phase_.assign(n_total_, 0);
+  shared_next_.assign(n_total_, 0);
+}
+
+ThreadCtl* PackingScheduler::pick(Worker& w) {
+  const int n_active = rt_->active_workers();
+  const int n_private = private_bound(n_total_, n_active);
+
+  auto pick_private = [&]() -> ThreadCtl* {
+    // Lines 7–10: private pools rank, rank + N_active, ... < N_private.
+    for (int i = w.rank; i < n_private; i += n_active)
+      if (ThreadCtl* t = pools_[i]->pop_front()) return t;
+    return nullptr;
+  };
+  auto pick_shared = [&]() -> ThreadCtl* {
+    // Lines 11–14: shared pools [N_private, N_total), scanned round-robin
+    // ("active workers peek the shared pools in turn") so no shared thread
+    // is starved by a fixed scan order.
+    const int n_shared = n_total_ - n_private;
+    if (n_shared <= 0) return nullptr;
+    int& cursor = shared_next_[w.rank];
+    for (int step = 0; step < n_shared; ++step) {
+      const int i = n_private + (cursor + step) % n_shared;
+      if (ThreadCtl* t = pools_[i]->pop_front()) {
+        cursor = (i - n_private + 1) % n_shared;
+        return t;
+      }
+    }
+    return nullptr;
+  };
+
+  // Strict alternation (the "repeats ... alternately" of Algorithm 1): a
+  // successful private pick makes the next attempt shared-first and vice
+  // versa; a fallback pick does not flip the turn.
+  std::uint8_t& phase = phase_[w.rank];
+  if (phase == 0) {
+    if (ThreadCtl* t = pick_private()) {
+      phase = 1;
+      return t;
+    }
+    return pick_shared();
+  }
+  if (ThreadCtl* t = pick_shared()) {
+    phase = 0;
+    return t;
+  }
+  return pick_private();
+}
+
+void PackingScheduler::enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) {
+  (void)hint;
+  (void)kind;
+  // Threads always return to their home pool; which workers may pop it is
+  // decided by the pick-side private/shared partition.
+  int pool = t->home_pool % n_total_;
+  if (pool < 0) pool += n_total_;
+  pools_[pool]->push_back(t);
+}
+
+bool PackingScheduler::has_work() const {
+  for (const auto& p : pools_)
+    if (!p->empty()) return true;
+  return false;
+}
+
+}  // namespace lpt

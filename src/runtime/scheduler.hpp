@@ -1,0 +1,144 @@
+// Pluggable user-level schedulers (the "users can develop their own
+// schedulers" capability of M:N threads, §2.1). The runtime ships the three
+// schedulers the paper evaluates: work stealing (§4.1), thread packing
+// (Algorithm 1, §4.2), and two-class priority (§4.3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "common/prng.hpp"
+
+namespace lpt {
+
+class Runtime;
+struct Worker;
+struct ThreadCtl;
+
+/// Why a thread is being enqueued; schedulers may treat these differently
+/// (e.g. the work-stealing scheduler pushes preempted threads to the local
+/// FIFO exactly as the paper's modified BOLT scheduler does).
+enum class EnqueueKind : std::uint8_t {
+  kSpawn,      ///< newly created
+  kYield,      ///< voluntarily yielded
+  kPreempted,  ///< implicitly preempted by a timer signal
+  kUnblock,    ///< released by a sync primitive / join
+};
+
+/// Scheduler interface. pick() runs in scheduler (worker) context; enqueue()
+/// may run in scheduler context, in a ULT under a no-preempt guard, or on an
+/// external thread — never inside a signal handler.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual void init(Runtime& rt) = 0;
+  /// Next thread for this worker, or nullptr if none available.
+  virtual ThreadCtl* pick(Worker& w) = 0;
+  virtual void enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) = 0;
+  /// Best-effort "is any work queued" (used for idle backoff / shutdown).
+  virtual bool has_work() const = 0;
+};
+
+/// Spinlock-protected deque of ready threads, shared building block.
+class ThreadQueue {
+ public:
+  void push_back(ThreadCtl* t) {
+    SpinlockGuard g(lock_);
+    q_.push_back(t);
+  }
+  void push_front(ThreadCtl* t) {
+    SpinlockGuard g(lock_);
+    q_.push_front(t);
+  }
+  ThreadCtl* pop_front() {
+    SpinlockGuard g(lock_);
+    if (q_.empty()) return nullptr;
+    ThreadCtl* t = q_.front();
+    q_.pop_front();
+    return t;
+  }
+  ThreadCtl* pop_back() {
+    SpinlockGuard g(lock_);
+    if (q_.empty()) return nullptr;
+    ThreadCtl* t = q_.back();
+    q_.pop_back();
+    return t;
+  }
+  bool empty() const {
+    SpinlockGuard g(lock_);
+    return q_.empty();
+  }
+  std::size_t size() const {
+    SpinlockGuard g(lock_);
+    return q_.size();
+  }
+
+ private:
+  mutable Spinlock lock_;
+  std::deque<ThreadCtl*> q_;
+};
+
+/// BOLT-like default: each worker prioritizes its own FIFO queue and steals
+/// from a random remote queue when empty (§4.1). Preempted threads go to the
+/// *local* FIFO so every thread is rescheduled within a finite time.
+class WorkStealingScheduler final : public Scheduler {
+ public:
+  void init(Runtime& rt) override;
+  ThreadCtl* pick(Worker& w) override;
+  void enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) override;
+  bool has_work() const override;
+
+ private:
+  Runtime* rt_ = nullptr;
+  std::vector<std::unique_ptr<ThreadQueue>> queues_;  // one per worker
+  std::vector<std::unique_ptr<Xoshiro256>> rngs_;     // one per worker
+};
+
+/// Algorithm 1 from the paper: N_total pools; each active worker first scans
+/// its private pools (rank, rank+N_active, ... < N_private) and then the
+/// shared pools (N_private .. N_total), slicing shared-pool threads
+/// round-robin at the preemption interval.
+class PackingScheduler final : public Scheduler {
+ public:
+  void init(Runtime& rt) override;
+  ThreadCtl* pick(Worker& w) override;
+  void enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) override;
+  bool has_work() const override;
+
+  /// Exposed for unit tests: the private-pool bound N_private given the
+  /// current worker counts (line 6 of Algorithm 1).
+  static int private_bound(int n_total, int n_active) {
+    return n_active * (n_total / n_active);
+  }
+
+ private:
+  Runtime* rt_ = nullptr;
+  int n_total_ = 0;
+  std::vector<std::unique_ptr<ThreadQueue>> pools_;
+  std::vector<std::uint8_t> phase_;  // per-worker private/shared alternation
+  std::vector<int> shared_next_;     // per-worker round-robin shared cursor
+};
+
+/// Two-class priority scheduler (§4.3): high-priority threads (priority 0,
+/// e.g. simulation) in per-worker FIFOs scheduled before low-priority
+/// threads (priority 1, e.g. in situ analysis) kept in per-worker LIFOs "in
+/// order not to hurt data locality during preemption".
+class PriorityScheduler final : public Scheduler {
+ public:
+  void init(Runtime& rt) override;
+  ThreadCtl* pick(Worker& w) override;
+  void enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) override;
+  bool has_work() const override;
+
+ private:
+  Runtime* rt_ = nullptr;
+  std::vector<std::unique_ptr<ThreadQueue>> high_;  // FIFO per worker
+  std::vector<std::unique_ptr<ThreadQueue>> low_;   // LIFO per worker
+  std::vector<std::unique_ptr<Xoshiro256>> rngs_;
+};
+
+}  // namespace lpt

@@ -1,0 +1,143 @@
+#include "runtime/signals.hpp"
+
+#include <pthread.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "runtime/internal.hpp"
+
+namespace lpt::signals {
+
+int preempt_signo() { return SIGRTMIN; }
+int resume_signo() { return SIGRTMIN + 1; }
+
+namespace {
+
+/// One eligible check used by forwarding: the worker is running a thread
+/// that wants implicit preemption. Benign races: a stale positive costs one
+/// wasted signal, a stale negative delays that worker one interval.
+bool eligible(Runtime* rt, int rank) {
+  Worker& w = rt->worker(rank);
+  return !w.parked.load(std::memory_order_relaxed) &&
+         w.current_preempt.load(std::memory_order_relaxed) !=
+             static_cast<std::uint8_t>(Preempt::None);
+}
+
+/// Chain / one-to-all propagation (§3.2.2), run inside the handler *before*
+/// any context switch so the chain never stalls behind a preempted thread.
+void forward(Runtime* rt, int my_rank, int initiator) {
+  const TimerKind tk = rt->options().timer;
+  const int n = rt->num_workers();
+  if (tk == TimerKind::ProcessOneToAll) {
+    if (my_rank != initiator) return;  // only the initiator fans out
+    for (int r = 0; r < n; ++r) {
+      if (r == my_rank) continue;
+      if (eligible(rt, r)) send_preempt(rt->worker(r), initiator);
+    }
+  } else if (tk == TimerKind::ProcessChain) {
+    // Forward to at most one next eligible worker; stop before wrapping to
+    // the initiator so each tick interrupts every eligible worker once.
+    for (int step = 1; step < n; ++step) {
+      const int r = (my_rank + step) % n;
+      if (r == initiator) break;
+      if (eligible(rt, r)) {
+        send_preempt(rt->worker(r), initiator);
+        break;
+      }
+    }
+  }
+}
+
+void preempt_handler(int /*signo*/, siginfo_t* si, void* /*uctx*/) {
+  const int saved_errno = errno;
+  Runtime* rt = detail::runtime_instance();
+  if (rt == nullptr) {
+    errno = saved_errno;
+    return;
+  }
+
+  WorkerTls* tls = worker_tls();
+  Worker* w = tls->worker;
+
+  const int initiator = si != nullptr ? si->si_value.sival_int : -1;
+  if (w != nullptr && initiator >= 0) forward(rt, w->rank, initiator);
+
+  if (w == nullptr || !tls->in_ult) {
+    errno = saved_errno;
+    return;
+  }
+  ThreadCtl* t = w->current_ult.load(std::memory_order_relaxed);
+  if (t == nullptr || t->preempt == Preempt::None) {
+    errno = saved_errno;
+    return;
+  }
+  if (t->no_preempt_depth > 0) {
+    t->preempt_pending = true;
+    errno = saved_errno;
+    return;
+  }
+
+  if (t->preempt == Preempt::SignalYield)
+    detail::handler_signal_yield(w, t);
+  else
+    detail::handler_klt_switch(rt, w, t);
+
+  errno = saved_errno;
+}
+
+/// The resume signal only needs to interrupt sigsuspend; the wake token is
+/// the KltCtl::sig_resume flag set by the waker.
+void resume_handler(int /*signo*/) {}
+
+}  // namespace
+
+void install_handlers() {
+  static bool installed = [] {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_sigaction = &preempt_handler;
+    sigemptyset(&sa.sa_mask);
+    // SA_RESTART per §3.5.1; no SA_ONSTACK — the frame must live on the ULT
+    // stack so it suspends and resumes with the thread.
+    sa.sa_flags = SA_SIGINFO | SA_RESTART;
+    LPT_CHECK(sigaction(preempt_signo(), &sa, nullptr) == 0);
+
+    struct sigaction sr;
+    std::memset(&sr, 0, sizeof(sr));
+    sr.sa_handler = &resume_handler;
+    sigemptyset(&sr.sa_mask);
+    sr.sa_flags = SA_RESTART;
+    LPT_CHECK(sigaction(resume_signo(), &sr, nullptr) == 0);
+    return true;
+  }();
+  (void)installed;
+}
+
+void block_runtime_signals() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, preempt_signo());
+  sigaddset(&set, resume_signo());
+  pthread_sigmask(SIG_BLOCK, &set, nullptr);
+}
+
+void unblock_preempt() {
+  sigset_t set;
+  sigemptyset(&set);
+  sigaddset(&set, preempt_signo());
+  pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
+}
+
+void send_preempt(Worker& w, int initiator_rank) {
+  KltCtl* k = w.current_klt.load(std::memory_order_acquire);
+  if (k == nullptr) return;
+  sigval v;
+  v.sival_int = initiator_rank;
+  // pthread_sigqueue is a thin rt_tgsigqueueinfo wrapper; safe from handlers.
+  pthread_sigqueue(k->pthread, preempt_signo(), v);
+}
+
+}  // namespace lpt::signals

@@ -1,0 +1,162 @@
+#include "runtime/sync.hpp"
+
+#include "common/assert.hpp"
+#include "common/cpu.hpp"
+#include "runtime/internal.hpp"
+
+namespace lpt {
+
+namespace {
+
+ThreadCtl* require_ult(const char* what) {
+  ThreadCtl* self = detail::current_ult_or_null();
+  LPT_CHECK_MSG(self != nullptr, what);
+  return self;
+}
+
+void make_ready(ThreadCtl* t) {
+  Runtime* rt = t->rt;
+  t->store_state(ThreadState::kReady);
+  Worker* hint = worker_tls()->worker;  // may be null (external thread)
+  rt->scheduler().enqueue(t, hint, EnqueueKind::kUnblock);
+  rt->notify_work();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+void Mutex::lock() {
+  ThreadCtl* self = require_ult("lpt::Mutex::lock outside ULT context");
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  if (!locked_) {
+    locked_ = true;
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return;
+  }
+  waiters_.push_back(self);
+  // Direct handoff: unlock() keeps `locked_` set and wakes us as the owner.
+  detail::suspend_block(self, &guard_, nullptr);
+  detail::end_no_preempt(self);
+}
+
+bool Mutex::try_lock() {
+  ThreadCtl* self = require_ult("lpt::Mutex::try_lock outside ULT context");
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  const bool got = !locked_;
+  if (got) locked_ = true;
+  guard_.unlock();
+  detail::end_no_preempt(self);
+  return got;
+}
+
+void Mutex::unlock() {
+  // Callable from ULT context and from the scheduler (condvar-wait release).
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  LPT_CHECK_MSG(locked_, "unlock of unowned lpt::Mutex");
+  if (waiters_.empty()) {
+    locked_ = false;
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return;
+  }
+  ThreadCtl* next = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  guard_.unlock();  // `locked_` stays true: ownership passes to `next`
+  make_ready(next);
+  detail::end_no_preempt(self);
+}
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+void CondVar::wait(Mutex& m) {
+  ThreadCtl* self = require_ult("lpt::CondVar::wait outside ULT context");
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  waiters_.push_back(self);
+  // The scheduler releases guard_ and *then* m after our context is saved,
+  // so a signaler can neither miss us nor wake us before we are suspended.
+  detail::suspend_block(self, &guard_, &m);
+  detail::end_no_preempt(self);
+  m.lock();
+}
+
+void CondVar::notify_one() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  ThreadCtl* t = nullptr;
+  {
+    SpinlockGuard g(guard_);
+    if (!waiters_.empty()) {
+      t = waiters_.front();
+      waiters_.erase(waiters_.begin());
+    }
+  }
+  if (t != nullptr) make_ready(t);
+  detail::end_no_preempt(self);
+}
+
+void CondVar::notify_all() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  std::vector<ThreadCtl*> ts;
+  {
+    SpinlockGuard g(guard_);
+    ts.swap(waiters_);
+  }
+  for (ThreadCtl* t : ts) make_ready(t);
+  detail::end_no_preempt(self);
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+Barrier::Barrier(int parties) : parties_(parties) {
+  LPT_CHECK(parties >= 1);
+  waiters_.reserve(parties);
+}
+
+void Barrier::arrive_and_wait() {
+  ThreadCtl* self = require_ult("lpt::Barrier outside ULT context");
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  if (++arrived_ == parties_) {
+    arrived_ = 0;
+    ++generation_;
+    std::vector<ThreadCtl*> ts;
+    ts.swap(waiters_);
+    guard_.unlock();
+    for (ThreadCtl* t : ts) make_ready(t);
+    detail::end_no_preempt(self);
+    return;
+  }
+  waiters_.push_back(self);
+  detail::suspend_block(self, &guard_, nullptr);
+  detail::end_no_preempt(self);
+}
+
+// ---------------------------------------------------------------------------
+// BusyFlag
+// ---------------------------------------------------------------------------
+
+void BusyFlag::wait(WaitMode mode) const {
+  while (!is_set()) {
+    if (mode == WaitMode::kSpinWithYield) {
+      this_thread::yield();
+    } else {
+      for (int i = 0; i < 64; ++i) cpu_pause();
+    }
+  }
+}
+
+}  // namespace lpt

@@ -1,0 +1,84 @@
+// ULT-aware synchronization primitives. A blocked ULT suspends to its
+// worker's scheduler (so the core keeps doing useful work) instead of
+// blocking the kernel thread — one of the "lightweight synchronization
+// primitives" benefits the paper attributes to M:N threads (§3.3).
+//
+// All primitives may only be used from ULT context. Internal spinlocks are
+// held under NoPreemptGuard so a preemption can never strand a lock (§3.5.3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/spinlock.hpp"
+
+namespace lpt {
+
+struct ThreadCtl;
+
+/// Mutual exclusion with cooperative blocking and direct handoff.
+class Mutex {
+ public:
+  void lock();
+  bool try_lock();
+  void unlock();
+
+ private:
+  friend class CondVar;
+  Spinlock guard_;
+  bool locked_ = false;
+  std::vector<ThreadCtl*> waiters_;
+};
+
+/// Condition variable over lpt::Mutex.
+class CondVar {
+ public:
+  /// Atomically release `m` and block; re-acquires `m` before returning.
+  void wait(Mutex& m);
+  void notify_one();
+  void notify_all();
+
+ private:
+  Spinlock guard_;
+  std::vector<ThreadCtl*> waiters_;
+};
+
+/// Cooperative barrier for a fixed number of ULT participants.
+class Barrier {
+ public:
+  explicit Barrier(int parties);
+  /// Blocks until all parties arrive; the last arriver releases the rest.
+  void arrive_and_wait();
+
+ private:
+  Spinlock guard_;
+  const int parties_;
+  int arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  std::vector<ThreadCtl*> waiters_;
+};
+
+/// A memory flag with *busy-wait* semantics — the synchronization pattern of
+/// OpenMP-parallel Intel MKL that deadlocks on nonpreemptive M:N threads
+/// (§4.1). `WaitMode` selects the paper's three behaviours:
+///   kSpin           pure busy loop: needs implicit preemption to be safe
+///   kSpinWithYield  the "reverse-engineered MKL" hack: explicit yield in
+///                   the loop, works on nonpreemptive threads
+class BusyFlag {
+ public:
+  enum class WaitMode { kSpin, kSpinWithYield };
+
+  void set() { flag_.store(1, std::memory_order_release); }
+  void clear() { flag_.store(0, std::memory_order_release); }
+  bool is_set() const { return flag_.load(std::memory_order_acquire) != 0; }
+
+  /// Busy-wait until set. With kSpin, progress relies on the caller being
+  /// implicitly preemptible (or on spare cores).
+  void wait(WaitMode mode) const;
+
+ private:
+  std::atomic<std::uint32_t> flag_{0};
+};
+
+}  // namespace lpt

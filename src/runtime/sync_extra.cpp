@@ -1,0 +1,253 @@
+#include "runtime/sync_extra.hpp"
+
+#include <climits>
+
+#include "common/assert.hpp"
+#include "runtime/internal.hpp"
+
+namespace lpt {
+
+namespace {
+
+ThreadCtl* require_ult(const char* what) {
+  ThreadCtl* self = detail::current_ult_or_null();
+  LPT_CHECK_MSG(self != nullptr, what);
+  return self;
+}
+
+void make_ready(ThreadCtl* t) {
+  Runtime* rt = t->rt;
+  t->store_state(ThreadState::kReady);
+  rt->scheduler().enqueue(t, worker_tls()->worker, EnqueueKind::kUnblock);
+  rt->notify_work();
+}
+
+void make_ready_all(std::vector<ThreadCtl*>& ts) {
+  for (ThreadCtl* t : ts) make_ready(t);
+  ts.clear();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+void RwLock::lock_shared() {
+  ThreadCtl* self = require_ult("RwLock::lock_shared outside ULT context");
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  // Writer preference: readers queue behind any waiting writer.
+  if (!writer_ && waiting_writers_.empty()) {
+    ++readers_;
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return;
+  }
+  waiting_readers_.push_back(self);
+  detail::suspend_block(self, &guard_, nullptr);
+  detail::end_no_preempt(self);
+  // The releaser incremented readers_ on our behalf (direct handoff).
+}
+
+void RwLock::unlock_shared() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  LPT_CHECK_MSG(readers_ > 0, "unlock_shared without shared lock");
+  --readers_;
+  ThreadCtl* writer_next = nullptr;
+  if (readers_ == 0 && !waiting_writers_.empty()) {
+    writer_next = waiting_writers_.front();
+    waiting_writers_.erase(waiting_writers_.begin());
+    writer_ = true;  // handoff
+  }
+  guard_.unlock();
+  if (writer_next != nullptr) make_ready(writer_next);
+  detail::end_no_preempt(self);
+}
+
+void RwLock::lock() {
+  ThreadCtl* self = require_ult("RwLock::lock outside ULT context");
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  if (!writer_ && readers_ == 0) {
+    writer_ = true;
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return;
+  }
+  waiting_writers_.push_back(self);
+  detail::suspend_block(self, &guard_, nullptr);
+  detail::end_no_preempt(self);
+}
+
+void RwLock::unlock() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  LPT_CHECK_MSG(writer_, "RwLock::unlock without write lock");
+  ThreadCtl* writer_next = nullptr;
+  std::vector<ThreadCtl*> readers_next;
+  if (!waiting_writers_.empty()) {
+    writer_next = waiting_writers_.front();
+    waiting_writers_.erase(waiting_writers_.begin());
+    // writer_ stays true: handoff to the next writer.
+  } else {
+    writer_ = false;
+    readers_ += static_cast<int>(waiting_readers_.size());
+    readers_next.swap(waiting_readers_);
+  }
+  guard_.unlock();
+  if (writer_next != nullptr) make_ready(writer_next);
+  make_ready_all(readers_next);
+  detail::end_no_preempt(self);
+}
+
+// ---------------------------------------------------------------------------
+// Semaphore
+// ---------------------------------------------------------------------------
+
+void Semaphore::acquire() {
+  ThreadCtl* self = require_ult("Semaphore::acquire outside ULT context");
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  if (count_ > 0) {
+    --count_;
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return;
+  }
+  waiters_.push_back(self);
+  detail::suspend_block(self, &guard_, nullptr);
+  detail::end_no_preempt(self);
+  // Direct handoff: release() consumed a unit on our behalf.
+}
+
+bool Semaphore::try_acquire() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  const bool got = count_ > 0;
+  if (got) --count_;
+  guard_.unlock();
+  detail::end_no_preempt(self);
+  return got;
+}
+
+void Semaphore::release(int n) {
+  LPT_CHECK(n >= 1);
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  std::vector<ThreadCtl*> to_wake;
+  {
+    SpinlockGuard g(guard_);
+    while (n > 0 && !waiters_.empty()) {
+      to_wake.push_back(waiters_.front());
+      waiters_.erase(waiters_.begin());
+      --n;
+    }
+    count_ += n;
+  }
+  make_ready_all(to_wake);
+  detail::end_no_preempt(self);
+}
+
+// ---------------------------------------------------------------------------
+// Latch
+// ---------------------------------------------------------------------------
+
+void Latch::count_down(int n) {
+  LPT_CHECK(n >= 1);
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  std::vector<ThreadCtl*> to_wake;
+  bool fired = false;
+  {
+    SpinlockGuard g(guard_);
+    LPT_CHECK_MSG(remaining_ >= n, "Latch::count_down below zero");
+    remaining_ -= n;
+    if (remaining_ == 0) {
+      fired = true;
+      to_wake.swap(waiters_);
+      done_.store(1, std::memory_order_release);
+    }
+  }
+  if (fired) futex_wake(&done_, INT_MAX);
+  make_ready_all(to_wake);
+  detail::end_no_preempt(self);
+}
+
+void Latch::wait() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  if (self == nullptr) {
+    // External kernel thread: futex on the done word.
+    while (done_.load(std::memory_order_acquire) == 0) futex_wait(&done_, 0);
+    return;
+  }
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  if (done_.load(std::memory_order_acquire) != 0) {
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return;
+  }
+  waiters_.push_back(self);
+  detail::suspend_block(self, &guard_, nullptr);
+  detail::end_no_preempt(self);
+}
+
+// ---------------------------------------------------------------------------
+// WaitGroup
+// ---------------------------------------------------------------------------
+
+void WaitGroup::add(int n) {
+  SpinlockGuard g(guard_);
+  count_ += n;
+  LPT_CHECK_MSG(count_ >= 0, "WaitGroup count went negative");
+}
+
+void WaitGroup::done() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  detail::begin_no_preempt(self);
+  std::vector<ThreadCtl*> to_wake;
+  bool fired = false;
+  {
+    SpinlockGuard g(guard_);
+    LPT_CHECK_MSG(count_ > 0, "WaitGroup::done without matching add");
+    if (--count_ == 0) {
+      fired = true;
+      to_wake.swap(waiters_);
+      zero_epoch_.fetch_add(1, std::memory_order_release);
+    }
+  }
+  if (fired) futex_wake(&zero_epoch_, INT_MAX);
+  make_ready_all(to_wake);
+  detail::end_no_preempt(self);
+}
+
+void WaitGroup::wait() {
+  ThreadCtl* self = detail::current_ult_or_null();
+  if (self == nullptr) {
+    for (;;) {
+      std::uint32_t epoch = zero_epoch_.load(std::memory_order_acquire);
+      {
+        SpinlockGuard g(guard_);
+        if (count_ == 0) return;
+      }
+      futex_wait(&zero_epoch_, epoch);
+    }
+  }
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  if (count_ == 0) {
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return;
+  }
+  waiters_.push_back(self);
+  detail::suspend_block(self, &guard_, nullptr);
+  detail::end_no_preempt(self);
+}
+
+}  // namespace lpt

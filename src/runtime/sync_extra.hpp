@@ -1,0 +1,84 @@
+// Additional ULT-aware synchronization primitives: reader-writer lock,
+// counting semaphore, one-shot latch, and a Go-style wait group. Like the
+// core primitives (sync.hpp) they block cooperatively — the worker keeps
+// executing other threads — and guard their internal spinlocks against
+// preemption (§3.5.3).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/futex.hpp"
+#include "common/spinlock.hpp"
+
+namespace lpt {
+
+struct ThreadCtl;
+
+/// Writer-preferring reader-writer lock for ULTs.
+class RwLock {
+ public:
+  void lock_shared();
+  void unlock_shared();
+  void lock();
+  void unlock();
+
+ private:
+  Spinlock guard_;
+  int readers_ = 0;        ///< active readers
+  bool writer_ = false;    ///< active writer
+  std::vector<ThreadCtl*> waiting_readers_;
+  std::vector<ThreadCtl*> waiting_writers_;
+};
+
+/// Counting semaphore for ULTs.
+class Semaphore {
+ public:
+  explicit Semaphore(int initial) : count_(initial) {}
+  /// Decrement, blocking cooperatively while the count is zero.
+  void acquire();
+  /// Try to decrement without blocking.
+  bool try_acquire();
+  /// Increment and release one waiter if any.
+  void release(int n = 1);
+
+ private:
+  Spinlock guard_;
+  int count_;
+  std::vector<ThreadCtl*> waiters_;
+};
+
+/// One-shot latch: count_down() `count` times releases every waiter.
+/// wait() is also callable from external (non-ULT) kernel threads.
+class Latch {
+ public:
+  explicit Latch(int count) : remaining_(count) {}
+  void count_down(int n = 1);
+  void wait();
+  bool try_wait() const { return done_.load(std::memory_order_acquire) != 0; }
+
+ private:
+  Spinlock guard_;
+  int remaining_;
+  std::atomic<std::uint32_t> done_{0};  // futex word for external waiters
+  std::vector<ThreadCtl*> waiters_;
+};
+
+/// Go-style wait group: add() work, done() it, wait() for the count to hit
+/// zero. wait() is callable from ULTs and external threads; add() must not
+/// race with the count reaching zero (the usual wait-group contract).
+class WaitGroup {
+ public:
+  void add(int n = 1);
+  void done();
+  void wait();
+
+ private:
+  Spinlock guard_;
+  int count_ = 0;
+  std::atomic<std::uint32_t> zero_epoch_{0};  // futex word, bumped at zero
+  std::vector<ThreadCtl*> waiters_;
+};
+
+}  // namespace lpt

@@ -1,0 +1,96 @@
+// User-level thread control block and the public Thread handle.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/spinlock.hpp"
+#include "context/context.hpp"
+#include "context/stack.hpp"
+#include "runtime/options.hpp"
+
+namespace lpt {
+
+class Runtime;
+struct Worker;
+struct KltCtl;
+
+enum class ThreadState : std::uint32_t {
+  kReady,    ///< in a pool, waiting to be scheduled
+  kRunning,  ///< executing on some worker
+  kBlocked,  ///< suspended on a sync primitive or join
+  kFinished, ///< thread function returned
+};
+
+/// Internal per-ULT control block. Owned by the Thread handle (joinable
+/// threads) or by the runtime (detached threads, freed at exit).
+struct ThreadCtl {
+  Runtime* rt = nullptr;
+  Context ctx;
+  Stack stack;
+  std::function<void()> fn;
+
+  Preempt preempt = Preempt::None;
+  int priority = 0;
+  int home_pool = 0;
+
+  std::atomic<std::uint32_t> state{static_cast<std::uint32_t>(ThreadState::kReady)};
+
+  /// Completion flag doubling as a futex word for external joiners.
+  std::atomic<std::uint32_t> done{0};
+  Spinlock waiters_lock;
+  std::vector<ThreadCtl*> waiters;  ///< ULTs blocked in join()
+  bool detached = false;
+
+  /// KLT-switching: while this thread is suspended inside the preemption
+  /// signal handler, the kernel thread it ran on is parked here and must be
+  /// the one that resumes it (its KLT-local state is frozen mid-use, §3.1.2).
+  KltCtl* bound_klt = nullptr;
+
+  /// Number of times this thread was implicitly preempted (for tests/stats).
+  std::atomic<std::uint64_t> preemptions{0};
+
+  /// NoPreemptGuard nesting depth. Written only by the thread itself, read
+  /// by the preemption handler on the same KLT while the thread runs.
+  volatile int no_preempt_depth = 0;
+  /// Set by the handler when preemption was deferred by the guard; the guard
+  /// exit turns it into a voluntary yield.
+  volatile bool preempt_pending = false;
+
+  ThreadState load_state() const {
+    return static_cast<ThreadState>(state.load(std::memory_order_acquire));
+  }
+  void store_state(ThreadState s) {
+    state.store(static_cast<std::uint32_t>(s), std::memory_order_release);
+  }
+};
+
+/// Move-only handle to a spawned ULT. Joins on destruction if still
+/// joinable (std::jthread-style), so a dropped handle cannot leak a running
+/// thread.
+class Thread {
+ public:
+  Thread() = default;
+  explicit Thread(ThreadCtl* ctl) : ctl_(ctl) {}
+  ~Thread();
+  Thread(Thread&& o) noexcept : ctl_(o.ctl_) { o.ctl_ = nullptr; }
+  Thread& operator=(Thread&& o) noexcept;
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  bool joinable() const { return ctl_ != nullptr; }
+
+  /// Wait for completion. Callable from a ULT (blocks cooperatively) or from
+  /// any external kernel thread (blocks on a futex).
+  void join();
+
+  /// Times the thread was implicitly preempted so far.
+  std::uint64_t preemptions() const;
+
+ private:
+  ThreadCtl* ctl_ = nullptr;
+};
+
+}  // namespace lpt

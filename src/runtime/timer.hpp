@@ -1,0 +1,43 @@
+// Preemption timers (§3.2). Two families:
+//
+//  * Monitor-thread timers — a dedicated thread sleeps on CLOCK_MONOTONIC and
+//    delivers preemption signals to worker KLTs. It implements the paper's
+//    four delivery schedules:
+//      PerWorkerAligned       every worker ticks at `interval`, phases
+//                             staggered by interval/N (§3.2.1 "timer
+//                             alignment")
+//      PerWorkerCreationTime  every worker ticks at `interval`, all in phase
+//                             (the naive baseline of Fig 4)
+//      ProcessOneToAll        one tick per interval; the initiating worker's
+//                             handler fans out to every eligible worker
+//      ProcessChain           one tick per interval; handlers forward to at
+//                             most one next eligible worker ("chained
+//                             signals")
+//    Targeting the worker's *current* KLT keeps delivery correct while
+//    KLT-switching remaps workers.
+//
+//  * PosixPerWorker — the paper's literal mechanism: one timer_create(2) per
+//    worker with SIGEV_THREAD_ID (Linux), expirations aligned. The worker
+//    re-arms its timer from scheduler context after a KLT remap.
+#pragma once
+
+#include <ctime>
+#include <memory>
+
+#include "runtime/options.hpp"
+
+namespace lpt {
+
+class Runtime;
+
+class PreemptionTimer {
+ public:
+  virtual ~PreemptionTimer() = default;
+  virtual void start(Runtime& rt) = 0;
+  virtual void stop() = 0;
+
+  /// nullptr for TimerKind::None.
+  static std::unique_ptr<PreemptionTimer> make(TimerKind kind);
+};
+
+}  // namespace lpt

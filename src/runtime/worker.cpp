@@ -1,0 +1,344 @@
+#include "runtime/worker.hpp"
+
+#include <csignal>
+#include <cstring>
+#include <ctime>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "runtime/internal.hpp"
+#include "runtime/signals.hpp"
+
+namespace lpt {
+
+namespace {
+// Initial-exec TLS: fs-relative access, valid inside signal handlers, no
+// lazy allocation.
+thread_local WorkerTls g_worker_tls __attribute__((tls_model("initial-exec")));
+}  // namespace
+
+__attribute__((noinline)) WorkerTls* worker_tls() {
+  WorkerTls* p = &g_worker_tls;
+  // Opaque to the optimizer so callers cannot cache the result across a
+  // context switch that may move this ULT to another kernel thread.
+  asm volatile("" : "+r"(p));
+  return p;
+}
+
+namespace detail {
+
+ThreadCtl* current_ult_or_null() {
+  WorkerTls* tls = worker_tls();
+  if (tls->worker == nullptr || !tls->in_ult) return nullptr;
+  return tls->worker->current_ult.load(std::memory_order_relaxed);
+}
+
+void begin_no_preempt(ThreadCtl* self) {
+  if (self != nullptr) self->no_preempt_depth = self->no_preempt_depth + 1;
+}
+
+void end_no_preempt(ThreadCtl* self) {
+  if (self == nullptr) return;
+  int d = self->no_preempt_depth - 1;
+  self->no_preempt_depth = d;
+  if (d == 0 && self->preempt_pending) {
+    self->preempt_pending = false;
+    // Turn the deferred preemption into a voluntary yield at this safe point.
+    suspend_yield(self);
+  }
+}
+
+__attribute__((noinline)) void mark_in_ult() { worker_tls()->in_ult = true; }
+
+__attribute__((noinline)) void suspend_yield(ThreadCtl* self) {
+  WorkerTls* tls = worker_tls();
+  Worker* w = tls->worker;
+  LPT_CHECK(w != nullptr && self != nullptr);
+  // Order matters: clear in_ult before writing the post action so a signal
+  // in between is a harmless no-op instead of a post-action clobber.
+  tls->in_ult = false;
+  w->post = PostAction{PostKind::kYield, self, nullptr, nullptr};
+  context_switch(self->ctx, w->sched_ctx);
+  mark_in_ult();
+}
+
+__attribute__((noinline)) void suspend_block(ThreadCtl* self, Spinlock* sl,
+                                             Mutex* m) {
+  WorkerTls* tls = worker_tls();
+  Worker* w = tls->worker;
+  LPT_CHECK(w != nullptr && self != nullptr);
+  tls->in_ult = false;
+  w->post = PostAction{PostKind::kBlock, self, sl, m};
+  context_switch(self->ctx, w->sched_ctx);
+  mark_in_ult();
+}
+
+__attribute__((noinline)) void suspend_exit(ThreadCtl* self) {
+  WorkerTls* tls = worker_tls();
+  Worker* w = tls->worker;
+  LPT_CHECK(w != nullptr && self != nullptr);
+  tls->in_ult = false;
+  self->store_state(ThreadState::kFinished);
+  w->post = PostAction{PostKind::kExit, self, nullptr, nullptr};
+  context_jump(w->sched_ctx);
+}
+
+__attribute__((noinline)) void handler_signal_yield(Worker* w, ThreadCtl* t) {
+  WorkerTls* tls = worker_tls();
+  tls->in_ult = false;
+  w->post = PostAction{PostKind::kPreemptSignalYield, t, nullptr, nullptr};
+  // The signal frame stays live on t's stack across this switch; the signal
+  // itself stays blocked on this KLT until the scheduler unblocks it.
+  context_switch(t->ctx, w->sched_ctx);
+  // Resumed — possibly on a different KLT (the function must be
+  // KLT-independent, which is exactly signal-yield's restriction).
+  mark_in_ult();
+  // Returning unwinds the handler; sigreturn restores t's interrupted state.
+}
+
+__attribute__((noinline)) void handler_klt_switch(Runtime* rt, Worker* w,
+                                                  ThreadCtl* t) {
+  WorkerTls* tls = worker_tls();
+  KltCtl* self = tls->klt;
+  LPT_CHECK(self != nullptr);
+
+  KltCtl* b = rt->klt_pool().try_pop(w->rank);
+  if (b == nullptr) {
+    // No spare KLT: request one and return; this thread keeps running and
+    // retries at the next timer tick (§3.1.2 — the handler must never wait
+    // for pthread_create, which is not async-signal-safe and may hold locks
+    // the interrupted thread owns).
+    rt->klt_creator().request();
+    return;
+  }
+
+  t->bound_klt = self;
+  self->home_worker = w->rank;
+  tls->in_ult = false;
+  w->post = PostAction{PostKind::kPreemptKltSwitch, t, nullptr, nullptr};
+
+  // Hand the worker role to b; it resumes w's scheduler context.
+  b->action = KltAction::kBecomeWorker;
+  b->assign_worker = w;
+  w->current_klt.store(b, std::memory_order_release);
+  w->current_tid.store(b->tid.load(std::memory_order_relaxed),
+                       std::memory_order_release);
+  b->gate.post();
+
+  // Park this KLT *inside the handler*: t's KLT-local state stays frozen
+  // with it until t is rescheduled (Fig 2).
+  if (rt->options().klt_suspend == KltSuspend::Futex) {
+    self->gate.wait();
+  } else {
+    sigset_t wait_mask;
+    sigfillset(&wait_mask);
+    sigdelset(&wait_mask, signals::resume_signo());
+    while (self->sig_resume.exchange(0, std::memory_order_acquire) == 0)
+      sigsuspend(&wait_mask);
+  }
+
+  // Resumed (Fig 3): this KLT now hosts whichever worker rescheduled t.
+  WorkerTls* tls2 = worker_tls();
+  Worker* w2 = self->assign_worker;
+  tls2->worker = w2;
+  tls2->in_ult = true;
+  t->bound_klt = nullptr;
+  // Return unwinds the handler; t continues on its original KLT.
+}
+
+void wake_bound_klt(Runtime* rt, KltCtl* k) {
+  if (rt->options().klt_suspend == KltSuspend::Futex) {
+    k->gate.post();
+  } else {
+    k->sig_resume.store(1, std::memory_order_release);
+    pthread_kill(k->pthread, signals::resume_signo());
+  }
+}
+
+}  // namespace detail
+
+void Worker::scheduler_loop() {
+  int idle_failures = 0;
+  for (;;) {
+    process_post_action();
+    maybe_rearm_posix_timer();
+    if (rt->shutting_down() && !rt->scheduler().has_work()) break;
+    if (rank >= rt->active_workers() && !rt->shutting_down()) {
+      park_for_packing();
+      continue;
+    }
+    ThreadCtl* t = rt->scheduler().pick(*this);
+    if (t == nullptr) {
+      idle_backoff(idle_failures);
+      continue;
+    }
+    idle_failures = 0;
+    if (t->bound_klt != nullptr)
+      run_resume_bound(t);
+    else
+      run(t);
+  }
+
+  if (posix_timer_armed) {
+    timer_delete(posix_timer);
+    posix_timer_armed = false;
+  }
+
+  // Return control to the hosting KLT's parking loop; it exits klt_main.
+  KltCtl* k = worker_tls()->klt;
+  k->native_op = KltNativeOp::kExit;
+  context_switch(sched_ctx, k->native_ctx);
+  LPT_CHECK_MSG(false, "worker scheduler context resumed after exit");
+}
+
+void Worker::run(ThreadCtl* t) {
+  n_scheduled.fetch_add(1, std::memory_order_relaxed);
+  t->store_state(ThreadState::kRunning);
+  current_ult.store(t, std::memory_order_release);
+  current_preempt.store(static_cast<std::uint8_t>(t->preempt),
+                        std::memory_order_release);
+  context_switch(sched_ctx, t->ctx);
+  // Back in scheduler context; the post action says why.
+}
+
+void Worker::run_resume_bound(ThreadCtl* t) {
+  // Resume protocol (Fig 3): t must continue on its bound KLT x; this
+  // worker's scheduler context is saved, x is woken *after* we are off the
+  // scheduler stack (on our KLT's parking stack), and our KLT returns to the
+  // pool.
+  KltCtl* x = t->bound_klt;
+  KltCtl* me = worker_tls()->klt;
+  LPT_CHECK(x != nullptr && me != nullptr && x != me);
+
+  n_scheduled.fetch_add(1, std::memory_order_relaxed);
+  t->store_state(ThreadState::kRunning);
+  current_ult.store(t, std::memory_order_release);
+  current_preempt.store(static_cast<std::uint8_t>(t->preempt),
+                        std::memory_order_release);
+  current_klt.store(x, std::memory_order_release);
+  current_tid.store(x->tid.load(std::memory_order_relaxed),
+                    std::memory_order_release);
+  // The resumed thread runs on x until its next scheduling point; a POSIX
+  // per-worker timer must follow it there or it would tick a parked KLT.
+  maybe_rearm_posix_timer(x->tid.load(std::memory_order_relaxed));
+
+  x->action = KltAction::kResumeUlt;
+  x->assign_worker = this;
+
+  me->pending_wake = x;
+  me->pending_wake_in_handler = true;
+  me->native_op = KltNativeOp::kPark;
+  context_switch(sched_ctx, me->native_ctx);
+  // Scheduler context resumed later by whichever KLT hosts this worker next.
+}
+
+void Worker::process_post_action() {
+  PostAction a = post;
+  post = PostAction{};
+  if (a.kind == PostKind::kNone) return;
+
+  auto clear_current = [&] {
+    current_ult.store(nullptr, std::memory_order_release);
+    current_preempt.store(static_cast<std::uint8_t>(Preempt::None),
+                          std::memory_order_release);
+  };
+
+  switch (a.kind) {
+    case PostKind::kNone:
+      break;
+    case PostKind::kYield:
+      clear_current();
+      a.thread->store_state(ThreadState::kReady);
+      rt->scheduler().enqueue(a.thread, this, EnqueueKind::kYield);
+      rt->notify_work();
+      break;
+    case PostKind::kPreemptSignalYield:
+      clear_current();
+      n_preempt_signal_yield.fetch_add(1, std::memory_order_relaxed);
+      a.thread->preemptions.fetch_add(1, std::memory_order_relaxed);
+      a.thread->store_state(ThreadState::kReady);
+      rt->scheduler().enqueue(a.thread, this, EnqueueKind::kPreempted);
+      rt->notify_work();
+      // The handler switched away with the preempt signal still blocked on
+      // this KLT; re-enable it so further threads here can be preempted
+      // while earlier ones are suspended mid-handler (§3.1.1).
+      signals::unblock_preempt();
+      break;
+    case PostKind::kPreemptKltSwitch:
+      clear_current();
+      n_preempt_klt_switch.fetch_add(1, std::memory_order_relaxed);
+      a.thread->preemptions.fetch_add(1, std::memory_order_relaxed);
+      a.thread->store_state(ThreadState::kReady);
+      // "as if it had called a yield function" (Fig 2c).
+      rt->scheduler().enqueue(a.thread, this, EnqueueKind::kPreempted);
+      rt->notify_work();
+      break;
+    case PostKind::kBlock:
+      clear_current();
+      a.thread->store_state(ThreadState::kBlocked);
+      // Only now — with the context fully saved — may others see the thread.
+      if (a.release_lock != nullptr) a.release_lock->unlock();
+      if (a.release_mutex != nullptr) a.release_mutex->unlock();
+      break;
+    case PostKind::kExit:
+      clear_current();
+      rt->finalize_thread(a.thread);
+      break;
+  }
+}
+
+void Worker::idle_backoff(int& failures) {
+  ++failures;
+  if (failures < 64) {
+    for (int i = 0; i < 32; ++i) cpu_pause();
+    return;
+  }
+  std::uint32_t seq = rt->work_seq();
+  if (rt->scheduler().has_work() || rt->shutting_down()) return;
+  rt->idle_wait(seq);
+}
+
+void Worker::park_for_packing() {
+  parked.store(true, std::memory_order_release);
+  while (rank >= rt->active_workers() && !rt->shutting_down()) {
+    std::uint32_t v = wake_word.load(std::memory_order_acquire);
+    if (rank < rt->active_workers() || rt->shutting_down()) break;
+    futex_wait(&wake_word, v);
+  }
+  parked.store(false, std::memory_order_release);
+}
+
+void Worker::maybe_rearm_posix_timer(pid_t tid) {
+  if (rt->options().timer != TimerKind::PosixPerWorker) return;
+  if (rt->shutting_down()) return;
+  if (tid == 0) tid = worker_tls()->klt->tid.load(std::memory_order_relaxed);
+  if (posix_timer_armed && posix_timer_tid == tid) return;
+  if (posix_timer_armed) timer_delete(posix_timer);
+
+#ifndef sigev_notify_thread_id
+#define sigev_notify_thread_id _sigev_un._tid
+#endif
+  sigevent sev;
+  std::memset(&sev, 0, sizeof(sev));
+  sev.sigev_notify = SIGEV_THREAD_ID;
+  sev.sigev_signo = signals::preempt_signo();
+  sev.sigev_value.sival_int = -1;  // per-worker delivery: no forwarding
+  sev.sigev_notify_thread_id = tid;
+  LPT_CHECK(timer_create(CLOCK_MONOTONIC, &sev, &posix_timer) == 0);
+
+  const std::int64_t interval_ns = rt->options().interval_us * 1000;
+  const int n = rt->num_workers();
+  itimerspec its{};
+  its.it_interval.tv_sec = interval_ns / 1'000'000'000;
+  its.it_interval.tv_nsec = interval_ns % 1'000'000'000;
+  // Timer alignment (§3.2.1): stagger first expirations across workers.
+  const std::int64_t offset_ns = interval_ns * (rank + 1) / n;
+  its.it_value.tv_sec = offset_ns / 1'000'000'000;
+  its.it_value.tv_nsec = offset_ns % 1'000'000'000;
+  LPT_CHECK(timer_settime(posix_timer, 0, &its, nullptr) == 0);
+
+  posix_timer_armed = true;
+  posix_timer_tid = tid;
+}
+
+}  // namespace lpt

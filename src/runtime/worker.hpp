@@ -1,0 +1,113 @@
+// Worker: the schedulable entity of the M:N model. In signal-yield mode a
+// worker is pinned to one KLT; with KLT-switching the worker is *virtual*
+// and remaps across KLTs (paper Fig 1b).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/cpu.hpp"
+#include "common/futex.hpp"
+#include "common/spinlock.hpp"
+#include "context/context.hpp"
+#include "context/stack.hpp"
+#include "runtime/options.hpp"
+
+#include <ctime>
+
+namespace lpt {
+
+class Runtime;
+struct ThreadCtl;
+struct KltCtl;
+class Mutex;
+
+/// Deferred action a suspending context leaves for the scheduler. The
+/// suspender must not be enqueued/finalized before its register state is
+/// saved, so the *scheduler* performs the action right after the switch.
+enum class PostKind : std::uint8_t {
+  kNone,
+  kYield,              ///< voluntary yield → re-enqueue
+  kPreemptSignalYield, ///< handler switched away → re-enqueue as preempted
+  kPreemptKltSwitch,   ///< handler parked the KLT → re-enqueue as preempted
+  kBlock,              ///< suspended on a sync primitive; finalize locks
+  kExit,               ///< thread function finished; recycle and wake joiners
+};
+
+struct PostAction {
+  PostKind kind = PostKind::kNone;
+  ThreadCtl* thread = nullptr;
+  Spinlock* release_lock = nullptr;  ///< unlocked after the context is saved
+  Mutex* release_mutex = nullptr;    ///< ditto (condvar wait path)
+};
+
+struct alignas(kCacheLineSize) Worker {
+  Runtime* rt = nullptr;
+  int rank = -1;
+
+  /// Scheduler context on a dedicated stack (it must migrate across KLTs
+  /// under KLT-switching, so it cannot live on any pthread's native stack).
+  Context sched_ctx;
+  Stack sched_stack;
+
+  /// Currently running ULT and a raced-but-safe copy of its preemption mode
+  /// (timer threads read the mode without dereferencing the ULT).
+  std::atomic<ThreadCtl*> current_ult{nullptr};
+  std::atomic<std::uint8_t> current_preempt{
+      static_cast<std::uint8_t>(Preempt::None)};
+
+  /// Kernel thread currently hosting this worker, and its tid (targets for
+  /// pthread_kill / SIGEV_THREAD_ID).
+  std::atomic<KltCtl*> current_klt{nullptr};
+  std::atomic<pid_t> current_tid{0};
+
+  PostAction post;
+
+  /// Futex word for idle sleep and thread-packing parking.
+  std::atomic<std::uint32_t> wake_word{0};
+  std::atomic<bool> parked{false};
+
+  /// POSIX per-worker timer (TimerKind::PosixPerWorker).
+  timer_t posix_timer{};
+  bool posix_timer_armed = false;
+  pid_t posix_timer_tid = 0;
+
+  // -- statistics (tests assert on these) --
+  std::atomic<std::uint64_t> n_scheduled{0};
+  std::atomic<std::uint64_t> n_preempt_signal_yield{0};
+  std::atomic<std::uint64_t> n_preempt_klt_switch{0};
+  std::atomic<std::uint64_t> n_steals{0};
+
+  /// Body of the scheduler context: pick/run loop until runtime shutdown.
+  void scheduler_loop();
+
+ private:
+  void run(ThreadCtl* t);
+  void run_resume_bound(ThreadCtl* t);  ///< KLT-switching resume protocol
+  void process_post_action();
+  void idle_backoff(int& failures);
+  void park_for_packing();
+  /// (Re)target the POSIX per-worker timer at `tid` (0 = current host KLT).
+  void maybe_rearm_posix_timer(pid_t tid = 0);
+};
+
+/// Per-KLT runtime state. Accessed from the preemption signal handler, so it
+/// lives in initial-exec TLS (async-signal-safe, no lazy allocation) and is
+/// only reached through the non-inlined accessor below — a ULT may resume on
+/// a different KLT after a switch, and the address must be re-derived.
+struct WorkerTls {
+  Worker* worker = nullptr;
+  KltCtl* klt = nullptr;
+  /// True only while ULT code is running on this KLT (or a handler is about
+  /// to return into it). The handler preempts nothing when false, which
+  /// makes the scheduler's pre-switch window safe by construction.
+  volatile bool in_ult = false;
+  /// NoPreemptGuard nesting depth; handler defers preemption while > 0.
+  volatile int no_preempt_depth = 0;
+  volatile bool preempt_pending = false;
+};
+
+/// Never inlined: re-derives the TLS address every call.
+WorkerTls* worker_tls();
+
+}  // namespace lpt

@@ -1,0 +1,71 @@
+// Cost model of the simulated machines, calibrated to the paper's own
+// measurements (NOT to this container's hardware) — see DESIGN.md §6 for the
+// calibration table and the paper anchors of every number.
+#pragma once
+
+#include <string>
+
+#include "sim/event_queue.hpp"
+
+namespace lpt::sim {
+
+struct CostModel {
+  std::string name;
+  int num_cores = 56;
+  /// Per-core throughput for workload flop→time conversion (GFLOP/s/core,
+  /// achieved DGEMM rate — not peak).
+  double gflops_per_core = 28.0;
+
+  // --- user-level threading ---
+  Time ult_ctx_switch = 75;  ///< §2.1 "about one hundred cycles"
+
+  // --- signal delivery (Fig 4 anchors) ---
+  /// Uncontended handler entry+exit (user + kernel, excluding the lock wait).
+  Time signal_handler = 2'400;
+  /// Kernel critical section serializing concurrent handler invocations;
+  /// sets the slope of the naive per-worker line in Fig 4 (tens of µs mean
+  /// at ~100 simultaneously interrupted workers). Note this must stay below
+  /// interval/num_cores or aligned timers could not sustain the paper's
+  /// 100 µs interval on 56 workers (Fig 6) — only the lock serializes;
+  /// handler bodies run concurrently on their own cores.
+  Time kernel_lock = 1'200;
+  /// Cost for the *sender* to issue pthread_kill ("much cheaper than signal
+  /// handling", §3.2.2).
+  Time pthread_kill = 350;
+
+  // --- KLT suspend/resume (Fig 6 / Table 1 anchors) ---
+  Time futex_wake = 600;             ///< FUTEX_WAKE syscall on the waker
+  Time futex_wakeup_latency = 1'900; ///< parked KLT runnable → running
+  /// Extra cost of the portable sigsuspend/pthread_kill parking (§3.3.1).
+  Time sigsuspend_extra = 3'500;
+  /// Affinity reset + cache-cold penalty when a KLT crosses workers through
+  /// the global pool (§3.3.2); avoided by worker-local pools.
+  Time klt_global_pool_penalty = 2'800;
+  /// Latency for the KLT creator to deliver a new KLT to the pool.
+  Time klt_create_latency = 25'000;
+  /// Residual signal-yield preemption cost beyond the handler itself
+  /// (sigprocmask unblock + scheduler requeue/pop); calibrates Table 1's
+  /// 3.5 µs against the ~2 µs bare interruption.
+  Time sigyield_extra = 450;
+  /// Residual KLT-switching bookkeeping beyond the two futex wake/wakeup
+  /// pairs (worker remap, pool ops); calibrates Table 1's 9.9 µs.
+  Time kltswitch_extra = 2'300;
+
+  // --- 1:1 threads / OS scheduler ---
+  Time os_preempt = 2'800;      ///< Table 1, 1:1 thread preemption
+  Time os_ctx_switch = 1'800;   ///< KLT context switch (sched + state)
+  Time cfs_timeslice = 4'000'000;        ///< ~targeted latency / nr_running
+  Time cfs_balance_period = 4'000'000;   ///< periodic load balancing
+  Time cfs_idle_balance_min = 200'000;   ///< idle balancing reaction window
+  Time cfs_idle_balance_max = 2'000'000;
+  /// OS thread wake-to-run latency (futex wake of a blocked pthread).
+  Time os_wake_latency = 3'000;
+
+  /// ~2-socket Skylake 8180M (56 cores @ 2.5 GHz) — Table 2.
+  static CostModel skylake();
+  /// Xeon Phi 7250 (68 cores @ 1.4 GHz) — Table 2. All CPU-bound costs are
+  /// roughly 5–6x Skylake (Table 1: 15/18/62 µs vs 2.8/3.5/9.9 µs).
+  static CostModel knl();
+};
+
+}  // namespace lpt::sim

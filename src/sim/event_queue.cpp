@@ -1,0 +1,29 @@
+#include "sim/event_queue.hpp"
+
+#include "common/assert.hpp"
+
+namespace lpt::sim {
+
+void EventQueue::schedule(Time t, std::function<void()> fn) {
+  LPT_CHECK_MSG(t >= now_, "event scheduled in the past");
+  heap_.push(Ev{t, seq_++, std::move(fn)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move out via const_cast is UB-adjacent, so
+  // copy the function (events are small) and pop.
+  Ev ev = heap_.top();
+  heap_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run(std::uint64_t limit) {
+  std::uint64_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+}  // namespace lpt::sim

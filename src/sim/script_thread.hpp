@@ -1,0 +1,34 @@
+// A SimThread whose behaviour is a fixed list of actions — the building
+// block for microbenchmark workloads and tests.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/ult_model.hpp"
+
+namespace lpt::sim {
+
+class ScriptThread final : public SimThread {
+ public:
+  explicit ScriptThread(std::vector<SimAction> steps,
+                        std::function<void(SimUltRuntime&)> on_finish = {})
+      : steps_(std::move(steps)), on_finish_(std::move(on_finish)) {}
+
+  SimAction next(SimUltRuntime&) override {
+    if (i_ < steps_.size()) return steps_[i_++];
+    return SimAction::finish();
+  }
+
+  void on_finish(SimUltRuntime& rt) override {
+    if (on_finish_) on_finish_(rt);
+  }
+
+ private:
+  std::vector<SimAction> steps_;
+  std::size_t i_ = 0;
+  std::function<void(SimUltRuntime&)> on_finish_;
+};
+
+}  // namespace lpt::sim

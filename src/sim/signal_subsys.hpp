@@ -1,0 +1,36 @@
+// Kernel signal-delivery model. The paper's Fig 4 behaviour hinges on one
+// mechanism: "calling a signal handler involves taking a lock in the kernel,
+// thus causing lock contention when multiple signals are issued at the same
+// time" (§3.2.1). We model that lock as a single serial resource.
+#pragma once
+
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+
+namespace lpt::sim {
+
+class SignalSubsystem {
+ public:
+  SignalSubsystem(const CostModel& cm) : cm_(cm) {}
+
+  /// A signal is issued at time `t` to some kernel thread. Returns the time
+  /// at which the *handler body* may run on the target: the delivery first
+  /// serializes on the kernel lock, then pays the fixed handler entry cost.
+  /// The interrupted thread is stopped for the whole window [t, result].
+  Time deliver(Time t) {
+    const Time start = t > lock_free_at_ ? t : lock_free_at_;
+    lock_free_at_ = start + cm_.kernel_lock;
+    return start + cm_.signal_handler;
+  }
+
+  /// Interruption time as Fig 4 measures it: stop-to-handler-complete.
+  Time interruption_cost(Time t) { return deliver(t) - t; }
+
+  void reset() { lock_free_at_ = 0; }
+
+ private:
+  const CostModel& cm_;
+  Time lock_free_at_ = 0;
+};
+
+}  // namespace lpt::sim

@@ -1,0 +1,35 @@
+// Timer-strategy models (§3.2) and the Fig 4 interruption-time experiment.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/signal_subsys.hpp"
+
+namespace lpt::sim {
+
+enum class TimerStrategy {
+  kNone,
+  kPerWorkerCreationTime,  ///< naive: all worker timers in phase
+  kPerWorkerAligned,       ///< §3.2.1: expirations staggered by interval/N
+  kProcessOneToAll,        ///< §3.2.2: initiator pthread_kills all eligible
+  kProcessChain,           ///< §3.2.2: handlers forward one-by-one
+};
+
+const char* timer_strategy_name(TimerStrategy s);
+
+/// Reproduces Figure 4: the average time one worker is stopped per timer
+/// interruption, with `workers` all running preemptive threads and a timer
+/// interval of `interval`. Returns per-interruption samples over `ticks`
+/// timer periods.
+Stats measure_interruption_time(const CostModel& cm, TimerStrategy strategy,
+                                int workers, Time interval, int ticks);
+
+/// Per-worker tick schedule used by the ULT runtime model: the k-th tick of
+/// worker w (k starts at 0). Process-wide strategies return the initiator
+/// tick times; forwarding is simulated by the runtime model itself.
+Time worker_tick_time(TimerStrategy strategy, Time interval, int workers,
+                      int worker, std::int64_t k);
+
+}  // namespace lpt::sim

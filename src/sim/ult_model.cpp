@@ -1,0 +1,684 @@
+#include "sim/ult_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace lpt::sim {
+
+// ---------------------------------------------------------------------------
+// SimFlag
+// ---------------------------------------------------------------------------
+
+void SimFlag::set(SimUltRuntime& rt) {
+  if (set_) return;
+  set_ = true;
+  // Spinning waiters notice the store after a cache-propagation beat.
+  for (auto [w, epoch] : spinners_) {
+    rt.eq_.schedule_after(100, [&rt, w, epoch] { rt.flag_set_resume(w, epoch); });
+  }
+  spinners_.clear();
+  // Blocked waiters are re-enqueued (OS wake latency in OS mode; scheduler
+  // handoff latency in M:N mode is part of the dispatch cost).
+  std::vector<SimThread*> blocked;
+  blocked.swap(blocked_);
+  for (SimThread* t : blocked) {
+    t->has_action = false;  // the wait is over
+    const Time latency = rt.opts_.os_mode ? rt.cm_.os_wake_latency : 0;
+    rt.eq_.schedule_after(latency, [&rt, t] {
+      rt.enqueue_ready(t, t->last_worker, /*preempted=*/false);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction / spawning
+// ---------------------------------------------------------------------------
+
+SimUltRuntime::SimUltRuntime(const CostModel& cm, SimUltOptions opts)
+    : cm_(cm), opts_(opts), sig_(cm), rng_(opts.seed) {
+  LPT_CHECK(opts_.num_workers >= 1);
+  workers_.resize(opts_.num_workers);
+  pools_.resize(opts_.num_workers);
+  low_pools_.resize(opts_.num_workers);
+  n_active_ = opts_.n_active > 0
+                  ? std::min(opts_.n_active, opts_.num_workers)
+                  : opts_.num_workers;
+}
+
+SimUltRuntime::~SimUltRuntime() = default;
+
+SimThread* SimUltRuntime::spawn(std::unique_ptr<SimThread> t) {
+  SimThread* p = t.get();
+  p->id = static_cast<int>(threads_.size());
+  threads_.push_back(std::move(t));
+  enqueue_ready(p, /*hint=*/-1, /*preempted=*/false);
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Ready queues and dispatch
+// ---------------------------------------------------------------------------
+
+int SimUltRuntime::os_pick_core_for(SimThread* t) {
+  if (t->last_worker < 0) {
+    // Fork placement: CFS's select_idle_sibling finds an idle core reliably
+    // for brand-new threads; fall back to random when none is idle.
+    for (int w = 0; w < opts_.num_workers; ++w)
+      if (workers_[w].state == WState::kIdle && pools_[w].empty()) return w;
+    return static_cast<int>(rng_.next_below(workers_.size()));
+  }
+  // Wake placement: the previous core when it is free (select_task_rq's
+  // fast path), otherwise sticky-with-jitter — CFS mostly keeps a waking
+  // thread near its previous core, but wake-time migrations scatter a
+  // fraction of them. That scatter under oversubscription (taskset fewer
+  // cores than threads) is the imbalance source behind the thread-packing
+  // results (§4.2, [25,35]); with one thread per core it never triggers.
+  const int prev = t->last_worker;
+  if (workers_[prev].state == WState::kIdle && pools_[prev].empty()) return prev;
+  if (rng_.next_double() >= 0.3) return prev;
+  return static_cast<int>(rng_.next_below(workers_.size()));
+}
+
+void SimUltRuntime::enqueue_ready(SimThread* t, int hint_worker, bool preempted) {
+  (void)preempted;
+  int pool;
+  if (opts_.os_mode) {
+    pool = os_pick_core_for(t);
+    // CFS enqueue normalization: a new/woken thread joins at the core's
+    // min_vruntime watermark instead of outranking every resident thread.
+    if (t->vruntime < workers_[pool].cfs_min_vr)
+      t->vruntime = workers_[pool].cfs_min_vr;
+  } else if (opts_.sched == SchedPolicy::kPacking) {
+    pool = t->home_pool % opts_.num_workers;
+  } else {
+    pool = hint_worker >= 0 ? hint_worker : t->home_pool % opts_.num_workers;
+  }
+  if (pool < 0) pool += opts_.num_workers;
+
+  if (!opts_.os_mode && opts_.sched == SchedPolicy::kPriority && t->priority > 0)
+    low_pools_[pool].push_back(t);  // LIFO: picked from the back
+  else
+    pools_[pool].push_back(t);
+
+  if (opts_.os_mode) {
+    // Wake the target core if idle.
+    if (workers_[pool].state == WState::kIdle)
+      eq_.schedule_after(cm_.os_ctx_switch, [this, pool] { try_dispatch(pool); });
+  } else {
+    wake_one_idle();
+  }
+}
+
+void SimUltRuntime::wake_one_idle() {
+  // Wake every idle worker: a single wake could land on a worker whose
+  // policy cannot reach the new thread's pool, stranding it forever. The
+  // no-op cost for already-busy workers is just a discarded event.
+  for (int w = 0; w < opts_.num_workers; ++w) {
+    if (workers_[w].state == WState::kIdle && worker_active(w)) {
+      eq_.schedule_after(cm_.ult_ctx_switch, [this, w] { try_dispatch(w); });
+    }
+  }
+}
+
+SimThread* SimUltRuntime::pick(int w) {
+  auto pop_front = [](std::deque<SimThread*>& q) -> SimThread* {
+    if (q.empty()) return nullptr;
+    SimThread* t = q.front();
+    q.pop_front();
+    return t;
+  };
+  auto pop_back = [](std::deque<SimThread*>& q) -> SimThread* {
+    if (q.empty()) return nullptr;
+    SimThread* t = q.back();
+    q.pop_back();
+    return t;
+  };
+  const int n = opts_.num_workers;
+
+  if (opts_.os_mode) {
+    // CFS within a core: least vruntime first.
+    auto& q = pools_[w];
+    if (q.empty()) return nullptr;
+    auto it = std::min_element(q.begin(), q.end(),
+                               [](const SimThread* a, const SimThread* b) {
+                                 return a->vruntime < b->vruntime;
+                               });
+    SimThread* t = *it;
+    q.erase(it);
+    return t;
+  }
+
+  switch (opts_.sched) {
+    case SchedPolicy::kWorkSteal: {
+      if (SimThread* t = pop_front(pools_[w])) return t;
+      // Random victim, then a deterministic sweep so work is never stranded.
+      const int v = static_cast<int>(rng_.next_below(n));
+      if (v != w)
+        if (SimThread* t = pop_front(pools_[v])) return t;
+      for (int step = 1; step < n; ++step)
+        if (SimThread* t = pop_front(pools_[(w + step) % n])) return t;
+      return nullptr;
+    }
+    case SchedPolicy::kPacking: {
+      // Algorithm 1 with the private/shared alternation.
+      const int n_active = n_active_;
+      const int n_private = n_active * (n / n_active);
+      auto pick_private = [&]() -> SimThread* {
+        for (int i = w; i < n_private; i += n_active)
+          if (SimThread* t = pop_front(pools_[i])) return t;
+        return nullptr;
+      };
+      auto pick_shared = [&]() -> SimThread* {
+        // Round-robin over the shared pools ("active workers peek the
+        // shared pools in turn"): a fixed scan order would starve the
+        // higher-indexed shared threads.
+        const int n_shared = n - n_private;
+        if (n_shared <= 0) return nullptr;
+        int& cursor = workers_[w].pack_shared_next;
+        for (int step = 0; step < n_shared; ++step) {
+          const int i = n_private + (cursor + step) % n_shared;
+          if (SimThread* t = pop_front(pools_[i])) {
+            cursor = (i - n_private + 1) % n_shared;
+            return t;
+          }
+        }
+        return nullptr;
+      };
+      // Strict alternation: after running a private thread the next pick
+      // tries shared first, and vice versa — regardless of what the failed
+      // side looked like (Algorithm 1 alternates the two loop halves).
+      auto& phase = workers_[w].pack_phase;
+      SimThread* t;
+      if (phase == 0) {
+        t = pick_private();
+        if (t != nullptr) {
+          phase = 1;
+          return t;
+        }
+        return pick_shared();  // phase stays: next time shared had its turn
+      }
+      t = pick_shared();
+      if (t != nullptr) {
+        phase = 0;
+        return t;
+      }
+      return pick_private();
+    }
+    case SchedPolicy::kPriority: {
+      if (SimThread* t = pop_front(pools_[w])) return t;
+      for (int step = 1; step < n; ++step)
+        if (SimThread* t = pop_front(pools_[(w + step) % n])) return t;
+      if (SimThread* t = pop_back(low_pools_[w])) return t;
+      for (int step = 1; step < n; ++step)
+        if (SimThread* t = pop_back(low_pools_[(w + step) % n])) return t;
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
+void SimUltRuntime::try_dispatch(int w) {
+  WorkerState& ws = workers_[w];
+  if (ws.state != WState::kIdle) return;
+  if (!opts_.os_mode && !worker_active(w)) {
+    ws.state = WState::kParked;
+    return;
+  }
+  SimThread* t = pick(w);
+  if (t == nullptr) {
+    if (opts_.os_mode && !ws.balance_pending && !all_finished()) {
+      // Idle balancing reacts only after a delay (lazy CFS balancing).
+      ws.balance_pending = true;
+      const Time delay =
+          cm_.cfs_idle_balance_min +
+          static_cast<Time>(rng_.next_double() *
+                            static_cast<double>(cm_.cfs_idle_balance_max -
+                                                cm_.cfs_idle_balance_min));
+      eq_.schedule_after(delay, [this, w] { os_idle_balance(w); });
+    }
+    return;
+  }
+
+  ws.state = WState::kRunning;
+  ws.running = t;
+  ws.epoch += 1;
+  t->last_worker = w;
+  if (opts_.os_mode && t->vruntime > ws.cfs_min_vr) ws.cfs_min_vr = t->vruntime;
+
+  Time delay = opts_.os_mode ? cm_.os_ctx_switch : cm_.ult_ctx_switch;
+  delay += t->pending_resume_cost;
+  stat_overhead_ += t->pending_resume_cost;
+  t->pending_resume_cost = 0;
+  if (t->klt_bound) {
+    // The scheduler's KLT returns to the pool as the bound KLT takes over
+    // (Fig 3c: "the previous KLT exits from the scheduler and sleeps").
+    t->klt_bound = false;
+    idle_klts_ += 1;
+  }
+
+  ws.run_start = eq_.now() + delay;
+  const std::uint64_t epoch = ws.epoch;
+  eq_.schedule_after(delay, [this, w, epoch] {
+    if (workers_[w].epoch == epoch && workers_[w].state == WState::kRunning)
+      advance(w);
+  });
+
+  // CFS gives a low-weight (nice'd) thread a proportionally shorter slice;
+  // with runnable competition, cut its slice early instead of waiting for
+  // the next core tick.
+  if (opts_.os_mode && t->weight < 1.0 && !pools_[w].empty()) {
+    const Time short_slice =
+        delay + static_cast<Time>(static_cast<double>(cm_.cfs_timeslice) *
+                                  t->weight);
+    eq_.schedule_after(short_slice, [this, w, epoch] {
+      WorkerState& ws2 = workers_[w];
+      if (ws2.epoch != epoch) return;
+      if (ws2.state != WState::kRunning && ws2.state != WState::kSpinning)
+        return;
+      if (pools_[w].empty()) return;
+      stat_overhead_ += cm_.os_preempt;
+      preempt_running(w, eq_.now() + cm_.os_preempt);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Action engine
+// ---------------------------------------------------------------------------
+
+void SimUltRuntime::advance(int w) {
+  WorkerState& ws = workers_[w];
+  SimThread* t = ws.running;
+  LPT_CHECK(ws.state == WState::kRunning && t != nullptr);
+
+  for (;;) {
+    if (!t->has_action) {
+      t->action = t->next(*this);
+      t->has_action = true;
+      if (t->action.kind == SimAction::Kind::kCompute)
+        t->remaining = t->action.duration;
+    }
+    switch (t->action.kind) {
+      case SimAction::Kind::kCompute: {
+        if (t->remaining <= 0) {
+          t->has_action = false;
+          continue;
+        }
+        begin_compute(w);
+        return;
+      }
+      case SimAction::Kind::kYield: {
+        t->has_action = false;
+        ws.state = WState::kIdle;
+        ws.running = nullptr;
+        ws.epoch += 1;
+        enqueue_ready(t, w, /*preempted=*/false);
+        try_dispatch(w);
+        return;
+      }
+      case SimAction::Kind::kWaitFlag: {
+        SimFlag* f = t->action.flag;
+        if (f->is_set()) {
+          t->has_action = false;
+          continue;
+        }
+        switch (t->action.wait_mode) {
+          case WaitMode::kSpinYield: {
+            // Yielding spin loop: the worker is free to run anything else
+            // between checks, so the observable behaviour equals parking on
+            // the flag (modelled that way — simulating every yield/recheck
+            // cycle would cost one event per ~150 ns of simulated time).
+            f->blocked_.push_back(t);
+            ws.state = WState::kIdle;
+            ws.running = nullptr;
+            ws.epoch += 1;
+            try_dispatch(w);
+            return;
+          }
+          case WaitMode::kSpin: {
+            // Occupy the worker. Without preemption (or OS slicing) this
+            // worker is wedged until the flag is set — the §4.1 hazard.
+            ws.state = WState::kSpinning;
+            ws.run_start = eq_.now();
+            f->spinners_.emplace_back(w, ws.epoch);
+            return;
+          }
+          case WaitMode::kBlock: {
+            // Leave the core; SimFlag::set re-enqueues us.
+            f->blocked_.push_back(t);
+            ws.state = WState::kIdle;
+            ws.running = nullptr;
+            ws.epoch += 1;
+            try_dispatch(w);
+            return;
+          }
+        }
+        return;  // unreachable
+      }
+      case SimAction::Kind::kFinish: {
+        t->has_action = false;
+        ws.state = WState::kIdle;
+        ws.running = nullptr;
+        ws.epoch += 1;
+        finished_ += 1;
+        last_finish_ = eq_.now();
+        t->on_finish(*this);
+        try_dispatch(w);
+        return;
+      }
+    }
+  }
+}
+
+void SimUltRuntime::begin_compute(int w) {
+  WorkerState& ws = workers_[w];
+  SimThread* t = ws.running;
+  ws.run_start = eq_.now();
+  const std::uint64_t epoch = ws.epoch;
+  eq_.schedule_after(t->remaining, [this, w, epoch] { complete_compute(w, epoch); });
+}
+
+void SimUltRuntime::complete_compute(int w, std::uint64_t epoch) {
+  WorkerState& ws = workers_[w];
+  if (ws.epoch != epoch || ws.state != WState::kRunning) return;
+  SimThread* t = ws.running;
+  if (opts_.os_mode && t->weight > 0)
+    t->vruntime += static_cast<double>(t->remaining) / t->weight;
+  t->remaining = 0;
+  t->has_action = false;
+  advance(w);
+}
+
+void SimUltRuntime::flag_set_resume(int w, std::uint64_t epoch) {
+  WorkerState& ws = workers_[w];
+  if (ws.epoch != epoch || ws.state != WState::kSpinning) return;
+  SimThread* t = ws.running;
+  t->has_action = false;  // wait satisfied
+  ws.state = WState::kRunning;
+  ws.epoch += 1;
+  advance(w);
+}
+
+void SimUltRuntime::pause_compute(int w, Time lost) {
+  // The running (non-preempted) thread is stopped for `lost` ns by a signal
+  // handler / OS tick; shift its completion.
+  WorkerState& ws = workers_[w];
+  SimThread* t = ws.running;
+  if (ws.state == WState::kRunning && t->action.kind == SimAction::Kind::kCompute) {
+    const Time elapsed = std::max<Time>(0, eq_.now() - ws.run_start);
+    t->remaining = std::max<Time>(0, t->remaining - elapsed);
+    ws.epoch += 1;  // invalidate the old completion event
+    const std::uint64_t epoch = ws.epoch;
+    eq_.schedule_after(lost, [this, w, epoch] {
+      if (workers_[w].epoch == epoch && workers_[w].state == WState::kRunning)
+        begin_compute(w);
+    });
+  }
+  // Spinning threads just lose the time; nothing to reschedule.
+}
+
+// ---------------------------------------------------------------------------
+// Preemption timers
+// ---------------------------------------------------------------------------
+
+bool SimUltRuntime::thread_preemptible(const SimThread* t) const {
+  if (t == nullptr) return false;
+  if (opts_.os_mode) return true;  // the OS preempts everyone
+  if (opts_.timer_interruption_only) return false;
+  return t->preempt != SimPreempt::kNone;
+}
+
+Time SimUltRuntime::suspend_cost(const SimThread* t) {
+  if (t->preempt == SimPreempt::kSignalYield)
+    return 2 * cm_.ult_ctx_switch + cm_.sigyield_extra;
+  // KLT-switching: wake the replacement KLT; the scheduler resumes on it.
+  Time c = cm_.futex_wake + cm_.futex_wakeup_latency + cm_.kltswitch_extra;
+  if (!opts_.local_klt_pool) c += cm_.klt_global_pool_penalty / 2;
+  return c;
+}
+
+Time SimUltRuntime::resume_cost(const SimThread* t) {
+  if (t->preempt == SimPreempt::kSignalYield) return 0;
+  Time c = opts_.klt_suspend == KltSuspendModel::kFutex
+               ? cm_.futex_wake + cm_.futex_wakeup_latency
+               : cm_.pthread_kill + cm_.signal_handler + cm_.sigsuspend_extra;
+  if (!opts_.local_klt_pool) c += cm_.klt_global_pool_penalty / 2;
+  return c;
+}
+
+void SimUltRuntime::schedule_worker_tick(int w) {
+  WorkerState& ws = workers_[w];
+  const Time t = opts_.os_mode
+                     ? (ws.next_tick + 1) * cm_.cfs_timeslice +
+                           static_cast<Time>(w) * cm_.cfs_timeslice /
+                               opts_.num_workers
+                     : worker_tick_time(opts_.timer, opts_.interval,
+                                        opts_.num_workers, w, ws.next_tick);
+  ws.next_tick += 1;
+  eq_.schedule(std::max(t, eq_.now()), [this, w, t] {
+    if (all_finished()) return;
+    handle_tick(w, t, /*initiator=*/-1);
+    schedule_worker_tick(w);
+  });
+}
+
+void SimUltRuntime::schedule_process_tick(std::int64_t k) {
+  const Time t = (k + 1) * opts_.interval;
+  eq_.schedule(std::max(t, eq_.now()), [this, k] {
+    if (all_finished()) return;
+    // Find the first eligible worker and make it the initiator; none
+    // eligible → no signals this period (§3.2.2).
+    for (int w = 0; w < opts_.num_workers; ++w) {
+      const WorkerState& ws = workers_[w];
+      if ((ws.state == WState::kRunning || ws.state == WState::kSpinning) &&
+          ws.running != nullptr && ws.running->preempt != SimPreempt::kNone) {
+        handle_tick(w, eq_.now(), /*initiator=*/w);
+        break;
+      }
+    }
+    schedule_process_tick(k + 1);
+  });
+}
+
+void SimUltRuntime::handle_tick(int w, Time issue_time, int initiator) {
+  (void)issue_time;
+  WorkerState& ws = workers_[w];
+
+  if (opts_.os_mode) {
+    // CFS slice tick: preempt only when local runnable threads wait.
+    const bool occupied =
+        ws.state == WState::kRunning || ws.state == WState::kSpinning;
+    if (!occupied) return;
+    stat_overhead_ += cm_.os_preempt;
+    if (!pools_[w].empty()) {
+      preempt_running(w, eq_.now() + cm_.os_preempt);
+    } else {
+      pause_compute(w, cm_.os_preempt);
+    }
+    return;
+  }
+
+  // M:N mode: the signal delivery serializes on the kernel lock.
+  const Time handler_done = sig_.deliver(eq_.now());
+
+  // Chain / one-to-all forwarding happens from inside the handler, before
+  // any context switch (so a preempted initiator cannot stall the chain);
+  // the pthread_kill calls extend this worker's own interruption window.
+  Time forward_cost = 0;
+  if (initiator >= 0) {
+    const int n = opts_.num_workers;
+    auto eligible = [&](int r) {
+      const WorkerState& rs = workers_[r];
+      return (rs.state == WState::kRunning || rs.state == WState::kSpinning) &&
+             rs.running != nullptr && rs.running->preempt != SimPreempt::kNone;
+    };
+    if (opts_.timer == TimerStrategy::kProcessOneToAll && w == initiator) {
+      Time issue = handler_done;
+      for (int step = 1; step < n; ++step) {
+        const int r = (w + step) % n;
+        if (!eligible(r)) continue;
+        issue += cm_.pthread_kill;
+        forward_cost += cm_.pthread_kill;
+        eq_.schedule(issue, [this, r, initiator] {
+          handle_tick(r, eq_.now(), initiator);
+        });
+      }
+    } else if (opts_.timer == TimerStrategy::kProcessChain) {
+      for (int step = 1; step < n; ++step) {
+        const int r = (w + step) % n;
+        if (r == initiator) break;
+        if (!eligible(r)) continue;
+        const Time issue = handler_done + cm_.pthread_kill;
+        forward_cost += cm_.pthread_kill;
+        eq_.schedule(issue, [this, r, initiator] {
+          handle_tick(r, eq_.now(), initiator);
+        });
+        break;
+      }
+    }
+  }
+
+  const Time effective_done = handler_done + forward_cost;
+  const Time lost = effective_done - eq_.now();
+  const bool occupied =
+      ws.state == WState::kRunning || ws.state == WState::kSpinning;
+  if (!occupied) return;
+  stat_overhead_ += lost;
+  if (thread_preemptible(ws.running)) {
+    preempt_running(w, effective_done);
+  } else {
+    pause_compute(w, lost);
+  }
+}
+
+void SimUltRuntime::preempt_running(int w, Time handler_done) {
+  WorkerState& ws = workers_[w];
+  SimThread* t = ws.running;
+  LPT_CHECK(t != nullptr);
+
+  if (!opts_.os_mode && t->preempt == SimPreempt::kKltSwitch) {
+    if (idle_klts_ == 0) {
+      // No spare KLT: post a creation request and skip this preemption; the
+      // thread retries at the next tick (§3.1.2).
+      if (!klt_creation_pending_) {
+        klt_creation_pending_ = true;
+        eq_.schedule_after(cm_.klt_create_latency, [this] {
+          idle_klts_ += 1;
+          stat_klts_created_ += 1;
+          klt_creation_pending_ = false;
+        });
+      }
+      pause_compute(w, handler_done - eq_.now());
+      return;
+    }
+    idle_klts_ -= 1;  // the replacement KLT leaves the pool
+    t->klt_bound = true;
+  }
+
+  // Account the preempted thread's progress (and locality loss).
+  if (ws.state == WState::kRunning &&
+      t->action.kind == SimAction::Kind::kCompute) {
+    const Time elapsed = std::max<Time>(0, eq_.now() - ws.run_start);
+    t->remaining = std::max<Time>(0, t->remaining - elapsed) + opts_.cache_refill;
+    if (opts_.os_mode && t->weight > 0)
+      t->vruntime += static_cast<double>(elapsed) / t->weight;
+  }
+
+  t->n_preempted += 1;
+  stat_preemptions_ += 1;
+
+  Time mechanics = 0;
+  if (opts_.os_mode) {
+    mechanics = cm_.os_ctx_switch;
+  } else {
+    mechanics = suspend_cost(t);
+    t->pending_resume_cost = resume_cost(t);
+  }
+  stat_overhead_ += mechanics;
+
+  ws.state = WState::kOverhead;
+  ws.running = nullptr;
+  ws.epoch += 1;
+  enqueue_ready(t, w, /*preempted=*/true);
+
+  const std::uint64_t epoch = ws.epoch;
+  eq_.schedule(handler_done + mechanics, [this, w, epoch] {
+    if (workers_[w].epoch != epoch) return;
+    workers_[w].state = WState::kIdle;
+    try_dispatch(w);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// OS idle balancing
+// ---------------------------------------------------------------------------
+
+void SimUltRuntime::os_idle_balance(int w) {
+  WorkerState& ws = workers_[w];
+  ws.balance_pending = false;
+  if (ws.state != WState::kIdle || all_finished()) return;
+  // Steal one waiting thread from the most loaded runqueue.
+  int victim = -1;
+  std::size_t best = 0;
+  for (int v = 0; v < opts_.num_workers; ++v) {
+    if (v == w) continue;
+    if (pools_[v].size() > best) {
+      best = pools_[v].size();
+      victim = v;
+    }
+  }
+  if (victim >= 0) {
+    SimThread* t = pools_[victim].back();
+    pools_[victim].pop_back();
+    pools_[w].push_back(t);
+    try_dispatch(w);
+  }
+  if (workers_[w].state == WState::kIdle && !all_finished()) {
+    ws.balance_pending = true;
+    const Time delay =
+        cm_.cfs_idle_balance_min +
+        static_cast<Time>(rng_.next_double() *
+                          static_cast<double>(cm_.cfs_idle_balance_max -
+                                              cm_.cfs_idle_balance_min));
+    eq_.schedule_after(delay, [this, w] { os_idle_balance(w); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Top-level run loop
+// ---------------------------------------------------------------------------
+
+Time SimUltRuntime::run() {
+  // Kick every worker and start the timer machinery.
+  for (int w = 0; w < opts_.num_workers; ++w)
+    eq_.schedule(eq_.now(), [this, w] { try_dispatch(w); });
+
+  if (opts_.os_mode) {
+    for (int w = 0; w < opts_.num_workers; ++w) schedule_worker_tick(w);
+  } else {
+    switch (opts_.timer) {
+      case TimerStrategy::kNone:
+        break;
+      case TimerStrategy::kPerWorkerAligned:
+      case TimerStrategy::kPerWorkerCreationTime:
+        for (int w = 0; w < opts_.num_workers; ++w) schedule_worker_tick(w);
+        break;
+      case TimerStrategy::kProcessOneToAll:
+      case TimerStrategy::kProcessChain:
+        schedule_process_tick(0);
+        break;
+    }
+  }
+
+  while (!all_finished()) {
+    if (eq_.empty() || eq_.now() > opts_.sim_time_limit) {
+      deadlocked_ = true;
+      return eq_.now();
+    }
+    eq_.step();
+  }
+  return last_finish_;
+}
+
+}  // namespace lpt::sim

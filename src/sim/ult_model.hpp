@@ -1,0 +1,240 @@
+// Simulated runtimes for the paper's evaluation, one engine with two modes:
+//
+//  * M:N mode — mirrors the real lpt runtime: workers pinned to cores,
+//    per-worker ready pools, work-stealing / packing (Algorithm 1) /
+//    priority scheduling, the two preemption techniques with their §3.3
+//    optimizations, and the §3.2 timer strategies (with the kernel
+//    signal-lock contention model).
+//
+//  * OS (1:1) mode — an Intel-OpenMP-over-CFS stand-in: every thread is a
+//    kernel thread, per-core runqueues with vruntime-ordered picking, slice
+//    rotation, nice weights, random wake placement and *lazy* idle balancing
+//    (the "Decade of Wasted Cores" behaviour Fig 8 depends on).
+//
+// Workloads describe threads as Action sequences (compute / yield /
+// busy-wait on a flag / finish); deadlocks emerge naturally when every
+// worker busy-waits and nothing can run (empty event queue with unfinished
+// threads), exactly the MKL scenario of §4.1.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/signal_subsys.hpp"
+#include "sim/timers.hpp"
+
+namespace lpt::sim {
+
+class SimUltRuntime;
+class SimFlag;
+
+enum class SimPreempt : std::uint8_t { kNone, kSignalYield, kKltSwitch };
+enum class SchedPolicy : std::uint8_t { kWorkSteal, kPacking, kPriority };
+enum class KltSuspendModel : std::uint8_t { kFutex, kSigsuspend };
+
+struct SimUltOptions {
+  int num_workers = 56;
+
+  TimerStrategy timer = TimerStrategy::kNone;
+  Time interval = 1'000'000;  // 1 ms
+
+  KltSuspendModel klt_suspend = KltSuspendModel::kFutex;
+  bool local_klt_pool = true;
+  SchedPolicy sched = SchedPolicy::kWorkSteal;
+
+  /// Fig 6 baseline: handlers fire and cost time but never preempt.
+  bool timer_interruption_only = false;
+
+  /// Per-preemption locality penalty added to the preempted thread's
+  /// remaining work (evicted working set); workload-dependent (§4.1 observes
+  /// short intervals "incur non-negligible cache misses").
+  Time cache_refill = 0;
+
+  /// OS (1:1) mode: ignore `timer`/`sched`, use per-core CFS slicing.
+  bool os_mode = false;
+
+  /// Packing: number of active workers (rank >= n_active parked). M:N mode.
+  int n_active = -1;  // -1 = all
+
+  Time sim_time_limit = 600'000'000'000;  // 10 min simulated → stuck
+  std::uint64_t seed = 42;
+};
+
+/// How a thread waits on a flag.
+enum class WaitMode : std::uint8_t {
+  kSpin,       ///< pure busy loop (MKL-style; needs preemption to be safe)
+  kSpinYield,  ///< the "reverse-engineered MKL" loop: yield between checks
+  kBlock,      ///< cooperative/OS block: leaves the core until set
+};
+
+/// One step of a simulated thread's behaviour.
+struct SimAction {
+  enum class Kind : std::uint8_t { kCompute, kYield, kWaitFlag, kFinish };
+  Kind kind = Kind::kFinish;
+  Time duration = 0;       // kCompute
+  SimFlag* flag = nullptr; // kWaitFlag
+  WaitMode wait_mode = WaitMode::kSpin;
+
+  static SimAction compute(Time d) {
+    return {Kind::kCompute, d, nullptr, WaitMode::kSpin};
+  }
+  static SimAction yield() { return {Kind::kYield, 0, nullptr, WaitMode::kSpin}; }
+  static SimAction wait(SimFlag* f, WaitMode mode) {
+    return {Kind::kWaitFlag, 0, f, mode};
+  }
+  static SimAction finish() {
+    return {Kind::kFinish, 0, nullptr, WaitMode::kSpin};
+  }
+};
+
+/// Base class of workload threads. The engine calls next() every time the
+/// previous action completed and on_finish() after kFinish.
+class SimThread {
+ public:
+  virtual ~SimThread() = default;
+  virtual SimAction next(SimUltRuntime& rt) = 0;
+  virtual void on_finish(SimUltRuntime& rt) { (void)rt; }
+
+  SimPreempt preempt = SimPreempt::kNone;
+  int priority = 0;       ///< 0 = high class, 1 = low class (priority sched)
+  double weight = 1.0;    ///< OS mode: CFS nice weight (nice+10 ≈ 0.1)
+  int home_pool = 0;
+
+  // --- engine state (owned by SimUltRuntime) ---
+  int id = -1;
+  bool has_action = false;
+  SimAction action{};
+  Time remaining = 0;
+  Time pending_resume_cost = 0;
+  bool klt_bound = false;  ///< suspended with its KLT (KLT-switching)
+  double vruntime = 0;     // OS mode
+  int last_worker = -1;
+  std::uint64_t n_preempted = 0;
+};
+
+/// Busy-wait memory flag (the MKL synchronization pattern of §4.1).
+class SimFlag {
+ public:
+  bool is_set() const { return set_; }
+  /// Set the flag and wake every spinning waiter (engine notified).
+  void set(SimUltRuntime& rt);
+  void reset() { set_ = false; }
+
+ private:
+  friend class SimUltRuntime;
+  bool set_ = false;
+  std::vector<std::pair<int, std::uint64_t>> spinners_;  // (worker, epoch)
+  std::vector<SimThread*> blocked_;                      // kBlock waiters
+};
+
+class SimUltRuntime {
+ public:
+  SimUltRuntime(const CostModel& cm, SimUltOptions opts);
+  ~SimUltRuntime();
+
+  /// Spawn a thread (engine takes ownership); callable before run() and from
+  /// workload callbacks during the simulation.
+  SimThread* spawn(std::unique_ptr<SimThread> t);
+
+  /// Simulate until every spawned thread finished. Returns the makespan
+  /// (time of the last finish). Check deadlocked() afterwards.
+  Time run();
+
+  bool deadlocked() const { return deadlocked_; }
+  Time now() const { return eq_.now(); }
+  const CostModel& cost_model() const { return cm_; }
+  const SimUltOptions& options() const { return opts_; }
+  EventQueue& events() { return eq_; }
+  Xoshiro256& rng() { return rng_; }
+
+  // --- statistics ---
+  std::uint64_t total_preemptions() const { return stat_preemptions_; }
+  /// Total worker time lost to signal interruptions + preemption mechanics.
+  Time total_overhead_time() const { return stat_overhead_; }
+  int threads_spawned() const { return static_cast<int>(threads_.size()); }
+  int threads_finished() const { return finished_; }
+  std::uint64_t klts_created() const { return stat_klts_created_; }
+
+ private:
+  friend class SimFlag;
+
+  enum class WState : std::uint8_t {
+    kIdle,
+    kRunning,
+    kSpinning,
+    kOverhead,  ///< paying preemption mechanics; dispatches when done
+    kParked,
+  };
+  struct WorkerState {
+    WState state = WState::kIdle;
+    SimThread* running = nullptr;
+    Time run_start = 0;
+    std::uint64_t epoch = 0;     ///< invalidates stale events
+    std::int64_t next_tick = 0;  ///< per-worker tick index (M:N per-worker)
+    bool balance_pending = false;
+    std::uint8_t pack_phase = 0; ///< Algorithm 1 private/shared alternation
+    int pack_shared_next = 0;    ///< round-robin cursor over shared pools
+    double cfs_min_vr = 0;       ///< OS mode: core's min_vruntime watermark
+  };
+
+  // engine steps
+  void enqueue_ready(SimThread* t, int hint_worker, bool preempted);
+  void wake_one_idle();
+  void try_dispatch(int w);
+  SimThread* pick(int w);
+  void advance(int w);            ///< process actions until blocked/scheduled
+  void begin_compute(int w);
+  void complete_compute(int w, std::uint64_t epoch);
+  void flag_set_resume(int w, std::uint64_t epoch);
+  void pause_compute(int w, Time lost);  ///< extend by interruption time
+
+  // preemption / ticks
+  void schedule_worker_tick(int w);
+  void schedule_process_tick(std::int64_t k);
+  void handle_tick(int w, Time issue_time, int initiator);
+  void preempt_running(int w, Time handler_done);
+  bool thread_preemptible(const SimThread* t) const;
+  Time suspend_cost(const SimThread* t);
+  Time resume_cost(const SimThread* t);
+
+  // OS mode
+  void os_idle_balance(int w);
+  int os_pick_core_for(SimThread* t);
+
+  bool all_finished() const {
+    return finished_ == static_cast<int>(threads_.size());
+  }
+  bool worker_active(int w) const {
+    return !opts_.os_mode ? w < n_active_ : true;
+  }
+
+  const CostModel& cm_;
+  SimUltOptions opts_;
+  EventQueue eq_;
+  SignalSubsystem sig_;
+  Xoshiro256 rng_;
+
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  std::vector<WorkerState> workers_;
+  std::vector<std::deque<SimThread*>> pools_;      ///< ready queues / runqueues
+  std::vector<std::deque<SimThread*>> low_pools_;  ///< priority-low LIFO
+
+  int n_active_ = 0;
+  int finished_ = 0;
+  Time last_finish_ = 0;
+  bool deadlocked_ = false;
+  bool process_tick_scheduled_ = false;
+
+  int idle_klts_ = 0;
+  bool klt_creation_pending_ = false;
+
+  std::uint64_t stat_preemptions_ = 0;
+  Time stat_overhead_ = 0;
+  std::uint64_t stat_klts_created_ = 0;
+};
+
+}  // namespace lpt::sim

@@ -1,0 +1,369 @@
+#include "sim/workloads/cholesky_dag.hpp"
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace lpt::sim {
+
+namespace {
+
+enum class TaskKind : std::uint8_t { kPotrf, kTrsm, kSyrk, kGemm };
+
+struct Task {
+  TaskKind kind;
+  double flops;
+  int deps_remaining = 0;
+  std::vector<int> dependents;
+};
+
+/// The task graph of a right-looking tiled Cholesky (PLASMA-style):
+///   potrf(k);  trsm(m,k) m>k;  syrk(m,k) m>k;  gemm(m,n,k) m>n>k
+/// with the classic dependences (updates to one tile serialize).
+struct TaskGraph {
+  explicit TaskGraph(int T, int b) : tiles(T) {
+    const double b3 = static_cast<double>(b) * b * b;
+    potrf_id.assign(T, -1);
+    trsm_id.assign(T * T, -1);
+    syrk_id.assign(T * T, -1);
+    gemm_id.assign(T * T * T, -1);
+
+    for (int k = 0; k < T; ++k) {
+      potrf_id[k] = add(TaskKind::kPotrf, b3 / 3.0);
+      for (int m = k + 1; m < T; ++m) trsm_id[m * T + k] = add(TaskKind::kTrsm, b3);
+      for (int m = k + 1; m < T; ++m) syrk_id[m * T + k] = add(TaskKind::kSyrk, b3);
+      for (int m = k + 2; m < T; ++m)
+        for (int n = k + 1; n < m; ++n)
+          gemm_id[(m * T + n) * T + k] = add(TaskKind::kGemm, 2.0 * b3);
+    }
+
+    auto edge = [&](int from, int to) {
+      tasks[from].dependents.push_back(to);
+      tasks[to].deps_remaining += 1;
+    };
+    for (int k = 0; k < T; ++k) {
+      if (k > 0) edge(syrk_id[k * T + (k - 1)], potrf_id[k]);
+      for (int m = k + 1; m < T; ++m) {
+        edge(potrf_id[k], trsm_id[m * T + k]);
+        if (k > 0) edge(gemm_id[(m * T + k) * T + (k - 1)], trsm_id[m * T + k]);
+        edge(trsm_id[m * T + k], syrk_id[m * T + k]);
+        if (k > 0) edge(syrk_id[m * T + (k - 1)], syrk_id[m * T + k]);
+        for (int n = k + 1; n < m; ++n) {
+          edge(trsm_id[m * T + k], gemm_id[(m * T + n) * T + k]);
+          edge(trsm_id[n * T + k], gemm_id[(m * T + n) * T + k]);
+          if (k > 0)
+            edge(gemm_id[(m * T + n) * T + (k - 1)], gemm_id[(m * T + n) * T + k]);
+        }
+      }
+    }
+  }
+
+  int add(TaskKind kind, double flops) {
+    tasks.push_back(Task{kind, flops, 0, {}});
+    return static_cast<int>(tasks.size()) - 1;
+  }
+
+  int tiles;
+  std::vector<Task> tasks;
+  std::vector<int> potrf_id, trsm_id, syrk_id, gemm_id;
+};
+
+struct RunState;
+
+/// Inner-team chunk: compute a share of the BLAS call, arrive at the team's
+/// busy-wait barrier, wait for the rest, finish.
+class ChunkThread final : public SimThread {
+ public:
+  ChunkThread(RunState* st, struct TeamState* team, Time chunk, WaitMode barrier)
+      : st_(st), team_(team), chunk_(chunk), barrier_(barrier) {}
+  SimAction next(SimUltRuntime& rt) override;
+  void on_finish(SimUltRuntime& rt) override;
+
+ private:
+  RunState* st_;
+  struct TeamState* team_;
+  Time chunk_;
+  WaitMode barrier_;
+  int phase_ = 0;
+};
+
+/// Outer task: spawns the inner team, computes its own chunk, waits at the
+/// team barrier, then resolves DAG dependences.
+class TaskThread final : public SimThread {
+ public:
+  TaskThread(RunState* st, int task_id) : st_(st), task_id_(task_id) {}
+  SimAction next(SimUltRuntime& rt) override;
+  void on_finish(SimUltRuntime& rt) override;
+
+ private:
+  RunState* st_;
+  int task_id_;
+  struct TeamState* team_ = nullptr;
+  int phase_ = 0;
+};
+
+struct TeamState {
+  SimFlag done;
+  int remaining = 0;
+  void arrive(SimUltRuntime& rt) {
+    if (--remaining == 0) done.set(rt);
+  }
+};
+
+struct RunState {
+  TaskGraph* graph = nullptr;
+  const CholeskyConfig* cfg = nullptr;
+  SimUltRuntime* rt = nullptr;
+  double per_core_flops_per_ns = 28.0;  // == gflops_per_core
+  bool nested = true;
+  WaitMode barrier_mode = WaitMode::kSpin;
+  SimPreempt preempt = SimPreempt::kNone;
+  Time helper_wake_cost = 0;  // IOMP hot-team wake latency per helper
+
+  std::deque<int> ready;
+  int active = 0;
+  int slots = 8;  ///< concurrent-task cap (IOMP: 8; BOLT: unbounded)
+  std::vector<std::unique_ptr<TeamState>> teams;  // keep alive until run ends
+
+  Time task_duration_ns(int id) const {
+    const double flops = graph->tasks[id].flops;
+    const int ways = nested ? cfg->inner_threads : 1;
+    return static_cast<Time>(flops / (per_core_flops_per_ns * ways));
+  }
+
+  void schedule_ready() {
+    while (active < slots && !ready.empty()) {
+      const int id = ready.front();
+      ready.pop_front();
+      active += 1;
+      auto t = std::make_unique<TaskThread>(this, id);
+      t->preempt = preempt;
+      rt->spawn(std::move(t));
+    }
+  }
+
+  void task_finished(int id, SimUltRuntime& r) {
+    active -= 1;
+    for (int dep : graph->tasks[id].dependents) {
+      if (--graph->tasks[dep].deps_remaining == 0) ready.push_back(dep);
+    }
+    (void)r;
+    schedule_ready();
+  }
+};
+
+SimAction ChunkThread::next(SimUltRuntime& rt) {
+  switch (phase_++) {
+    case 0:
+      return SimAction::compute(chunk_);
+    case 1:
+      team_->arrive(rt);
+      return SimAction::wait(&team_->done, barrier_);
+    default:
+      return SimAction::finish();
+  }
+}
+
+void ChunkThread::on_finish(SimUltRuntime&) {}
+
+SimAction TaskThread::next(SimUltRuntime& rt) {
+  RunState& st = *st_;
+  if (!st.nested) {
+    switch (phase_++) {
+      case 0:
+        return SimAction::compute(st.task_duration_ns(task_id_));
+      default:
+        return SimAction::finish();
+    }
+  }
+  switch (phase_++) {
+    case 0: {
+      // Fork the inner team (hot team: helpers wake, compute, spin).
+      st.teams.push_back(std::make_unique<TeamState>());
+      team_ = st.teams.back().get();
+      team_->remaining = st.cfg->inner_threads;
+      const Time chunk = st.task_duration_ns(task_id_);
+      for (int i = 1; i < st.cfg->inner_threads; ++i) {
+        auto h = std::make_unique<ChunkThread>(st_, team_, chunk,
+                                               st.barrier_mode);
+        h->preempt = st.preempt;
+        h->pending_resume_cost = st.helper_wake_cost;
+        rt.spawn(std::move(h));
+      }
+      return SimAction::compute(chunk);
+    }
+    case 1:
+      team_->arrive(rt);
+      return SimAction::wait(&team_->done, st.barrier_mode);
+    default:
+      return SimAction::finish();
+  }
+}
+
+void TaskThread::on_finish(SimUltRuntime& rt) { st_->task_finished(task_id_, rt); }
+
+}  // namespace
+
+const char* cholesky_runtime_name(CholeskyRuntime r) {
+  switch (r) {
+    case CholeskyRuntime::kBoltNonpreemptiveNaive:
+      return "BOLT (nonpreemptive, naive)";
+    case CholeskyRuntime::kBoltNonpreemptiveYield:
+      return "BOLT (nonpreemptive, reverse-engineered)";
+    case CholeskyRuntime::kBoltPreemptive:
+      return "BOLT (preemptive)";
+    case CholeskyRuntime::kIompNested:
+      return "IOMP";
+    case CholeskyRuntime::kIompFlat:
+      return "IOMP (flat)";
+  }
+  return "?";
+}
+
+double cholesky_total_flops(int tiles, int tile_n) {
+  const double b3 =
+      static_cast<double>(tile_n) * tile_n * tile_n;
+  double flops = 0;
+  const double T = tiles;
+  flops += T * b3 / 3.0;                          // potrf
+  flops += T * (T - 1) / 2.0 * b3;                // trsm
+  flops += T * (T - 1) / 2.0 * b3;                // syrk
+  flops += T * (T - 1) * (T - 2) / 6.0 * 2.0 * b3;  // gemm
+  return flops;
+}
+
+bool mkl_saturation_deadlocks(const CostModel& cm, int cores, int calls,
+                              int width, bool preemptive) {
+  SimUltOptions o;
+  o.num_workers = cores;
+  if (preemptive) {
+    o.timer = TimerStrategy::kPerWorkerAligned;
+    o.interval = 1'000'000;
+  }
+  SimUltRuntime rt(cm, o);
+
+  // One master per call; each spawns its helpers only once it runs, so with
+  // calls >= cores every worker dispatches a master first (they are all
+  // queued ahead of any helper) and then spins at the team barrier.
+  struct CallState {
+    std::vector<std::unique_ptr<TeamState>> teams;
+    Time chunk = 2'000'000;
+    int width;
+    SimPreempt preempt;
+  };
+  CallState state;
+  state.width = width;
+  state.preempt = preemptive ? SimPreempt::kKltSwitch : SimPreempt::kNone;
+
+  class Master final : public SimThread {
+   public:
+    explicit Master(CallState* s) : s_(s) {}
+    SimAction next(SimUltRuntime& rt2) override {
+      switch (phase_++) {
+        case 0: {
+          s_->teams.push_back(std::make_unique<TeamState>());
+          team_ = s_->teams.back().get();
+          team_->remaining = s_->width;
+          for (int i = 1; i < s_->width; ++i) {
+            auto h = std::make_unique<ChunkThread>(nullptr, team_, s_->chunk,
+                                                   WaitMode::kSpin);
+            h->preempt = s_->preempt;
+            rt2.spawn(std::move(h));
+          }
+          return SimAction::compute(s_->chunk);
+        }
+        case 1:
+          team_->arrive(rt2);
+          return SimAction::wait(&team_->done, WaitMode::kSpin);
+        default:
+          return SimAction::finish();
+      }
+    }
+
+   private:
+    CallState* s_;
+    TeamState* team_ = nullptr;
+    int phase_ = 0;
+  };
+
+  for (int c = 0; c < calls; ++c) {
+    auto m = std::make_unique<Master>(&state);
+    m->preempt = state.preempt;
+    rt.spawn(std::move(m));
+  }
+  rt.run();
+  return rt.deadlocked();
+}
+
+CholeskyResult run_cholesky(const CostModel& cm, const CholeskyConfig& cfg,
+                            CholeskyRuntime runtime) {
+  TaskGraph graph(cfg.tiles, cfg.tile_n);
+
+  SimUltOptions o;
+  o.num_workers = cm.num_cores;
+  o.seed = cfg.seed;
+  o.cache_refill = cfg.cache_refill;
+
+  RunState st;
+  st.graph = &graph;
+  st.cfg = &cfg;
+  st.per_core_flops_per_ns = cm.gflops_per_core;
+  st.nested = runtime != CholeskyRuntime::kIompFlat;
+
+  switch (runtime) {
+    case CholeskyRuntime::kBoltNonpreemptiveNaive:
+      o.timer = TimerStrategy::kNone;
+      st.barrier_mode = WaitMode::kSpin;
+      st.preempt = SimPreempt::kNone;
+      break;
+    case CholeskyRuntime::kBoltNonpreemptiveYield:
+      o.timer = TimerStrategy::kNone;
+      st.barrier_mode = WaitMode::kSpinYield;
+      st.preempt = SimPreempt::kNone;
+      break;
+    case CholeskyRuntime::kBoltPreemptive:
+      o.timer = TimerStrategy::kPerWorkerAligned;
+      o.interval = cfg.interval;
+      st.barrier_mode = WaitMode::kSpin;
+      st.preempt = SimPreempt::kKltSwitch;
+      break;
+    case CholeskyRuntime::kIompNested:
+      o.os_mode = true;
+      st.barrier_mode = WaitMode::kSpin;  // MKL team barrier spins; the OS
+                                          // time-slices the spinners
+      st.helper_wake_cost = cm.os_wake_latency;
+      break;
+    case CholeskyRuntime::kIompFlat:
+      o.os_mode = true;
+      st.helper_wake_cost = cm.os_wake_latency;
+      break;
+  }
+
+  SimUltRuntime rt(cm, o);
+  st.rt = &rt;
+
+  // OpenMP tasks execute on the outer parallel region's threads (8 in the
+  // paper's configuration) in both runtimes; the flat variant is a 56-way
+  // parallel loop.
+  st.slots = runtime == CholeskyRuntime::kIompFlat ? cm.num_cores
+                                                   : cfg.outer_slots;
+
+  st.ready.push_back(graph.potrf_id[0]);
+  st.schedule_ready();
+
+  const Time makespan = rt.run();
+
+  CholeskyResult res;
+  res.makespan = makespan;
+  res.deadlocked = rt.deadlocked();
+  res.preemptions = rt.total_preemptions();
+  res.gflops = res.deadlocked
+                   ? 0.0
+                   : cholesky_total_flops(cfg.tiles, cfg.tile_n) /
+                         static_cast<double>(makespan);
+  return res;
+}
+
+}  // namespace lpt::sim

@@ -1,0 +1,61 @@
+// Fig 7 workload: the SLATE-style tiled Cholesky factorization with nested
+// parallelism. The outer level is a task DAG over tiles (POTRF/TRSM/SYRK/
+// GEMM with data dependencies); each task calls a "BLAS" kernel that runs an
+// inner team of 8 threads ending in an MKL-style busy-wait barrier — the
+// synchronization that deadlocks nonpreemptive M:N threads (§4.1).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.hpp"
+#include "sim/ult_model.hpp"
+
+namespace lpt::sim {
+
+enum class CholeskyRuntime {
+  kBoltNonpreemptiveNaive,  ///< pure spin barrier, no preemption → deadlock
+  kBoltNonpreemptiveYield,  ///< "reverse-engineered MKL" yield hack
+  kBoltPreemptive,          ///< KLT-switching + per-worker aligned timer
+  kIompNested,              ///< 1:1 threads over CFS, nested hot teams
+  kIompFlat,                ///< 1:1 threads, flat 56-way outer, no inner
+};
+
+const char* cholesky_runtime_name(CholeskyRuntime r);
+
+struct CholeskyConfig {
+  int tiles = 8;            ///< T (the paper sweeps 8..24)
+  int tile_n = 1000;        ///< tile dimension (fixed at 1000 in §4.1)
+  int inner_threads = 8;    ///< inner parallelism
+  int outer_slots = 8;      ///< outer parallelism (both "set to 8", §4.1)
+  Time interval = 10'000'000;     ///< preemption interval (BOLT preemptive)
+  Time cache_refill = 40'000;     ///< per-preemption locality penalty (§4.1:
+                                  ///< short intervals cost cache misses)
+  std::uint64_t seed = 42;
+};
+
+struct CholeskyResult {
+  Time makespan = 0;
+  double gflops = 0;
+  bool deadlocked = false;
+  std::uint64_t preemptions = 0;
+};
+
+CholeskyResult run_cholesky(const CostModel& cm, const CholeskyConfig& cfg,
+                            CholeskyRuntime runtime);
+
+/// Total floating-point operations of a T x T tiled Cholesky with tile size
+/// b (n = T*b): n^3 / 3 to leading order; exposed for GFLOPS accounting and
+/// tests.
+double cholesky_total_flops(int tiles, int tile_n);
+
+/// The paper's deadlock mechanism in its deterministic form: `calls`
+/// concurrent MKL-style kernels (inner teams of `width`, busy-wait end
+/// barrier) on a `cores`-worker M:N runtime. With calls >= cores and no
+/// preemption, every worker ends up holding a spinning team master while all
+/// helpers sit in the ready queues — a guaranteed wedge (§4.1). With
+/// KLT-switching preemption the same program completes. Returns whether the
+/// run deadlocked.
+bool mkl_saturation_deadlocks(const CostModel& cm, int cores, int calls,
+                              int width, bool preemptive);
+
+}  // namespace lpt::sim

@@ -1,0 +1,99 @@
+#include "sim/workloads/compute_loop.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+#include "sim/script_thread.hpp"
+
+namespace lpt::sim {
+
+const char* fig6_variant_name(Fig6Variant v) {
+  switch (v) {
+    case Fig6Variant::kNonpreemptiveBaseline:
+      return "nonpreemptive (baseline)";
+    case Fig6Variant::kTimerInterruptionOnly:
+      return "Timer interruption only";
+    case Fig6Variant::kSignalYield:
+      return "Signal-yield";
+    case Fig6Variant::kKltSwitchNaive:
+      return "KLT-switching";
+    case Fig6Variant::kKltSwitchFutex:
+      return "KLT-switching (futex)";
+    case Fig6Variant::kKltSwitchFutexLocal:
+      return "KLT-switching (futex, local pool)";
+  }
+  return "?";
+}
+
+Time fig6_makespan(const CostModel& cm, const Fig6Config& cfg, Fig6Variant v) {
+  SimUltOptions o;
+  o.num_workers = cfg.workers;
+  o.interval = cfg.interval;
+  o.sched = SchedPolicy::kWorkSteal;
+  o.timer = v == Fig6Variant::kNonpreemptiveBaseline ? TimerStrategy::kNone
+                                                     : TimerStrategy::kPerWorkerAligned;
+  o.timer_interruption_only = v == Fig6Variant::kTimerInterruptionOnly;
+  switch (v) {
+    case Fig6Variant::kKltSwitchNaive:
+      o.klt_suspend = KltSuspendModel::kSigsuspend;
+      o.local_klt_pool = false;
+      break;
+    case Fig6Variant::kKltSwitchFutex:
+      o.klt_suspend = KltSuspendModel::kFutex;
+      o.local_klt_pool = false;
+      break;
+    case Fig6Variant::kKltSwitchFutexLocal:
+      o.klt_suspend = KltSuspendModel::kFutex;
+      o.local_klt_pool = true;
+      break;
+    default:
+      break;
+  }
+
+  SimPreempt preempt = SimPreempt::kNone;
+  if (v == Fig6Variant::kSignalYield || v == Fig6Variant::kTimerInterruptionOnly)
+    preempt = SimPreempt::kSignalYield;
+  else if (v != Fig6Variant::kNonpreemptiveBaseline)
+    preempt = SimPreempt::kKltSwitch;
+
+  SimUltRuntime rt(cm, o);
+  for (int w = 0; w < cfg.workers; ++w) {
+    for (int i = 0; i < cfg.threads_per_worker; ++i) {
+      auto t = std::make_unique<ScriptThread>(
+          std::vector<SimAction>{SimAction::compute(cfg.compute_per_thread)});
+      t->preempt = preempt;
+      t->home_pool = w;
+      rt.spawn(std::move(t));
+    }
+  }
+  const Time makespan = rt.run();
+  LPT_CHECK_MSG(!rt.deadlocked(), "fig6 workload must not deadlock");
+  return makespan;
+}
+
+double fig6_overhead(const CostModel& cm, const Fig6Config& cfg, Fig6Variant v) {
+  const Time base =
+      fig6_makespan(cm, cfg, Fig6Variant::kNonpreemptiveBaseline);
+  const Time t = fig6_makespan(cm, cfg, v);
+  return static_cast<double>(t - base) / static_cast<double>(base);
+}
+
+Table1Row table1_costs(const CostModel& cm) {
+  Table1Row r{};
+  r.one_to_one_us = static_cast<double>(cm.os_preempt) / 1000.0;
+  // Signal-yield: uncontended handler + two user-level switches + residue.
+  r.signal_yield_us =
+      static_cast<double>(cm.signal_handler + 2 * cm.ult_ctx_switch +
+                          cm.sigyield_extra) /
+      1000.0;
+  // KLT-switching (futex, local pool): handler + wake replacement KLT
+  // (suspend side) + wake bound KLT (resume side) + bookkeeping.
+  r.klt_switching_us =
+      static_cast<double>(cm.signal_handler +
+                          (cm.futex_wake + cm.futex_wakeup_latency) * 2 +
+                          cm.kltswitch_extra + 2 * cm.ult_ctx_switch) /
+      1000.0;
+  return r;
+}
+
+}  // namespace lpt::sim

@@ -1,0 +1,45 @@
+// Fig 6 workload: "each of 56 workers runs ten threads that just consume CPU
+// cycles in a loop", per-worker aligned timer; relative overhead of each
+// preemption variant vs the nonpreemptive run. Also the Table 1 per-
+// preemption cost decomposition.
+#pragma once
+
+#include "sim/cost_model.hpp"
+#include "sim/ult_model.hpp"
+
+namespace lpt::sim {
+
+enum class Fig6Variant {
+  kNonpreemptiveBaseline,  ///< denominator
+  kTimerInterruptionOnly,
+  kSignalYield,
+  kKltSwitchNaive,       ///< sigsuspend parking, global pool
+  kKltSwitchFutex,       ///< futex parking, global pool
+  kKltSwitchFutexLocal,  ///< futex parking + worker-local pools
+};
+
+const char* fig6_variant_name(Fig6Variant v);
+
+struct Fig6Config {
+  int workers = 56;
+  int threads_per_worker = 10;
+  Time compute_per_thread = 20'000'000;  // 20 ms of pure compute each
+  Time interval = 1'000'000;
+};
+
+/// Makespan of the Fig 6 microbenchmark under one variant.
+Time fig6_makespan(const CostModel& cm, const Fig6Config& cfg, Fig6Variant v);
+
+/// Relative overhead vs the nonpreemptive baseline (the Fig 6 y-axis).
+double fig6_overhead(const CostModel& cm, const Fig6Config& cfg, Fig6Variant v);
+
+/// Table 1: cost of ONE preemption (µs) per technique, decomposed from the
+/// cost model exactly as the simulated mechanics charge it.
+struct Table1Row {
+  double one_to_one_us;      ///< 1:1 threads (OS preemption)
+  double signal_yield_us;
+  double klt_switching_us;   ///< futex + local pool (the optimized config)
+};
+Table1Row table1_costs(const CostModel& cm);
+
+}  // namespace lpt::sim

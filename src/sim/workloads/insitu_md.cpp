@@ -1,0 +1,192 @@
+#include "sim/workloads/insitu_md.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace lpt::sim {
+
+namespace {
+
+struct MdState {
+  const Fig9Config* cfg = nullptr;
+  int workers = 0;
+  Time force_share = 0;       ///< per-thread compute per step
+  Time analysis_share = 0;    ///< per-analysis-thread compute
+  SimPreempt analysis_preempt = SimPreempt::kNone;
+  int analysis_priority = 0;
+  double analysis_weight = 1.0;
+
+  std::vector<int> arrived;
+  std::vector<std::unique_ptr<SimFlag>> step_flags;
+
+  void arrive(int step, SimUltRuntime& rt) {
+    if (++arrived[step] == workers) step_flags[step]->set(rt);
+  }
+};
+
+/// One force-computation chunk of a parallel region (a Kokkos/OpenMP worker).
+class ForceThread final : public SimThread {
+ public:
+  ForceThread(MdState* st, int step) : st_(st), step_(step) {}
+  SimAction next(SimUltRuntime& rt) override {
+    switch (sub_++) {
+      case 0:
+        return SimAction::compute(st_->force_share);
+      default:
+        st_->arrive(step_, rt);
+        return SimAction::finish();
+    }
+  }
+
+ private:
+  MdState* st_;
+  int step_;
+  int sub_ = 0;
+};
+
+/// In situ analysis over a snapshot buffer; purely parallel, low priority.
+class AnalysisThread final : public SimThread {
+ public:
+  explicit AnalysisThread(MdState* st) : st_(st) {}
+  SimAction next(SimUltRuntime&) override {
+    if (sub_++ == 0) return SimAction::compute(st_->analysis_share);
+    return SimAction::finish();
+  }
+
+ private:
+  MdState* st_;
+  int sub_ = 0;
+};
+
+/// The main thread: drives timesteps — parallel force phase, then the
+/// sequential/MPI window in which every other worker is idle.
+class MainThread final : public SimThread {
+ public:
+  explicit MainThread(MdState* st) : st_(st) {}
+
+  SimAction next(SimUltRuntime& rt) override {
+    for (;;) {
+      if (step_ >= st_->cfg->steps) return SimAction::finish();
+      switch (sub_) {
+        case 0: {
+          sub_ = 1;
+          // Fork the parallel force region (one thread per worker incl. us)
+          // and, on analysis steps, the 55 analysis threads over a snapshot.
+          for (int i = 1; i < st_->workers; ++i) {
+            auto f = std::make_unique<ForceThread>(st_, step_);
+            f->home_pool = i;
+            rt.spawn(std::move(f));
+          }
+          if (st_->cfg->with_analysis &&
+              step_ % st_->cfg->analysis_interval == 0) {
+            for (int i = 1; i < st_->workers; ++i) {  // "one less than cores"
+              auto a = std::make_unique<AnalysisThread>(st_);
+              a->priority = st_->analysis_priority;
+              a->weight = st_->analysis_weight;
+              a->preempt = st_->analysis_preempt;
+              a->home_pool = i;
+              rt.spawn(std::move(a));
+            }
+          }
+          return SimAction::compute(st_->force_share);
+        }
+        case 1:
+          sub_ = 2;
+          st_->arrive(step_, rt);
+          return SimAction::wait(st_->step_flags[step_].get(), WaitMode::kBlock);
+        case 2:
+          sub_ = 3;
+          // Sequential portion + MPI communication: main thread only.
+          return SimAction::compute(st_->cfg->comm_window);
+        default:
+          sub_ = 0;
+          step_ += 1;
+          continue;
+      }
+    }
+  }
+
+ private:
+  MdState* st_;
+  int step_ = 0;
+  int sub_ = 0;
+};
+
+}  // namespace
+
+const char* fig9_variant_name(Fig9Variant v) {
+  switch (v) {
+    case Fig9Variant::kPthreads:
+      return "Pthreads (w/o priority)";
+    case Fig9Variant::kPthreadsPriority:
+      return "Pthreads (w/ priority)";
+    case Fig9Variant::kArgobots:
+      return "Argobots (w/o priority)";
+    case Fig9Variant::kArgobotsPriority:
+      return "Argobots (w/ priority)";
+  }
+  return "?";
+}
+
+Fig9Result run_fig9(const CostModel& cm, const Fig9Config& cfg, Fig9Variant v) {
+  const bool os = v == Fig9Variant::kPthreads || v == Fig9Variant::kPthreadsPriority;
+
+  SimUltOptions o;
+  o.num_workers = cm.num_cores;
+  o.seed = cfg.seed;
+  if (os) {
+    o.os_mode = true;
+  } else {
+    o.sched = SchedPolicy::kPriority;
+    // Per-process timer: only analysis threads are preemptive, so idle
+    // periods issue no signals at all (§4.3 uses this configuration).
+    o.timer = TimerStrategy::kProcessChain;
+    o.interval = cfg.interval;
+  }
+
+  SimUltRuntime rt(cm, o);
+
+  MdState st;
+  st.cfg = &cfg;
+  st.workers = cm.num_cores;
+  const double atoms_pp = cfg.atoms / cfg.nodes;
+  st.force_share = static_cast<Time>(atoms_pp * cfg.force_ns_per_atom /
+                                     st.workers);
+  st.analysis_share = static_cast<Time>(atoms_pp * cfg.analysis_ns_per_atom /
+                                        (st.workers - 1));
+  st.analysis_priority = v == Fig9Variant::kArgobotsPriority ? 1 : 0;
+  st.analysis_weight = v == Fig9Variant::kPthreadsPriority ? 0.1 : 1.0;
+  st.analysis_preempt = os ? SimPreempt::kNone : SimPreempt::kSignalYield;
+
+  st.arrived.assign(cfg.steps, 0);
+  for (int s = 0; s < cfg.steps; ++s)
+    st.step_flags.push_back(std::make_unique<SimFlag>());
+
+  auto main_thread = std::make_unique<MainThread>(&st);
+  main_thread->home_pool = 0;
+  rt.spawn(std::move(main_thread));
+
+  Fig9Result res;
+  res.makespan = rt.run();
+  res.deadlocked = rt.deadlocked();
+  return res;
+}
+
+Fig9Overhead fig9_overhead(const CostModel& cm, const Fig9Config& cfg,
+                           Fig9Variant v) {
+  Fig9Config base_cfg = cfg;
+  base_cfg.with_analysis = false;
+  const Fig9Result base = run_fig9(cm, base_cfg, v);
+  Fig9Config with_cfg = cfg;
+  with_cfg.with_analysis = true;
+  const Fig9Result with = run_fig9(cm, with_cfg, v);
+  LPT_CHECK(!base.deadlocked && !with.deadlocked);
+  return Fig9Overhead{
+      static_cast<double>(with.makespan - base.makespan) /
+          static_cast<double>(base.makespan),
+      base.makespan};
+}
+
+}  // namespace lpt::sim

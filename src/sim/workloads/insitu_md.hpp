@@ -1,0 +1,59 @@
+// Fig 9 workload: LAMMPS-style molecular dynamics with in situ analysis.
+// Each timestep runs a fully parallel force computation, then a sequential
+// communication window where only the main thread works. Every
+// `analysis_interval` steps, 55 analysis threads are spawned over the same
+// workers. Priority ensures analysis only runs in the idle windows:
+//   Pthreads            — 1:1 threads on the CFS model; priority = niceness
+//                         (a *weight*, not strict ordering, §4.3)
+//   Argobots            — M:N threads; priority = strict two-class scheduler
+//                         with signal-yield preemption of analysis threads
+#pragma once
+
+#include "sim/cost_model.hpp"
+#include "sim/ult_model.hpp"
+
+namespace lpt::sim {
+
+enum class Fig9Variant {
+  kPthreads,
+  kPthreadsPriority,
+  kArgobots,
+  kArgobotsPriority,
+};
+
+const char* fig9_variant_name(Fig9Variant v);
+
+struct Fig9Config {
+  double atoms = 1e7;        ///< total atoms (paper x-axis; 4 nodes)
+  int nodes = 4;             ///< node count; one process is simulated
+  int steps = 100;
+  int analysis_interval = 1; ///< analyse every k steps
+  bool with_analysis = true;
+
+  // Calibration (single-core ns per atom per step / per analysis pass).
+  double force_ns_per_atom = 1500.0;
+  double analysis_ns_per_atom = 107.0;
+  /// Sequential/MPI window per step.
+  Time comm_window = 18'000'000;
+
+  Time interval = 1'000'000;  ///< preemption timer (per-process, §4.3)
+  std::uint64_t seed = 42;
+};
+
+struct Fig9Result {
+  Time makespan = 0;
+  bool deadlocked = false;
+};
+
+Fig9Result run_fig9(const CostModel& cm, const Fig9Config& cfg, Fig9Variant v);
+
+/// Relative overhead of in situ analysis vs the same variant's
+/// simulation-only execution (the Fig 9 y-axis), plus that baseline time.
+struct Fig9Overhead {
+  double overhead;
+  Time sim_only_time;
+};
+Fig9Overhead fig9_overhead(const CostModel& cm, const Fig9Config& cfg,
+                           Fig9Variant v);
+
+}  // namespace lpt::sim

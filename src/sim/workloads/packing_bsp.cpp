@@ -1,0 +1,156 @@
+#include "sim/workloads/packing_bsp.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace lpt::sim {
+
+namespace {
+
+struct BspState {
+  std::vector<Time> phase_share;  ///< per-thread compute per phase
+  std::vector<int> arrived;
+  std::vector<std::unique_ptr<SimFlag>> flags;
+  int n_threads = 0;
+
+  void arrive(int phase, SimUltRuntime& rt) {
+    if (++arrived[phase] == n_threads) flags[phase]->set(rt);
+  }
+};
+
+class BspThread final : public SimThread {
+ public:
+  BspThread(BspState* st) : st_(st) {}
+
+  SimAction next(SimUltRuntime& rt) override {
+    for (;;) {
+      if (phase_ >= static_cast<int>(st_->phase_share.size()))
+        return SimAction::finish();
+      switch (sub_) {
+        case 0:
+          sub_ = 1;
+          return SimAction::compute(st_->phase_share[phase_]);
+        case 1:
+          sub_ = 2;
+          st_->arrive(phase_, rt);
+          // OpenMP barrier with KMP_BLOCKTIME=0 / BOLT ULT barrier: block.
+          return SimAction::wait(st_->flags[phase_].get(), WaitMode::kBlock);
+        default:
+          sub_ = 0;
+          phase_ += 1;
+          continue;
+      }
+    }
+  }
+
+ private:
+  BspState* st_;
+  int phase_ = 0;
+  int sub_ = 0;
+};
+
+/// V-cycle phase schedule: down 0..levels-1, up levels-2..0, per cycle.
+/// `share_unit` is the per-thread finest-level compute.
+std::vector<Time> build_phases(const Fig8Config& cfg, Time share_unit) {
+  std::vector<Time> phases;
+  auto level_share = [&](int l) {
+    Time s = share_unit;
+    for (int i = 0; i < l; ++i) s /= 8;
+    return std::max<Time>(s, 50'000);  // coarse grids never go below 50 µs
+  };
+  for (int c = 0; c < cfg.vcycles; ++c) {
+    for (int l = 0; l < cfg.levels; ++l) phases.push_back(level_share(l));
+    for (int l = cfg.levels - 2; l >= 0; --l) phases.push_back(level_share(l));
+  }
+  return phases;
+}
+
+Fig8Result run_bsp(const CostModel& cm, const Fig8Config& cfg, Fig8Variant v,
+                   int n_threads, int n_workers, int n_active) {
+  SimUltOptions o;
+  o.seed = cfg.seed;
+  SimPreempt preempt = SimPreempt::kNone;
+  switch (v) {
+    case Fig8Variant::kBoltNonpreemptive:
+      o.num_workers = n_workers;
+      o.n_active = n_active;
+      o.sched = SchedPolicy::kPacking;
+      break;
+    case Fig8Variant::kBoltPreemptive:
+      o.num_workers = n_workers;
+      o.n_active = n_active;
+      o.sched = SchedPolicy::kPacking;
+      o.timer = TimerStrategy::kPerWorkerAligned;
+      o.interval = cfg.interval;
+      preempt = SimPreempt::kKltSwitch;  // §4.2 uses KLT-switching
+      break;
+    case Fig8Variant::kIomp:
+      // taskset to n_active cores: the OS model only sees those cores.
+      o.os_mode = true;
+      o.num_workers = n_active;
+      break;
+  }
+
+  CostModel scaled = cm;
+  scaled.num_cores = o.num_workers;
+  SimUltRuntime rt(scaled, o);
+
+  BspState st;
+  st.n_threads = n_threads;
+  // Fixed total work per phase: per-thread share scales with thread count.
+  const Time share =
+      cfg.finest_phase_work * cfg.n_threads / n_threads;
+  st.phase_share = build_phases(cfg, share);
+  const int n_phases = static_cast<int>(st.phase_share.size());
+  st.arrived.assign(n_phases, 0);
+  for (int p = 0; p < n_phases; ++p)
+    st.flags.push_back(std::make_unique<SimFlag>());
+
+  for (int i = 0; i < n_threads; ++i) {
+    auto t = std::make_unique<BspThread>(&st);
+    t->preempt = preempt;
+    t->home_pool = i % n_workers;
+    rt.spawn(std::move(t));
+  }
+
+  Fig8Result res;
+  res.makespan = rt.run();
+  res.deadlocked = rt.deadlocked();
+  res.preemptions = rt.total_preemptions();
+  return res;
+}
+
+}  // namespace
+
+const char* fig8_variant_name(Fig8Variant v) {
+  switch (v) {
+    case Fig8Variant::kBoltNonpreemptive:
+      return "BOLT (nonpreemptive)";
+    case Fig8Variant::kBoltPreemptive:
+      return "BOLT (preemptive)";
+    case Fig8Variant::kIomp:
+      return "IOMP";
+  }
+  return "?";
+}
+
+Fig8Result run_fig8(const CostModel& cm, const Fig8Config& cfg, Fig8Variant v) {
+  return run_bsp(cm, cfg, v, cfg.n_threads, cfg.n_threads, cfg.n_active);
+}
+
+Fig8Result run_fig8_baseline(const CostModel& cm, const Fig8Config& cfg) {
+  return run_bsp(cm, cfg, Fig8Variant::kBoltNonpreemptive, cfg.n_active,
+                 cfg.n_active, cfg.n_active);
+}
+
+double fig8_overhead(const CostModel& cm, const Fig8Config& cfg, Fig8Variant v) {
+  const Fig8Result base = run_fig8_baseline(cm, cfg);
+  const Fig8Result packed = run_fig8(cm, cfg, v);
+  LPT_CHECK(!base.deadlocked && !packed.deadlocked);
+  return static_cast<double>(packed.makespan - base.makespan) /
+         static_cast<double>(base.makespan);
+}
+
+}  // namespace lpt::sim

@@ -1,0 +1,56 @@
+// Fig 8 workload: HPGMG-FV-style bulk-synchronous multigrid phases under
+// thread packing. 28 equal-load threads run V-cycle phases (compute +
+// barrier) while only n of 28 cores stay active. Variants:
+//   BOLT nonpreemptive  — Algorithm 1 pools, no slicing → ceil(28/n) rounds
+//   BOLT preemptive     — Algorithm 1 + KLT-switching: shared-pool threads
+//                         sliced round-robin at the preemption interval
+//   IOMP                — 1:1 threads over the CFS model with taskset(n)
+// Overhead is measured against the paper's baseline: the same solver started
+// with n threads on n cores from the beginning.
+#pragma once
+
+#include "sim/cost_model.hpp"
+#include "sim/ult_model.hpp"
+
+namespace lpt::sim {
+
+enum class Fig8Variant {
+  kBoltNonpreemptive,
+  kBoltPreemptive,
+  kIomp,
+};
+
+const char* fig8_variant_name(Fig8Variant v);
+
+struct Fig8Config {
+  int n_threads = 28;   ///< threads per process (28 = one NUMA node, §4.2)
+  int n_active = 28;    ///< active cores
+  Time interval = 1'000'000;  ///< preemption interval (preemptive variant)
+  int vcycles = 3;
+  int levels = 3;       ///< multigrid depth; level l carries work/8^l
+  /// Per-thread compute per finest-level phase (with n_threads threads).
+  /// HPGMG-FV at the paper's problem size (2^8 boxes) spends almost all its
+  /// time on the finest levels, so phases are long relative to the 1 ms
+  /// preemption interval.
+  Time finest_phase_work = 40'000'000;
+  std::uint64_t seed = 42;
+};
+
+struct Fig8Result {
+  Time makespan = 0;
+  bool deadlocked = false;
+  std::uint64_t preemptions = 0;
+};
+
+/// One packed run: n_threads threads, n_active of n_threads cores.
+Fig8Result run_fig8(const CostModel& cm, const Fig8Config& cfg, Fig8Variant v);
+
+/// The paper's baseline: n_active threads on n_active cores from the start
+/// (BOLT nonpreemptive — "Intel OpenMP and BOLT showed almost the same
+/// performance" for the baseline).
+Fig8Result run_fig8_baseline(const CostModel& cm, const Fig8Config& cfg);
+
+/// Relative overhead of a packed run vs the baseline (the Fig 8 y-axis).
+double fig8_overhead(const CostModel& cm, const Fig8Config& cfg, Fig8Variant v);
+
+}  // namespace lpt::sim

@@ -1,0 +1,93 @@
+#include "apps/linalg/blas.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace lpt::apps {
+namespace {
+
+TEST(Blas, PotrfMatchesHandComputedCholesky) {
+  // A = L L^T with known L = [[2,0],[1,3]] -> A = [[4,2],[2,10]].
+  std::vector<double> a = {4, 2, 2, 10};  // column-major 2x2
+  ASSERT_TRUE(dpotrf_lower(2, a.data(), 2));
+  EXPECT_NEAR(a[0], 2.0, 1e-12);
+  EXPECT_NEAR(a[1], 1.0, 1e-12);
+  EXPECT_NEAR(a[3], 3.0, 1e-12);
+}
+
+TEST(Blas, PotrfRejectsIndefiniteMatrix) {
+  std::vector<double> a = {1, 2, 2, 1};  // eigenvalues 3, -1
+  EXPECT_FALSE(dpotrf_lower(2, a.data(), 2));
+}
+
+TEST(Blas, PotrfReconstructsSpdMatrix) {
+  constexpr int n = 24;
+  std::vector<double> a(n * n), orig;
+  make_spd(n, a.data(), n, 7);
+  orig = a;
+  ASSERT_TRUE(dpotrf_lower(n, a.data(), n));
+  // Check L * L^T == original (lower triangle).
+  for (int j = 0; j < n; ++j)
+    for (int i = j; i < n; ++i) {
+      double s = 0;
+      for (int k = 0; k <= j; ++k) s += a[i + k * n] * a[j + k * n];
+      EXPECT_NEAR(s, orig[i + j * n], 1e-9) << "at (" << i << "," << j << ")";
+    }
+}
+
+TEST(Blas, GemmNtMinusMatchesNaive) {
+  constexpr int m = 5, n = 4, k = 3;
+  std::vector<double> a(m * k), b(n * k), c(m * n, 1.0), ref(m * n, 1.0);
+  for (int i = 0; i < m * k; ++i) a[i] = i * 0.25 + 1;
+  for (int i = 0; i < n * k; ++i) b[i] = i * 0.5 - 2;
+  dgemm_nt_minus(m, n, k, a.data(), m, b.data(), n, c.data(), m);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < m; ++i) {
+      double s = ref[i + j * m];
+      for (int p = 0; p < k; ++p) s -= a[i + p * m] * b[j + p * n];
+      EXPECT_NEAR(c[i + j * m], s, 1e-12);
+    }
+}
+
+TEST(Blas, SyrkMatchesGemmOnLowerTriangle) {
+  constexpr int n = 6, k = 4;
+  std::vector<double> a(n * k);
+  for (int i = 0; i < n * k; ++i) a[i] = 0.3 * i - 1;
+  std::vector<double> c1(n * n, 2.0), c2(n * n, 2.0);
+  dsyrk_ln_minus(n, k, a.data(), n, c1.data(), n);
+  dgemm_nt_minus(n, n, k, a.data(), n, a.data(), n, c2.data(), n);
+  EXPECT_NEAR(lower_max_diff(n, c1.data(), n, c2.data(), n), 0.0, 1e-12);
+}
+
+TEST(Blas, TrsmSolvesAgainstLowerTriangular) {
+  constexpr int m = 4, n = 3;
+  // L lower triangular with positive diagonal.
+  std::vector<double> l = {2, 1, 4, 0, 3, 5, 0, 0, 6};  // 3x3 col-major
+  std::vector<double> x(m * n);
+  for (int i = 0; i < m * n; ++i) x[i] = 0.7 * i - 1;
+  std::vector<double> b = x;  // B := X * L^T, then solve back
+  // compute B = X * L^T
+  std::vector<double> bb(m * n, 0.0);
+  for (int j = 0; j < n; ++j)
+    for (int p = 0; p < n; ++p) {
+      const double ljp = l[j + p * n];  // L(j,p)
+      if (ljp == 0.0) continue;
+      for (int i = 0; i < m; ++i) bb[i + j * m] += x[i + p * m] * ljp;
+    }
+  dtrsm_rltn(m, n, l.data(), n, bb.data(), m);
+  for (int i = 0; i < m * n; ++i) EXPECT_NEAR(bb[i], x[i], 1e-10);
+  (void)b;
+}
+
+TEST(Blas, MakeSpdIsSymmetricAndFactorizable) {
+  constexpr int n = 16;
+  std::vector<double> a(n * n);
+  make_spd(n, a.data(), n, 42);
+  for (int j = 0; j < n; ++j)
+    for (int i = 0; i < n; ++i) EXPECT_EQ(a[i + j * n], a[j + i * n]);
+  EXPECT_TRUE(dpotrf_lower(n, a.data(), n));
+}
+
+}  // namespace
+}  // namespace lpt::apps

@@ -1,0 +1,96 @@
+#include "common/futex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace lpt {
+namespace {
+
+TEST(FutexEvent, SetBeforeWaitDoesNotBlock) {
+  FutexEvent ev;
+  ev.set();
+  ev.wait();  // must return immediately
+  EXPECT_TRUE(ev.is_set());
+}
+
+TEST(FutexEvent, WakesBlockedWaiter) {
+  FutexEvent ev;
+  std::atomic<bool> woke{false};
+  std::thread t([&] {
+    ev.wait();
+    woke.store(true);
+  });
+  EXPECT_FALSE(woke.load());
+  ev.set();
+  t.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(FutexEvent, WakesAllWaiters) {
+  FutexEvent ev;
+  std::atomic<int> woke{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 4; ++i)
+    ts.emplace_back([&] {
+      ev.wait();
+      woke.fetch_add(1);
+    });
+  ev.set();
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(woke.load(), 4);
+}
+
+TEST(FutexEvent, ResetAllowsReuse) {
+  FutexEvent ev;
+  ev.set();
+  ev.wait();
+  ev.reset();
+  EXPECT_FALSE(ev.is_set());
+  std::thread t([&] { ev.wait(); });
+  ev.set();
+  t.join();
+}
+
+TEST(FutexGate, PostBeforeWaitBanksTicket) {
+  FutexGate g;
+  g.post();
+  g.wait();  // consumes the banked ticket, no block
+}
+
+TEST(FutexGate, EachPostReleasesExactlyOneWaiter) {
+  FutexGate g;
+  std::atomic<int> passed{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < 3; ++i)
+    ts.emplace_back([&] {
+      g.wait();
+      passed.fetch_add(1);
+    });
+  // Release them one at a time.
+  for (int i = 1; i <= 3; ++i) {
+    g.post();
+    while (passed.load() < i) std::this_thread::yield();
+    EXPECT_EQ(passed.load(), i);
+  }
+  for (auto& t : ts) t.join();
+}
+
+TEST(FutexGate, ManyTicketsManyWaiters) {
+  FutexGate g;
+  constexpr int kN = 8;
+  std::atomic<int> passed{0};
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kN; ++i)
+    ts.emplace_back([&] {
+      g.wait();
+      passed.fetch_add(1);
+    });
+  for (int i = 0; i < kN; ++i) g.post();
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(passed.load(), kN);
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,46 @@
+#include "common/spinlock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace lpt {
+namespace {
+
+TEST(Spinlock, LockUnlockSingleThread) {
+  Spinlock l;
+  l.lock();
+  l.unlock();
+  EXPECT_TRUE(l.try_lock());
+  l.unlock();
+}
+
+TEST(Spinlock, TryLockFailsWhenHeld) {
+  Spinlock l;
+  l.lock();
+  EXPECT_FALSE(l.try_lock());
+  l.unlock();
+  EXPECT_TRUE(l.try_lock());
+  l.unlock();
+}
+
+TEST(Spinlock, MutualExclusionUnderContention) {
+  Spinlock l;
+  long counter = 0;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        SpinlockGuard g(l);
+        ++counter;
+      }
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, static_cast<long>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,69 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lpt {
+namespace {
+
+TEST(Stats, MeanOfConstantSamples) {
+  Stats s;
+  for (int i = 0; i < 10; ++i) s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, MeanAndStddevKnownValues) {
+  Stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev of this classic set: sqrt(32/7)
+  EXPECT_NEAR(s.stddev(), 2.13808993529939, 1e-12);
+}
+
+TEST(Stats, MedianOddAndEvenCounts) {
+  Stats odd;
+  for (double x : {5.0, 1.0, 3.0}) odd.add(x);
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+
+  Stats even;
+  for (double x : {4.0, 1.0, 3.0, 2.0}) even.add(x);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  Stats s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+}
+
+TEST(Stats, MinMaxAndCount) {
+  Stats s;
+  s.add(-2.0);
+  s.add(7.0);
+  s.add(0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 7.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(Stats, SingleSamplePercentile) {
+  Stats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(37), 42.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, ClearResets) {
+  Stats s;
+  s.add(1.0);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+}
+
+}  // namespace
+}  // namespace lpt

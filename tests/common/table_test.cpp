@@ -1,0 +1,61 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace lpt {
+namespace {
+
+std::string render(const Table& t) {
+  char* buf = nullptr;
+  std::size_t len = 0;
+  std::FILE* mem = open_memstream(&buf, &len);
+  t.print(mem);
+  std::fclose(mem);
+  std::string out(buf, len);
+  free(buf);
+  return out;
+}
+
+TEST(Table, HeaderAndRowsRendered) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::string out = render(t);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  // header + separator + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"x", "y"});
+  t.add_row({"wide-cell-here", "1"});
+  std::string out = render(t);
+  // Every line should have the same length since columns are padded.
+  std::vector<std::size_t> lens;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    std::size_t nl = out.find('\n', pos);
+    lens.push_back(nl - pos);
+    pos = nl + 1;
+  }
+  for (std::size_t l : lens) EXPECT_EQ(l, lens[0]);
+}
+
+TEST(Table, MissingTrailingCellsRenderEmpty) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::string out = render(t);
+  EXPECT_NE(out.find("only-one"), std::string::npos);
+}
+
+TEST(Table, FmtFormats) {
+  EXPECT_EQ(Table::fmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(Table::fmt("%d/%d", 3, 4), "3/4");
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,78 @@
+#include "common/treiber_stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace lpt {
+namespace {
+
+struct Node : TreiberNode {
+  int value = 0;
+};
+
+TEST(TreiberStack, LifoOrderSingleThread) {
+  TreiberStack<Node> st;
+  Node a, b, c;
+  a.value = 1;
+  b.value = 2;
+  c.value = 3;
+  st.push(&a);
+  st.push(&b);
+  st.push(&c);
+  EXPECT_EQ(st.pop()->value, 3);
+  EXPECT_EQ(st.pop()->value, 2);
+  EXPECT_EQ(st.pop()->value, 1);
+  EXPECT_EQ(st.pop(), nullptr);
+  EXPECT_TRUE(st.empty());
+}
+
+TEST(TreiberStack, PopEmptyReturnsNull) {
+  TreiberStack<Node> st;
+  EXPECT_EQ(st.pop(), nullptr);
+}
+
+TEST(TreiberStack, ConcurrentPushPopConservesNodes) {
+  TreiberStack<Node> st;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<Node> nodes(kThreads * kPerThread);
+  for (int i = 0; i < kThreads * kPerThread; ++i) nodes[i].value = i;
+
+  std::atomic<int> popped{0};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      // Each thread pushes its slice and pops an equal number overall.
+      for (int i = 0; i < kPerThread; ++i) {
+        st.push(&nodes[t * kPerThread + i]);
+        if (Node* n = st.pop()) {
+          popped.fetch_add(1);
+          (void)n;
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  // Drain the remainder.
+  while (st.pop() != nullptr) popped.fetch_add(1);
+  EXPECT_EQ(popped.load(), kThreads * kPerThread);
+  EXPECT_TRUE(st.empty());
+}
+
+TEST(TreiberStack, SingleOwnerReuseAfterPop) {
+  TreiberStack<Node> st;
+  Node n;
+  for (int i = 0; i < 100; ++i) {
+    n.value = i;
+    st.push(&n);
+    Node* got = st.pop();
+    ASSERT_EQ(got, &n);
+    EXPECT_EQ(got->value, i);
+  }
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,94 @@
+// Parameterized property sweeps over the context/stack substrate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "context/context.hpp"
+#include "context/stack.hpp"
+
+namespace lpt {
+namespace {
+
+struct HopState {
+  Context main_ctx;
+  Context ult_ctx;
+  std::uint64_t checksum = 0;
+  int hops = 0;
+};
+
+void hop_entry(void* arg) {
+  auto* hs = static_cast<HopState*>(arg);
+  std::uint64_t acc = 0x243f6a8885a308d3ull;
+  for (int i = 0; i < hs->hops; ++i) {
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+    context_switch(hs->ult_ctx, hs->main_ctx);
+  }
+  hs->checksum = acc;
+  context_switch(hs->ult_ctx, hs->main_ctx);
+  LPT_CHECK(false);
+}
+
+std::uint64_t expected_checksum(int hops) {
+  std::uint64_t acc = 0x243f6a8885a308d3ull;
+  for (int i = 0; i < hops; ++i)
+    acc = acc * 6364136223846793005ull + 1442695040888963407ull;
+  return acc;
+}
+
+class StackSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(StackSizeSweep, ContextRunsOnEveryStackSize) {
+  const std::size_t size = GetParam();
+  Stack stack(size);
+  ASSERT_GE(stack.size(), size);
+  HopState hs;
+  hs.hops = 16;
+  hs.ult_ctx = make_context(stack.base(), stack.size(), hop_entry, &hs);
+  for (int i = 0; i <= hs.hops; ++i) context_switch(hs.main_ctx, hs.ult_ctx);
+  EXPECT_EQ(hs.checksum, expected_checksum(hs.hops));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StackSizeSweep,
+                         ::testing::Values(4096, 8192, 16384, 65536,
+                                           262144, 1048576));
+
+class HopCountSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HopCountSweep, RegisterStateSurvivesManyHops) {
+  Stack stack(64 * 1024);
+  HopState hs;
+  hs.hops = GetParam();
+  hs.ult_ctx = make_context(stack.base(), stack.size(), hop_entry, &hs);
+  for (int i = 0; i <= hs.hops; ++i) context_switch(hs.main_ctx, hs.ult_ctx);
+  EXPECT_EQ(hs.checksum, expected_checksum(hs.hops));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HopCountSweep,
+                         ::testing::Values(0, 1, 2, 64, 1000, 10000));
+
+TEST(StackPoolProperty, AcquireReleaseConservesDistinctStacks) {
+  StackPool pool(16 * 1024);
+  constexpr int kN = 24;
+  std::vector<Stack> stacks;
+  std::vector<void*> bases;
+  for (int i = 0; i < kN; ++i) {
+    stacks.push_back(pool.acquire());
+    bases.push_back(stacks.back().base());
+  }
+  // All distinct while simultaneously held.
+  for (int i = 0; i < kN; ++i)
+    for (int j = i + 1; j < kN; ++j) ASSERT_NE(bases[i], bases[j]);
+  for (auto& s : stacks) pool.release(std::move(s));
+  EXPECT_EQ(pool.cached(), static_cast<std::size_t>(kN));
+  // Reacquired stacks come from the cache, not fresh mappings.
+  Stack again = pool.acquire();
+  bool known = false;
+  for (void* b : bases) known |= (b == again.base());
+  EXPECT_TRUE(known);
+  pool.release(std::move(again));
+}
+
+}  // namespace
+}  // namespace lpt

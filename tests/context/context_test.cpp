@@ -1,0 +1,191 @@
+#include "context/context.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "context/stack.hpp"
+
+namespace lpt {
+namespace {
+
+// Shared state for the hand-rolled coroutine-style tests.
+struct PingPong {
+  Context main_ctx;
+  Context ult_ctx;
+  std::vector<int> trace;
+};
+
+void pingpong_entry(void* arg) {
+  auto* pp = static_cast<PingPong*>(arg);
+  pp->trace.push_back(1);
+  context_switch(pp->ult_ctx, pp->main_ctx);
+  pp->trace.push_back(3);
+  context_switch(pp->ult_ctx, pp->main_ctx);
+  // Not reached: the test never resumes a third time.
+  LPT_CHECK(false);
+}
+
+TEST(Context, SwitchRoundTripPreservesControlFlow) {
+  Stack stack(64 * 1024);
+  PingPong pp;
+  pp.ult_ctx = make_context(stack.base(), stack.size(), pingpong_entry, &pp);
+
+  pp.trace.push_back(0);
+  context_switch(pp.main_ctx, pp.ult_ctx);
+  pp.trace.push_back(2);
+  context_switch(pp.main_ctx, pp.ult_ctx);
+  pp.trace.push_back(4);
+
+  EXPECT_EQ(pp.trace, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+struct ArgCheck {
+  Context main_ctx;
+  Context ult_ctx;
+  void* seen_arg = nullptr;
+};
+
+void argcheck_entry(void* arg) {
+  auto* ac = static_cast<ArgCheck*>(arg);
+  ac->seen_arg = arg;
+  context_switch(ac->ult_ctx, ac->main_ctx);
+  LPT_CHECK(false);
+}
+
+TEST(Context, EntryReceivesItsArgument) {
+  Stack stack(64 * 1024);
+  ArgCheck ac;
+  ac.ult_ctx = make_context(stack.base(), stack.size(), argcheck_entry, &ac);
+  context_switch(ac.main_ctx, ac.ult_ctx);
+  EXPECT_EQ(ac.seen_arg, &ac);
+}
+
+struct CalleeSaved {
+  Context main_ctx;
+  Context ult_ctx;
+};
+
+void clobber_entry(void* arg) {
+  auto* cs = static_cast<CalleeSaved*>(arg);
+  // Deliberately occupy callee-saved registers with live values across the
+  // switch; if lpt_ctx_switch failed to save/restore them this computation
+  // breaks (compiled with registers allocated across the call).
+  std::uint64_t a = 0x1111111111111111ull, b = 0x2222222222222222ull,
+                c = 0x3333333333333333ull, d = 0x4444444444444444ull,
+                e = 0x5555555555555555ull;
+  context_switch(cs->ult_ctx, cs->main_ctx);
+  volatile std::uint64_t sum = a + b + c + d + e;
+  LPT_CHECK(sum == 0xffffffffffffffffull);
+  context_switch(cs->ult_ctx, cs->main_ctx);
+  LPT_CHECK(false);
+}
+
+TEST(Context, CalleeSavedRegistersSurviveSwitch) {
+  Stack stack(64 * 1024);
+  CalleeSaved cs;
+  cs.ult_ctx = make_context(stack.base(), stack.size(), clobber_entry, &cs);
+  context_switch(cs.main_ctx, cs.ult_ctx);  // enters, parks
+  context_switch(cs.main_ctx, cs.ult_ctx);  // resumes, verifies, parks
+  SUCCEED();
+}
+
+struct FpState {
+  Context main_ctx;
+  Context ult_ctx;
+  double result = 0;
+};
+
+void fp_entry(void* arg) {
+  auto* fs = static_cast<FpState*>(arg);
+  double x = 1.5;
+  context_switch(fs->ult_ctx, fs->main_ctx);
+  x *= 2.0;
+  fs->result = x;
+  context_switch(fs->ult_ctx, fs->main_ctx);
+  LPT_CHECK(false);
+}
+
+TEST(Context, FloatingPointComputationAcrossSwitches) {
+  Stack stack(64 * 1024);
+  FpState fs;
+  fs.ult_ctx = make_context(stack.base(), stack.size(), fp_entry, &fs);
+  context_switch(fs.main_ctx, fs.ult_ctx);
+  double y = 10.0 / 3.0;  // dirty the FP unit on the main context
+  context_switch(fs.main_ctx, fs.ult_ctx);
+  EXPECT_DOUBLE_EQ(fs.result, 3.0);
+  EXPECT_NEAR(y, 3.3333333, 1e-6);
+}
+
+struct Chain {
+  Context main_ctx;
+  std::vector<Context> ctxs;
+  std::vector<Stack> stacks;
+  std::vector<int> order;
+  int index = 0;
+};
+
+Chain* g_chain = nullptr;
+
+void chain_entry(void* arg) {
+  auto idx = static_cast<int>(reinterpret_cast<std::intptr_t>(arg));
+  g_chain->order.push_back(idx);
+  if (idx + 1 < static_cast<int>(g_chain->ctxs.size()))
+    context_switch(g_chain->ctxs[idx], g_chain->ctxs[idx + 1]);
+  else
+    context_switch(g_chain->ctxs[idx], g_chain->main_ctx);
+  LPT_CHECK(false);
+}
+
+TEST(Context, ChainOfManyContexts) {
+  constexpr int kN = 32;
+  Chain chain;
+  g_chain = &chain;
+  chain.ctxs.resize(kN);
+  for (int i = 0; i < kN; ++i) chain.stacks.emplace_back(32 * 1024);
+  for (int i = 0; i < kN; ++i)
+    chain.ctxs[i] = make_context(chain.stacks[i].base(), chain.stacks[i].size(),
+                                 chain_entry,
+                                 reinterpret_cast<void*>(static_cast<std::intptr_t>(i)));
+  context_switch(chain.main_ctx, chain.ctxs[0]);
+  ASSERT_EQ(chain.order.size(), static_cast<std::size_t>(kN));
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(chain.order[i], i);
+  g_chain = nullptr;
+}
+
+struct JumpState {
+  Context main_ctx;
+  Context ult_ctx;
+  bool ran = false;
+};
+
+void jump_entry(void* arg) {
+  auto* js = static_cast<JumpState*>(arg);
+  js->ran = true;
+  context_jump(js->main_ctx);  // terminate without saving
+}
+
+TEST(Context, JumpDiscardsCurrentContext) {
+  Stack stack(64 * 1024);
+  JumpState js;
+  js.ult_ctx = make_context(stack.base(), stack.size(), jump_entry, &js);
+  context_switch(js.main_ctx, js.ult_ctx);
+  EXPECT_TRUE(js.ran);
+}
+
+TEST(Context, ManySequentialSwitchesStressStack) {
+  Stack stack(64 * 1024);
+  PingPong pp;
+  for (int rep = 0; rep < 1000; ++rep) {
+    pp.trace.clear();
+    pp.ult_ctx = make_context(stack.base(), stack.size(), pingpong_entry, &pp);
+    context_switch(pp.main_ctx, pp.ult_ctx);
+    context_switch(pp.main_ctx, pp.ult_ctx);
+    ASSERT_EQ(pp.trace, (std::vector<int>{1, 3}));
+  }
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,70 @@
+#include "context/stack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace lpt {
+namespace {
+
+TEST(Stack, AllocatesUsableMemory) {
+  Stack s(64 * 1024);
+  ASSERT_TRUE(s.valid());
+  ASSERT_GE(s.size(), 64u * 1024);
+  // The whole usable area must be writable.
+  std::memset(s.base(), 0xab, s.size());
+  EXPECT_EQ(static_cast<unsigned char*>(s.base())[0], 0xab);
+  EXPECT_EQ(static_cast<unsigned char*>(s.base())[s.size() - 1], 0xab);
+}
+
+TEST(Stack, SizeRoundedUpToPage) {
+  Stack s(1000);
+  EXPECT_GE(s.size(), 1000u);
+  EXPECT_EQ(s.size() % 4096, 0u);
+}
+
+TEST(Stack, MoveTransfersOwnership) {
+  Stack a(16 * 1024);
+  void* base = a.base();
+  Stack b(std::move(a));
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(b.base(), base);
+
+  Stack c(16 * 1024);
+  c = std::move(b);
+  EXPECT_FALSE(b.valid());
+  EXPECT_EQ(c.base(), base);
+}
+
+TEST(Stack, GuardPageFaultsOnUnderflow) {
+  Stack s(16 * 1024);
+  auto* below = static_cast<volatile char*>(s.base()) - 1;
+  EXPECT_DEATH({ *below = 1; }, "");
+}
+
+TEST(StackPool, ReusesReleasedStacks) {
+  StackPool pool(32 * 1024);
+  Stack s1 = pool.acquire();
+  void* base = s1.base();
+  pool.release(std::move(s1));
+  EXPECT_EQ(pool.cached(), 1u);
+  Stack s2 = pool.acquire();
+  EXPECT_EQ(s2.base(), base);
+  EXPECT_EQ(pool.cached(), 0u);
+}
+
+TEST(StackPool, GrowsOnDemand) {
+  StackPool pool(16 * 1024);
+  Stack a = pool.acquire();
+  Stack b = pool.acquire();
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.base(), b.base());
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.cached(), 2u);
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,123 @@
+#include "runtime/parallel_for.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/time.hpp"
+#include "runtime/lpt.hpp"
+
+namespace lpt {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  RuntimeOptions o;
+  o.num_workers = 4;
+  Runtime rt(o);
+  constexpr std::int64_t kN = 100'000;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelForOptions pf;
+  pf.grain = 1000;
+  parallel_for(rt, 0, kN, [&](std::int64_t i) { visits[i].fetch_add(1); }, pf);
+  for (std::int64_t i = 0; i < kN; ++i)
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ParallelFor, EmptyAndSingletonRanges) {
+  Runtime rt{RuntimeOptions{}};
+  std::atomic<int> calls{0};
+  parallel_for(rt, 5, 5, [&](std::int64_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+  parallel_for(rt, 7, 8, [&](std::int64_t i) {
+    EXPECT_EQ(i, 7);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelFor, RangeVariantCoversDisjointChunks) {
+  Runtime rt{RuntimeOptions{}};
+  constexpr std::int64_t kN = 4096;
+  std::vector<std::atomic<int>> visits(kN);
+  ParallelForOptions pf;
+  pf.grain = 100;
+  parallel_for_range(
+      rt, 0, kN,
+      [&](std::int64_t lo, std::int64_t hi) {
+        EXPECT_LT(lo, hi);
+        EXPECT_LE(hi - lo, 100);
+        for (std::int64_t i = lo; i < hi; ++i) visits[i].fetch_add(1);
+      },
+      pf);
+  for (std::int64_t i = 0; i < kN; ++i) ASSERT_EQ(visits[i].load(), 1);
+}
+
+TEST(ParallelFor, NestedInvocations) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  std::atomic<long> sum{0};
+  ParallelForOptions outer;
+  outer.grain = 1;
+  parallel_for(rt, 0, 8, [&](std::int64_t i) {
+    ParallelForOptions inner;
+    inner.grain = 4;
+    parallel_for(rt, 0, 16, [&, i](std::int64_t j) { sum.fetch_add(i * 16 + j); },
+                 inner);
+  }, outer);
+  // sum over i<8, j<16 of (i*16 + j) = sum over k<128 of k
+  EXPECT_EQ(sum.load(), 127L * 128 / 2);
+}
+
+TEST(ParallelFor, CallableFromInsideUlt) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  std::atomic<long> sum{0};
+  Thread t = rt.spawn([&] {
+    parallel_for(rt, 1, 101, [&](std::int64_t i) { sum.fetch_add(i); });
+  });
+  t.join();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ParallelFor, PreemptibleIterationsMakeProgressUnderBusyNeighbors) {
+  // One worker: a preemptive parallel_for must complete even while iteration
+  // bodies busy-spin on each other's progress counters.
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 500;
+  Runtime rt(o);
+  std::atomic<int> started{0};
+  ParallelForOptions pf;
+  pf.grain = 1;
+  pf.attrs.preempt = Preempt::SignalYield;
+  parallel_for(rt, 0, 4, [&](std::int64_t) {
+    // Every iteration waits until all 4 have started: impossible without
+    // preemption on a single worker with grain 1.
+    started.fetch_add(1);
+    const std::int64_t deadline = now_ns() + 20'000'000'000ll;
+    while (started.load() < 4) {
+      ASSERT_LT(now_ns(), deadline) << "parallel_for iterations starved";
+    }
+  }, pf);
+  EXPECT_EQ(started.load(), 4);
+  EXPECT_GT(rt.total_preemptions(), 0u);
+}
+
+TEST(ParallelFor, GrainOneStress) {
+  RuntimeOptions o;
+  o.num_workers = 4;
+  Runtime rt(o);
+  std::atomic<long> sum{0};
+  ParallelForOptions pf;
+  pf.grain = 1;
+  parallel_for(rt, 0, 2000, [&](std::int64_t i) { sum.fetch_add(i); }, pf);
+  EXPECT_EQ(sum.load(), 1999L * 2000 / 2);
+}
+
+}  // namespace
+}  // namespace lpt

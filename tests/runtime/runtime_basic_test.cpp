@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "runtime/lpt.hpp"
+
+namespace lpt {
+namespace {
+
+TEST(RuntimeBasic, StartStopNoThreads) {
+  RuntimeOptions opts;
+  opts.num_workers = 2;
+  Runtime rt(opts);
+  EXPECT_EQ(rt.num_workers(), 2);
+  EXPECT_EQ(rt.active_workers(), 2);
+}
+
+TEST(RuntimeBasic, CurrentPointsToActiveRuntime) {
+  EXPECT_EQ(Runtime::current(), nullptr);
+  {
+    Runtime rt{RuntimeOptions{}};
+    EXPECT_EQ(Runtime::current(), &rt);
+  }
+  EXPECT_EQ(Runtime::current(), nullptr);
+}
+
+TEST(RuntimeBasic, SpawnJoinSingle) {
+  Runtime rt{RuntimeOptions{}};
+  std::atomic<int> ran{0};
+  Thread t = rt.spawn([&] { ran.store(1); });
+  t.join();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_FALSE(t.joinable());
+}
+
+TEST(RuntimeBasic, SpawnJoinMany) {
+  RuntimeOptions opts;
+  opts.num_workers = 4;
+  Runtime rt(opts);
+  constexpr int kN = 200;
+  std::atomic<int> sum{0};
+  std::vector<Thread> ts;
+  ts.reserve(kN);
+  for (int i = 0; i < kN; ++i) ts.push_back(rt.spawn([&, i] { sum.fetch_add(i); }));
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(RuntimeBasic, HandleDestructorJoins) {
+  Runtime rt{RuntimeOptions{}};
+  std::atomic<bool> ran{false};
+  { Thread t = rt.spawn([&] { ran.store(true); }); }
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(RuntimeBasic, DetachedThreadRuns) {
+  Runtime rt{RuntimeOptions{}};
+  FutexEvent done;
+  rt.spawn_detached([&] { done.set(); });
+  done.wait();
+  SUCCEED();
+}
+
+TEST(RuntimeBasic, SpawnFromInsideUlt) {
+  RuntimeOptions opts;
+  opts.num_workers = 2;
+  Runtime rt(opts);
+  std::atomic<int> inner_ran{0};
+  Thread outer = rt.spawn([&] {
+    EXPECT_TRUE(this_thread::in_ult());
+    std::vector<Thread> inner;
+    for (int i = 0; i < 10; ++i)
+      inner.push_back(Runtime::current()->spawn([&] { inner_ran.fetch_add(1); }));
+    for (auto& t : inner) t.join();
+  });
+  outer.join();
+  EXPECT_EQ(inner_ran.load(), 10);
+}
+
+TEST(RuntimeBasic, JoinFromUltBlocksCooperatively) {
+  RuntimeOptions opts;
+  opts.num_workers = 1;  // single worker forces cooperative interleaving
+  Runtime rt(opts);
+  std::vector<int> order;
+  Thread a = rt.spawn([&] {
+    Thread b = Runtime::current()->spawn([&] { order.push_back(1); });
+    b.join();
+    order.push_back(2);
+  });
+  a.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(RuntimeBasic, YieldInterleavesOnSingleWorker) {
+  RuntimeOptions opts;
+  opts.num_workers = 1;
+  Runtime rt(opts);
+  std::vector<int> trace;
+  Thread a = rt.spawn([&] {
+    trace.push_back(0);
+    this_thread::yield();
+    trace.push_back(2);
+    this_thread::yield();
+    trace.push_back(4);
+  });
+  Thread b = rt.spawn([&] {
+    trace.push_back(1);
+    this_thread::yield();
+    trace.push_back(3);
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(trace, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(RuntimeBasic, YieldOutsideUltIsNoop) {
+  this_thread::yield();  // must not crash without a runtime
+  EXPECT_FALSE(this_thread::in_ult());
+  EXPECT_EQ(this_thread::worker_rank(), -1);
+}
+
+TEST(RuntimeBasic, WorkerRankVisibleInsideUlt) {
+  RuntimeOptions opts;
+  opts.num_workers = 3;
+  Runtime rt(opts);
+  std::atomic<int> bad{0};
+  std::vector<Thread> ts;
+  for (int i = 0; i < 30; ++i)
+    ts.push_back(rt.spawn([&] {
+      int r = this_thread::worker_rank();
+      if (r < 0 || r >= 3) bad.fetch_add(1);
+    }));
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(RuntimeBasic, SequentialRuntimesReuseProcess) {
+  for (int round = 0; round < 3; ++round) {
+    RuntimeOptions opts;
+    opts.num_workers = 2;
+    Runtime rt(opts);
+    std::atomic<int> n{0};
+    std::vector<Thread> ts;
+    for (int i = 0; i < 20; ++i) ts.push_back(rt.spawn([&] { n.fetch_add(1); }));
+    for (auto& t : ts) t.join();
+    EXPECT_EQ(n.load(), 20);
+  }
+}
+
+TEST(RuntimeBasic, ManyThreadsFewWorkersStress) {
+  RuntimeOptions opts;
+  opts.num_workers = 2;
+  Runtime rt(opts);
+  std::atomic<long> acc{0};
+  std::vector<Thread> ts;
+  for (int i = 0; i < 500; ++i)
+    ts.push_back(rt.spawn([&] {
+      for (int k = 0; k < 10; ++k) {
+        acc.fetch_add(1);
+        this_thread::yield();
+      }
+    }));
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(acc.load(), 5000);
+}
+
+TEST(RuntimeBasic, CustomStackSize) {
+  Runtime rt{RuntimeOptions{}};
+  ThreadAttrs attrs;
+  attrs.stack_size = 1 << 20;
+  std::atomic<bool> ok{false};
+  Thread t = rt.spawn(
+      [&] {
+        // Use a deep-ish buffer that would overflow a tiny stack.
+        volatile char buf[512 * 1024];
+        buf[0] = 1;
+        buf[sizeof(buf) - 1] = 1;
+        ok.store(buf[0] == 1 && buf[sizeof(buf) - 1] == 1);
+      },
+      attrs);
+  t.join();
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(RuntimeBasic, TotalKltsStartsAtWorkerCount) {
+  RuntimeOptions opts;
+  opts.num_workers = 3;
+  Runtime rt(opts);
+  EXPECT_EQ(rt.total_klts(), 3u);
+}
+
+TEST(RuntimeBasic, InitialSpareKltsCreated) {
+  RuntimeOptions opts;
+  opts.num_workers = 2;
+  opts.initial_spare_klts = 2;
+  Runtime rt(opts);
+  EXPECT_EQ(rt.total_klts(), 4u);
+  // Spares park in the pool and must shut down cleanly with the runtime.
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,281 @@
+// Edge cases and paper-§3.5 behaviours: restartable system calls under
+// preemption signals, guard nesting, KLT-count bounds (the "worst case
+// deteriorates to 1:1" claim), handle semantics, and mixed-config stress.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+#include "runtime/internal.hpp"
+#include "runtime/lpt.hpp"
+
+namespace lpt {
+namespace {
+
+TEST(SyscallRestart, BlockingReadSurvivesPreemptionSignals) {
+  // §3.5.1: handlers install SA_RESTART so interrupted system calls restart
+  // transparently. A ULT blocked in read(2) on a pipe receives timer
+  // signals every 500 µs and must still return the written data, not EINTR.
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 500;
+  Runtime rt(o);
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  std::atomic<int> got{-1};
+  ThreadAttrs attrs;
+  attrs.preempt = Preempt::SignalYield;
+  Thread reader = rt.spawn(
+      [&] {
+        char buf[8] = {};
+        const ssize_t n = read(fds[0], buf, sizeof(buf));  // blocks ~20 ms
+        got.store(n == 5 && std::memcmp(buf, "hello", 5) == 0 ? 1 : 0);
+      },
+      attrs);
+  // Let ~40 timer periods hit the blocked reader before writing.
+  usleep(20'000);
+  ASSERT_EQ(write(fds[1], "hello", 5), 5);
+  reader.join();
+  EXPECT_EQ(got.load(), 1) << "read() was not restarted cleanly";
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(SyscallRestart, NanosleepNeedsExplicitEintrHandling) {
+  // §3.5.1's caveat, demonstrated: nanosleep(2) belongs to the class of
+  // system calls SA_RESTART can NEVER restart (signal(7)); under a
+  // preemption timer it returns EINTR with the remaining time, and the
+  // "appropriate error handling [that] is required" is the classic retry
+  // loop on the `rem` output.
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 300;
+  Runtime rt(o);
+  ThreadAttrs attrs;
+  attrs.preempt = Preempt::KltSwitch;
+  std::atomic<std::int64_t> slept{0};
+  std::atomic<int> eintrs{0};
+  Thread t = rt.spawn(
+      [&] {
+        const std::int64_t t0 = now_ns();
+        timespec req{0, 20'000'000};  // 20 ms >> 0.3 ms interval
+        while (nanosleep(&req, &req) == -1 && errno == EINTR)
+          eintrs.fetch_add(1);
+        slept.store(now_ns() - t0);
+      },
+      attrs);
+  t.join();
+  EXPECT_GE(slept.load(), 19'000'000);
+  // With a 0.3 ms timer over a 20 ms sleep, interruptions must occur.
+  EXPECT_GT(eintrs.load(), 0);
+}
+
+TEST(NoPreemptGuard, NestingDefersUntilOutermostExit) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 300;
+  Runtime rt(o);
+  ThreadAttrs attrs;
+  attrs.preempt = Preempt::SignalYield;
+  std::atomic<std::uint64_t> inner{0}, mid{0};
+  Thread t = rt.spawn(
+      [&] {
+        NoPreemptGuard outer_guard;
+        {
+          NoPreemptGuard inner_guard;
+          busy_spin_ns(5'000'000);
+          inner.store(Runtime::current()->total_preemptions());
+        }
+        busy_spin_ns(5'000'000);
+        mid.store(Runtime::current()->total_preemptions());
+      },
+      attrs);
+  t.join();
+  EXPECT_EQ(inner.load(), 0u);
+  EXPECT_EQ(mid.load(), 0u);  // still guarded by the outer scope
+}
+
+TEST(NoPreemptGuard, OutsideUltIsHarmless) {
+  Runtime rt{RuntimeOptions{}};
+  NoPreemptGuard g1;
+  NoPreemptGuard g2;
+  Thread t = rt.spawn([] {});
+  t.join();
+  SUCCEED();
+}
+
+TEST(KltBounds, KltCountNeverExceedsThreadsPlusWorkers) {
+  // §3.1.2: "in the worst case, we would allocate as many KLTs as threads,
+  // thus simply deteriorating to a 1:1 threading model". With T threads and
+  // W workers the pool can hold at most T bound + W hosts (+ the creator's
+  // one-in-flight batch).
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 300;
+  Runtime rt(o);
+  constexpr int kThreads = 8;
+  ThreadAttrs attrs;
+  attrs.preempt = Preempt::KltSwitch;
+  std::vector<Thread> ts;
+  for (int i = 0; i < kThreads; ++i)
+    ts.push_back(rt.spawn([&] { busy_spin_ns(50'000'000); }, attrs));
+  for (auto& t : ts) t.join();
+  EXPECT_GT(rt.total_preemptions(), 0u);
+  // kThreads bound + num_workers hosts + capped local-pool spares + at most
+  // num_workers creations in flight when demand stopped.
+  EXPECT_LE(rt.total_klts(),
+            static_cast<std::uint64_t>(kThreads + 3 * o.num_workers));
+}
+
+TEST(ThreadHandle, MoveAssignJoinsPreviousThread) {
+  Runtime rt{RuntimeOptions{}};
+  std::atomic<int> done{0};
+  Thread a = rt.spawn([&] { done.fetch_add(1); });
+  Thread b = rt.spawn([&] { done.fetch_add(10); });
+  a = std::move(b);  // must join the old `a` thread first
+  EXPECT_TRUE(a.joinable());
+  a.join();
+  EXPECT_EQ(done.load(), 11);
+}
+
+TEST(ThreadHandle, MoveConstructedHandleOwnsThread) {
+  Runtime rt{RuntimeOptions{}};
+  std::atomic<bool> ran{false};
+  Thread a = rt.spawn([&] { ran.store(true); });
+  Thread b(std::move(a));
+  EXPECT_FALSE(a.joinable());
+  EXPECT_TRUE(b.joinable());
+  b.join();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ExternalThreads, ConcurrentSpawnersFromManyKernelThreads) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  std::atomic<int> total{0};
+  std::vector<std::thread> spawners;
+  for (int s = 0; s < 4; ++s)
+    spawners.emplace_back([&] {
+      std::vector<Thread> ts;
+      for (int i = 0; i < 50; ++i)
+        ts.push_back(rt.spawn([&] { total.fetch_add(1); }));
+      for (auto& t : ts) t.join();
+    });
+  for (auto& s : spawners) s.join();
+  EXPECT_EQ(total.load(), 200);
+}
+
+TEST(StackPoolReuse, ManyGenerationsRecycleStacks) {
+  Runtime rt{RuntimeOptions{}};
+  for (int gen = 0; gen < 20; ++gen) {
+    std::vector<Thread> ts;
+    for (int i = 0; i < 16; ++i)
+      ts.push_back(rt.spawn([] {
+        volatile char buf[4096];
+        buf[0] = 1;
+        buf[4095] = 2;
+      }));
+    for (auto& t : ts) t.join();
+  }
+  // 320 threads with at most 16 alive at once: the pool bounds live stacks.
+  SUCCEED();
+}
+
+TEST(MixedConfig, SequentialRuntimesWithDifferentSetups) {
+  {
+    RuntimeOptions o;
+    o.num_workers = 1;
+    o.timer = TimerKind::ProcessChain;
+    o.interval_us = 500;
+    Runtime rt(o);
+    ThreadAttrs attrs;
+    attrs.preempt = Preempt::SignalYield;
+    Thread t = rt.spawn([] { busy_spin_ns(5'000'000); }, attrs);
+    t.join();
+  }
+  {
+    RuntimeOptions o;
+    o.num_workers = 3;
+    o.scheduler = SchedulerKind::Priority;
+    Runtime rt(o);
+    Thread t = rt.spawn([] {});
+    t.join();
+  }
+  {
+    RuntimeOptions o;
+    o.num_workers = 2;
+    o.timer = TimerKind::PosixPerWorker;
+    o.interval_us = 1000;
+    o.klt_suspend = KltSuspend::Sigsuspend;
+    Runtime rt(o);
+    ThreadAttrs attrs;
+    attrs.preempt = Preempt::KltSwitch;
+    Thread t = rt.spawn([] { busy_spin_ns(5'000'000); }, attrs);
+    t.join();
+  }
+  SUCCEED();
+}
+
+TEST(PriorityLive, AnalysisEvictedWhenSimulationArrives) {
+  // The §4.3 mechanism live: a low-priority preemptive thread occupies the
+  // only worker; when high-priority work arrives it must run promptly, which
+  // requires the low thread to be *involuntarily* evicted.
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.scheduler = SchedulerKind::Priority;
+  o.timer = TimerKind::ProcessChain;
+  o.interval_us = 500;
+  Runtime rt(o);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::int64_t> high_latency_ns{-1};
+  ThreadAttrs low;
+  low.priority = 1;
+  low.preempt = Preempt::SignalYield;
+  Thread analysis = rt.spawn(
+      [&] {
+        while (!stop.load(std::memory_order_acquire)) cpu_pause();
+      },
+      low);
+
+  usleep(5'000);  // analysis thread is now hogging the worker
+  const std::int64_t t0 = now_ns();
+  ThreadAttrs high;
+  high.priority = 0;
+  Thread sim = rt.spawn([&] { high_latency_ns.store(now_ns() - t0); }, high);
+  sim.join();
+  stop.store(true);
+  analysis.join();
+
+  ASSERT_GE(high_latency_ns.load(), 0);
+  // Must be on the order of the preemption interval, not the spin duration.
+  EXPECT_LT(high_latency_ns.load(), 100'000'000);
+  EXPECT_GT(rt.total_preemptions(), 0u);
+}
+
+TEST(Detached, ManyDetachedThreadsDrainBeforeShutdown) {
+  std::atomic<int> done{0};
+  {
+    RuntimeOptions o;
+    o.num_workers = 2;
+    Runtime rt(o);
+    for (int i = 0; i < 100; ++i) rt.spawn_detached([&] { done.fetch_add(1); });
+    while (done.load() < 100) usleep(1000);
+  }
+  EXPECT_EQ(done.load(), 100);
+}
+
+}  // namespace
+}  // namespace lpt

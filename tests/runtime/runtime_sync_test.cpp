@@ -1,0 +1,248 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "runtime/lpt.hpp"
+
+namespace lpt {
+namespace {
+
+TEST(Mutex, ProtectsCounterAcrossWorkers) {
+  RuntimeOptions o;
+  o.num_workers = 4;
+  Runtime rt(o);
+  Mutex m;
+  long counter = 0;
+  std::vector<Thread> ts;
+  for (int i = 0; i < 8; ++i)
+    ts.push_back(rt.spawn([&] {
+      for (int k = 0; k < 1000; ++k) {
+        m.lock();
+        ++counter;
+        m.unlock();
+      }
+    }));
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, 8000);
+}
+
+TEST(Mutex, BlockedWaiterResumesOnUnlock) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  Runtime rt(o);
+  Mutex m;
+  std::vector<int> order;
+  Thread a = rt.spawn([&] {
+    m.lock();
+    order.push_back(1);
+    this_thread::yield();  // let b hit the lock and block
+    order.push_back(2);
+    m.unlock();
+  });
+  Thread b = rt.spawn([&] {
+    m.lock();
+    order.push_back(3);
+    m.unlock();
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Mutex, TryLockReflectsState) {
+  Runtime rt{RuntimeOptions{}};
+  Mutex m;
+  Thread t = rt.spawn([&] {
+    EXPECT_TRUE(m.try_lock());
+    EXPECT_FALSE(m.try_lock());
+    m.unlock();
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+  t.join();
+}
+
+TEST(Mutex, FairHandoffFifo) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  Runtime rt(o);
+  Mutex m;
+  std::vector<int> order;
+  Thread holder = rt.spawn([&] {
+    m.lock();
+    for (int i = 0; i < 4; ++i) this_thread::yield();  // queue up waiters
+    m.unlock();
+  });
+  std::vector<Thread> waiters;
+  for (int i = 0; i < 3; ++i)
+    waiters.push_back(rt.spawn([&, i] {
+      m.lock();
+      order.push_back(i);
+      m.unlock();
+    }));
+  holder.join();
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(CondVar, WaitReleasesAndReacquiresMutex) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  Mutex m;
+  CondVar cv;
+  bool ready = false;
+  std::atomic<bool> consumed{false};
+  Thread consumer = rt.spawn([&] {
+    m.lock();
+    while (!ready) cv.wait(m);
+    consumed.store(true);
+    m.unlock();
+  });
+  Thread producer = rt.spawn([&] {
+    for (int i = 0; i < 3; ++i) this_thread::yield();
+    m.lock();
+    ready = true;
+    m.unlock();
+    cv.notify_one();
+  });
+  consumer.join();
+  producer.join();
+  EXPECT_TRUE(consumed.load());
+}
+
+TEST(CondVar, NotifyAllWakesEveryWaiter) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  Mutex m;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> woke{0};
+  std::vector<Thread> ts;
+  for (int i = 0; i < 5; ++i)
+    ts.push_back(rt.spawn([&] {
+      m.lock();
+      while (!go) cv.wait(m);
+      m.unlock();
+      woke.fetch_add(1);
+    }));
+  Thread waker = rt.spawn([&] {
+    for (int i = 0; i < 10; ++i) this_thread::yield();
+    m.lock();
+    go = true;
+    m.unlock();
+    cv.notify_all();
+  });
+  for (auto& t : ts) t.join();
+  waker.join();
+  EXPECT_EQ(woke.load(), 5);
+}
+
+TEST(CondVar, NotifyWithoutWaitersIsNoop) {
+  Runtime rt{RuntimeOptions{}};
+  CondVar cv;
+  Thread t = rt.spawn([&] {
+    cv.notify_one();
+    cv.notify_all();
+  });
+  t.join();
+  SUCCEED();
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  RuntimeOptions o;
+  o.num_workers = 3;
+  Runtime rt(o);
+  constexpr int kParties = 6;
+  constexpr int kPhases = 10;
+  Barrier bar(kParties);
+  std::atomic<int> phase_counts[kPhases] = {};
+  std::atomic<bool> violation{false};
+  std::vector<Thread> ts;
+  for (int p = 0; p < kParties; ++p)
+    ts.push_back(rt.spawn([&] {
+      for (int ph = 0; ph < kPhases; ++ph) {
+        phase_counts[ph].fetch_add(1);
+        bar.arrive_and_wait();
+        // After the barrier, every participant must have arrived at ph.
+        if (phase_counts[ph].load() != kParties) violation.store(true);
+      }
+    }));
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Barrier, SinglePartyNeverBlocks) {
+  Runtime rt{RuntimeOptions{}};
+  Barrier bar(1);
+  Thread t = rt.spawn([&] {
+    for (int i = 0; i < 100; ++i) bar.arrive_and_wait();
+  });
+  t.join();
+  SUCCEED();
+}
+
+TEST(BusyFlag, YieldingWaitWorksOnNonpreemptiveThreads) {
+  RuntimeOptions o;
+  o.num_workers = 1;  // forces cooperative interleaving
+  Runtime rt(o);
+  BusyFlag flag;
+  std::atomic<bool> passed{false};
+  Thread waiter = rt.spawn([&] {
+    flag.wait(BusyFlag::WaitMode::kSpinWithYield);
+    passed.store(true);
+  });
+  Thread setter = rt.spawn([&] { flag.set(); });
+  waiter.join();
+  setter.join();
+  EXPECT_TRUE(passed.load());
+}
+
+TEST(BusyFlag, PureSpinWaitNeedsPreemption) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 1000;
+  Runtime rt(o);
+  BusyFlag flag;
+  ThreadAttrs attrs;
+  attrs.preempt = Preempt::SignalYield;
+  Thread waiter = rt.spawn([&] { flag.wait(BusyFlag::WaitMode::kSpin); }, attrs);
+  Thread setter = rt.spawn([&] { flag.set(); }, attrs);
+  waiter.join();
+  setter.join();
+  EXPECT_GT(rt.total_preemptions(), 0u);
+}
+
+TEST(Sync, MutexUnderPreemption) {
+  // Locks + implicit preemption: the no-preempt guards inside the
+  // primitives must prevent a preempted lock holder from wedging a worker.
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 300;
+  Runtime rt(o);
+  Mutex m;
+  long counter = 0;
+  std::vector<Thread> ts;
+  for (int i = 0; i < 6; ++i) {
+    ThreadAttrs attrs;
+    attrs.preempt = (i % 2 == 0) ? Preempt::SignalYield : Preempt::KltSwitch;
+    ts.push_back(rt.spawn(
+        [&] {
+          for (int k = 0; k < 2000; ++k) {
+            m.lock();
+            ++counter;
+            m.unlock();
+          }
+        },
+        attrs));
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(counter, 12000);
+}
+
+}  // namespace
+}  // namespace lpt

@@ -1,0 +1,444 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/cost_model.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/script_thread.hpp"
+#include "sim/signal_subsys.hpp"
+#include "sim/timers.hpp"
+#include "sim/ult_model.hpp"
+
+namespace lpt::sim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventQueue
+// ---------------------------------------------------------------------------
+
+TEST(EventQueue, RunsEventsInTimeOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  eq.schedule(30, [&] { order.push_back(3); });
+  eq.schedule(10, [&] { order.push_back(1); });
+  eq.schedule(20, [&] { order.push_back(2); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eq.now(), 30);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue eq;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) eq.schedule(7, [&, i] { order.push_back(i); });
+  eq.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+  EventQueue eq;
+  int count = 0;
+  std::function<void()> tick = [&] {
+    if (++count < 10) eq.schedule_after(5, tick);
+  };
+  eq.schedule(0, tick);
+  eq.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(eq.now(), 45);
+}
+
+TEST(EventQueue, RunHonorsLimit) {
+  EventQueue eq;
+  for (int i = 0; i < 10; ++i) eq.schedule(i, [] {});
+  EXPECT_EQ(eq.run(4), 4u);
+  EXPECT_EQ(eq.pending(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Signal subsystem (kernel-lock contention)
+// ---------------------------------------------------------------------------
+
+TEST(SignalSubsystem, UncontendedDeliveryCostsHandlerOnly) {
+  CostModel cm = CostModel::skylake();
+  SignalSubsystem sig(cm);
+  EXPECT_EQ(sig.interruption_cost(1'000'000), cm.signal_handler);
+}
+
+TEST(SignalSubsystem, SimultaneousDeliveriesSerializeOnKernelLock) {
+  CostModel cm = CostModel::skylake();
+  SignalSubsystem sig(cm);
+  const Time c0 = sig.interruption_cost(0);
+  const Time c1 = sig.interruption_cost(0);
+  const Time c2 = sig.interruption_cost(0);
+  EXPECT_EQ(c0, cm.signal_handler);
+  EXPECT_EQ(c1, cm.signal_handler + cm.kernel_lock);
+  EXPECT_EQ(c2, cm.signal_handler + 2 * cm.kernel_lock);
+}
+
+TEST(SignalSubsystem, SpacedDeliveriesDoNotContend) {
+  CostModel cm = CostModel::skylake();
+  SignalSubsystem sig(cm);
+  EXPECT_EQ(sig.interruption_cost(0), cm.signal_handler);
+  EXPECT_EQ(sig.interruption_cost(1'000'000), cm.signal_handler);
+}
+
+// ---------------------------------------------------------------------------
+// Fig 4 shapes
+// ---------------------------------------------------------------------------
+
+TEST(TimerModel, NaivePerWorkerGrowsLinearlyWithWorkers) {
+  CostModel cm = CostModel::skylake();
+  const double m1 =
+      measure_interruption_time(cm, TimerStrategy::kPerWorkerCreationTime, 1,
+                                1'000'000, 50)
+          .mean();
+  const double m56 =
+      measure_interruption_time(cm, TimerStrategy::kPerWorkerCreationTime, 56,
+                                1'000'000, 50)
+          .mean();
+  const double m100 =
+      measure_interruption_time(cm, TimerStrategy::kPerWorkerCreationTime, 100,
+                                1'000'000, 50)
+          .mean();
+  EXPECT_GT(m56, 10.0 * m1);   // strong growth
+  EXPECT_GT(m100, 1.5 * m56);  // keeps growing
+  // Paper anchor: ~100 µs at large core counts.
+  EXPECT_GT(m100, 30'000.0);
+  EXPECT_LT(m100, 300'000.0);
+}
+
+TEST(TimerModel, AlignedPerWorkerStaysFlat) {
+  CostModel cm = CostModel::skylake();
+  const double m1 =
+      measure_interruption_time(cm, TimerStrategy::kPerWorkerAligned, 1,
+                                1'000'000, 50)
+          .mean();
+  const double m100 =
+      measure_interruption_time(cm, TimerStrategy::kPerWorkerAligned, 100,
+                                1'000'000, 50)
+          .mean();
+  EXPECT_NEAR(m100, m1, 0.25 * m1);
+}
+
+TEST(TimerModel, ChainStaysFlatSlightlyAboveAligned) {
+  CostModel cm = CostModel::skylake();
+  const double aligned =
+      measure_interruption_time(cm, TimerStrategy::kPerWorkerAligned, 56,
+                                1'000'000, 50)
+          .mean();
+  const double chain =
+      measure_interruption_time(cm, TimerStrategy::kProcessChain, 56,
+                                1'000'000, 50)
+          .mean();
+  const double chain100 =
+      measure_interruption_time(cm, TimerStrategy::kProcessChain, 100,
+                                1'000'000, 50)
+          .mean();
+  EXPECT_GT(chain, aligned);          // §3.2.2: slightly worse than aligned
+  EXPECT_LT(chain, 3.0 * aligned);    // but the same order — flat
+  EXPECT_NEAR(chain100, chain, 0.25 * chain);  // flat in worker count
+}
+
+TEST(TimerModel, OneToAllGrowsButLessThanNaive) {
+  CostModel cm = CostModel::skylake();
+  const double naive =
+      measure_interruption_time(cm, TimerStrategy::kPerWorkerCreationTime, 100,
+                                1'000'000, 50)
+          .mean();
+  const double one2all =
+      measure_interruption_time(cm, TimerStrategy::kProcessOneToAll, 100,
+                                1'000'000, 50)
+          .mean();
+  const double one2all_small =
+      measure_interruption_time(cm, TimerStrategy::kProcessOneToAll, 4,
+                                1'000'000, 50)
+          .mean();
+  EXPECT_GT(one2all, 4.0 * one2all_small);  // linear-ish growth
+  EXPECT_LT(one2all, naive);                // below the naive line (Fig 4)
+}
+
+// ---------------------------------------------------------------------------
+// ULT engine basics
+// ---------------------------------------------------------------------------
+
+SimUltOptions basic_opts(int workers) {
+  SimUltOptions o;
+  o.num_workers = workers;
+  o.timer = TimerStrategy::kNone;
+  return o;
+}
+
+TEST(UltEngine, SingleComputeThreadFinishes) {
+  CostModel cm = CostModel::skylake();
+  SimUltRuntime rt(cm, basic_opts(1));
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(1'000'000)}));
+  const Time makespan = rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+  // compute + dispatch context switch
+  EXPECT_GE(makespan, 1'000'000);
+  EXPECT_LT(makespan, 1'100'000);
+}
+
+TEST(UltEngine, ParallelThreadsUseAllWorkers) {
+  CostModel cm = CostModel::skylake();
+  SimUltRuntime rt(cm, basic_opts(4));
+  for (int i = 0; i < 4; ++i)
+    rt.spawn(std::make_unique<ScriptThread>(
+        std::vector<SimAction>{SimAction::compute(1'000'000)}));
+  const Time makespan = rt.run();
+  EXPECT_LT(makespan, 2'000'000);  // ran concurrently, not serially
+}
+
+TEST(UltEngine, MoreThreadsThanWorkersSerializeCorrectly) {
+  CostModel cm = CostModel::skylake();
+  SimUltRuntime rt(cm, basic_opts(2));
+  for (int i = 0; i < 6; ++i)
+    rt.spawn(std::make_unique<ScriptThread>(
+        std::vector<SimAction>{SimAction::compute(1'000'000)}));
+  const Time makespan = rt.run();
+  EXPECT_GE(makespan, 3'000'000);  // 6 x 1ms over 2 workers
+  EXPECT_LT(makespan, 3'200'000);
+}
+
+TEST(UltEngine, SpawnDuringRunIsPickedUp) {
+  CostModel cm = CostModel::skylake();
+  SimUltRuntime rt(cm, basic_opts(2));
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(500'000)},
+      [](SimUltRuntime& r) {
+        r.spawn(std::make_unique<ScriptThread>(
+            std::vector<SimAction>{SimAction::compute(500'000)}));
+      }));
+  const Time makespan = rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+  EXPECT_GE(makespan, 1'000'000);
+  EXPECT_EQ(rt.threads_finished(), 2);
+}
+
+TEST(UltEngine, BusyWaitPairDeadlocksWithoutPreemption) {
+  // The §4.1 scenario in miniature: 1 worker, spinner first in queue.
+  CostModel cm = CostModel::skylake();
+  SimUltRuntime rt(cm, basic_opts(1));
+  auto flag = std::make_unique<SimFlag>();
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::wait(flag.get(), WaitMode::kSpin)}));
+  SimFlag* f = flag.get();
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(1000)},
+      [f](SimUltRuntime& r) { f->set(r); }));
+  rt.run();
+  EXPECT_TRUE(rt.deadlocked());
+}
+
+TEST(UltEngine, BusyWaitPairCompletesWithSignalYieldPreemption) {
+  CostModel cm = CostModel::skylake();
+  SimUltOptions o = basic_opts(1);
+  o.timer = TimerStrategy::kPerWorkerAligned;
+  o.interval = 1'000'000;
+  SimUltRuntime rt(cm, o);
+  auto flag = std::make_unique<SimFlag>();
+  SimFlag* f = flag.get();
+  auto spinner = std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::wait(f, WaitMode::kSpin)});
+  spinner->preempt = SimPreempt::kSignalYield;
+  rt.spawn(std::move(spinner));
+  auto setter = std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(1000)},
+      [f](SimUltRuntime& r) { f->set(r); });
+  setter->preempt = SimPreempt::kSignalYield;
+  rt.spawn(std::move(setter));
+  rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+  EXPECT_GT(rt.total_preemptions(), 0u);
+}
+
+TEST(UltEngine, BusyWaitPairCompletesWithYieldingWait) {
+  // The "reverse-engineered MKL" hack works without any preemption.
+  CostModel cm = CostModel::skylake();
+  SimUltRuntime rt(cm, basic_opts(1));
+  auto flag = std::make_unique<SimFlag>();
+  SimFlag* f = flag.get();
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::wait(f, WaitMode::kSpinYield)}));
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(1000)},
+      [f](SimUltRuntime& r) { f->set(r); }));
+  rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+}
+
+TEST(UltEngine, BlockingWaitReleasesWorker) {
+  CostModel cm = CostModel::skylake();
+  SimUltRuntime rt(cm, basic_opts(1));
+  auto flag = std::make_unique<SimFlag>();
+  SimFlag* f = flag.get();
+  rt.spawn(std::make_unique<ScriptThread>(std::vector<SimAction>{
+      SimAction::wait(f, WaitMode::kBlock), SimAction::compute(1000)}));
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(500'000)},
+      [f](SimUltRuntime& r) { f->set(r); }));
+  const Time makespan = rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+  EXPECT_GE(makespan, 500'000);
+}
+
+TEST(UltEngine, KltSwitchPreemptionCreatesKltsOnDemand) {
+  CostModel cm = CostModel::skylake();
+  SimUltOptions o = basic_opts(1);
+  o.timer = TimerStrategy::kPerWorkerAligned;
+  o.interval = 500'000;
+  SimUltRuntime rt(cm, o);
+  auto flag = std::make_unique<SimFlag>();
+  SimFlag* f = flag.get();
+  auto spinner = std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::wait(f, WaitMode::kSpin)});
+  spinner->preempt = SimPreempt::kKltSwitch;
+  rt.spawn(std::move(spinner));
+  auto setter = std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(1000)},
+      [f](SimUltRuntime& r) { f->set(r); });
+  setter->preempt = SimPreempt::kKltSwitch;
+  rt.spawn(std::move(setter));
+  rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+  EXPECT_GE(rt.klts_created(), 1u);
+}
+
+TEST(UltEngine, TimerInterruptionOnlyNeverPreempts) {
+  CostModel cm = CostModel::skylake();
+  SimUltOptions o = basic_opts(2);
+  o.timer = TimerStrategy::kPerWorkerAligned;
+  o.interval = 100'000;
+  o.timer_interruption_only = true;
+  SimUltRuntime rt(cm, o);
+  for (int i = 0; i < 2; ++i) {
+    auto t = std::make_unique<ScriptThread>(
+        std::vector<SimAction>{SimAction::compute(5'000'000)});
+    t->preempt = SimPreempt::kSignalYield;
+    rt.spawn(std::move(t));
+  }
+  const Time makespan = rt.run();
+  EXPECT_EQ(rt.total_preemptions(), 0u);
+  // But the interruptions still cost time: makespan > pure compute.
+  EXPECT_GT(makespan, 5'000'000);
+}
+
+TEST(UltEngine, PreemptionOverheadScalesInverselyWithInterval) {
+  CostModel cm = CostModel::skylake();
+  auto run_with_interval = [&](Time interval) {
+    SimUltOptions o = basic_opts(4);
+    o.timer = TimerStrategy::kPerWorkerAligned;
+    o.interval = interval;
+    SimUltRuntime rt(cm, o);
+    for (int i = 0; i < 8; ++i) {
+      auto t = std::make_unique<ScriptThread>(
+          std::vector<SimAction>{SimAction::compute(20'000'000)});
+      t->preempt = SimPreempt::kSignalYield;
+      rt.spawn(std::move(t));
+    }
+    return rt.run();
+  };
+  const Time fast = run_with_interval(100'000);   // 100 µs
+  const Time slow = run_with_interval(10'000'000);  // 10 ms
+  EXPECT_GT(fast, slow);  // more preemptions → more overhead
+}
+
+TEST(UltEngine, PackingRunsThreadsOnlyOnActiveWorkers) {
+  CostModel cm = CostModel::skylake();
+  SimUltOptions o = basic_opts(4);
+  o.sched = SchedPolicy::kPacking;
+  o.n_active = 2;
+  SimUltRuntime rt(cm, o);
+  for (int i = 0; i < 8; ++i) {
+    auto t = std::make_unique<ScriptThread>(
+        std::vector<SimAction>{SimAction::compute(1'000'000)});
+    t->home_pool = i % 4;
+    rt.spawn(std::move(t));
+  }
+  const Time makespan = rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+  // 8 ms of work on 2 active workers → >= 4 ms.
+  EXPECT_GE(makespan, 4'000'000);
+  EXPECT_LT(makespan, 4'500'000);
+}
+
+TEST(UltEngine, PriorityHighClassBeforeLow) {
+  CostModel cm = CostModel::skylake();
+  SimUltOptions o = basic_opts(1);
+  o.sched = SchedPolicy::kPriority;
+  SimUltRuntime rt(cm, o);
+  std::vector<int> order;
+  auto make = [&](int id, int prio) {
+    auto t = std::make_unique<ScriptThread>(
+        std::vector<SimAction>{SimAction::compute(1000)},
+        [&order, id](SimUltRuntime&) { order.push_back(id); });
+    t->priority = prio;
+    return t;
+  };
+  rt.spawn(make(100, 1));  // low, enqueued first
+  rt.spawn(make(1, 0));
+  rt.spawn(make(2, 0));
+  rt.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order.back(), 100);
+}
+
+TEST(UltEngine, OsModeSlicesCompeteOnOneCore) {
+  CostModel cm = CostModel::skylake();
+  SimUltOptions o;
+  o.num_workers = 1;
+  o.os_mode = true;
+  SimUltRuntime rt(cm, o);
+  // Two 20 ms threads on one core: OS slicing interleaves them, so both
+  // finish near 40 ms (vs 20 & 40 for run-to-completion).
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(20'000'000)}));
+  rt.spawn(std::make_unique<ScriptThread>(
+      std::vector<SimAction>{SimAction::compute(20'000'000)}));
+  const Time makespan = rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+  EXPECT_GE(makespan, 40'000'000);
+  EXPECT_GT(rt.total_preemptions(), 4u);  // slices happened
+}
+
+TEST(UltEngine, OsModeIdleBalanceSpreadsLoad) {
+  CostModel cm = CostModel::skylake();
+  SimUltOptions o;
+  o.num_workers = 4;
+  o.os_mode = true;
+  o.seed = 7;
+  SimUltRuntime rt(cm, o);
+  // 8 x 10 ms all placed initially wherever the random placement puts them;
+  // idle balancing must spread them so makespan is far below serial (80 ms)
+  // though above the 20 ms ideal.
+  for (int i = 0; i < 8; ++i)
+    rt.spawn(std::make_unique<ScriptThread>(
+        std::vector<SimAction>{SimAction::compute(10'000'000)}));
+  const Time makespan = rt.run();
+  EXPECT_FALSE(rt.deadlocked());
+  EXPECT_LT(makespan, 45'000'000);
+  EXPECT_GE(makespan, 20'000'000);
+}
+
+TEST(UltEngine, DeterministicForFixedSeed) {
+  CostModel cm = CostModel::skylake();
+  auto run_once = [&] {
+    SimUltOptions o = basic_opts(4);
+    o.timer = TimerStrategy::kPerWorkerAligned;
+    o.interval = 200'000;
+    o.seed = 99;
+    SimUltRuntime rt(cm, o);
+    for (int i = 0; i < 12; ++i) {
+      auto t = std::make_unique<ScriptThread>(
+          std::vector<SimAction>{SimAction::compute(3'000'000)});
+      t->preempt = SimPreempt::kSignalYield;
+      rt.spawn(std::move(t));
+    }
+    return rt.run();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace lpt::sim
