@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kltsw.dir/ablation_kltsw.cpp.o"
+  "CMakeFiles/ablation_kltsw.dir/ablation_kltsw.cpp.o.d"
+  "ablation_kltsw"
+  "ablation_kltsw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kltsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

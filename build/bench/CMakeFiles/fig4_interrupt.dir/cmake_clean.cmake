@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_interrupt.dir/fig4_interrupt.cpp.o"
+  "CMakeFiles/fig4_interrupt.dir/fig4_interrupt.cpp.o.d"
+  "fig4_interrupt"
+  "fig4_interrupt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_interrupt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_cholesky.dir/fig7_cholesky.cpp.o"
+  "CMakeFiles/fig7_cholesky.dir/fig7_cholesky.cpp.o.d"
+  "fig7_cholesky"
+  "fig7_cholesky.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_packing.dir/fig8_packing.cpp.o"
+  "CMakeFiles/fig8_packing.dir/fig8_packing.cpp.o.d"
+  "fig8_packing"
+  "fig8_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

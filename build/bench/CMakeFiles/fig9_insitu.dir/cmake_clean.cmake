@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_insitu.dir/fig9_insitu.cpp.o"
+  "CMakeFiles/fig9_insitu.dir/fig9_insitu.cpp.o.d"
+  "fig9_insitu"
+  "fig9_insitu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_insitu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

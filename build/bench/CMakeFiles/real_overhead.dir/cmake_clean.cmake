@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/real_overhead.dir/real_overhead.cpp.o"
+  "CMakeFiles/real_overhead.dir/real_overhead.cpp.o.d"
+  "real_overhead"
+  "real_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/real_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

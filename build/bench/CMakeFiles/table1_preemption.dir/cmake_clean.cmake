@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_preemption.dir/table1_preemption.cpp.o"
+  "CMakeFiles/table1_preemption.dir/table1_preemption.cpp.o.d"
+  "table1_preemption"
+  "table1_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadlock_prevention.dir/deadlock_prevention.cpp.o"
+  "CMakeFiles/deadlock_prevention.dir/deadlock_prevention.cpp.o.d"
+  "deadlock_prevention"
+  "deadlock_prevention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadlock_prevention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

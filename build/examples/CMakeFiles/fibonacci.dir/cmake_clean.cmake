@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fibonacci.dir/fibonacci.cpp.o"
+  "CMakeFiles/fibonacci.dir/fibonacci.cpp.o.d"
+  "fibonacci"
+  "fibonacci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fibonacci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_priority.dir/insitu_priority.cpp.o"
+  "CMakeFiles/insitu_priority.dir/insitu_priority.cpp.o.d"
+  "insitu_priority"
+  "insitu_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

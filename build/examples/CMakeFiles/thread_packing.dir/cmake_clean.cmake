@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_packing.dir/thread_packing.cpp.o"
+  "CMakeFiles/thread_packing.dir/thread_packing.cpp.o.d"
+  "thread_packing"
+  "thread_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cholesky/cholesky.cpp" "src/CMakeFiles/lpt_apps.dir/apps/cholesky/cholesky.cpp.o" "gcc" "src/CMakeFiles/lpt_apps.dir/apps/cholesky/cholesky.cpp.o.d"
+  "/root/repo/src/apps/linalg/blas.cpp" "src/CMakeFiles/lpt_apps.dir/apps/linalg/blas.cpp.o" "gcc" "src/CMakeFiles/lpt_apps.dir/apps/linalg/blas.cpp.o.d"
+  "/root/repo/src/apps/linalg/team.cpp" "src/CMakeFiles/lpt_apps.dir/apps/linalg/team.cpp.o" "gcc" "src/CMakeFiles/lpt_apps.dir/apps/linalg/team.cpp.o.d"
+  "/root/repo/src/apps/md/md.cpp" "src/CMakeFiles/lpt_apps.dir/apps/md/md.cpp.o" "gcc" "src/CMakeFiles/lpt_apps.dir/apps/md/md.cpp.o.d"
+  "/root/repo/src/apps/multigrid/multigrid.cpp" "src/CMakeFiles/lpt_apps.dir/apps/multigrid/multigrid.cpp.o" "gcc" "src/CMakeFiles/lpt_apps.dir/apps/multigrid/multigrid.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpt_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpt_apps.dir/apps/cholesky/cholesky.cpp.o"
+  "CMakeFiles/lpt_apps.dir/apps/cholesky/cholesky.cpp.o.d"
+  "CMakeFiles/lpt_apps.dir/apps/linalg/blas.cpp.o"
+  "CMakeFiles/lpt_apps.dir/apps/linalg/blas.cpp.o.d"
+  "CMakeFiles/lpt_apps.dir/apps/linalg/team.cpp.o"
+  "CMakeFiles/lpt_apps.dir/apps/linalg/team.cpp.o.d"
+  "CMakeFiles/lpt_apps.dir/apps/md/md.cpp.o"
+  "CMakeFiles/lpt_apps.dir/apps/md/md.cpp.o.d"
+  "CMakeFiles/lpt_apps.dir/apps/multigrid/multigrid.cpp.o"
+  "CMakeFiles/lpt_apps.dir/apps/multigrid/multigrid.cpp.o.d"
+  "liblpt_apps.a"
+  "liblpt_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpt_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpt_common.dir/common/stats.cpp.o"
+  "CMakeFiles/lpt_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/lpt_common.dir/common/table.cpp.o"
+  "CMakeFiles/lpt_common.dir/common/table.cpp.o.d"
+  "liblpt_common.a"
+  "liblpt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

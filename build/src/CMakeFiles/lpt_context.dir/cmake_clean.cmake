@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpt_context.dir/context/context.cpp.o"
+  "CMakeFiles/lpt_context.dir/context/context.cpp.o.d"
+  "CMakeFiles/lpt_context.dir/context/context_x8664.S.o"
+  "CMakeFiles/lpt_context.dir/context/stack.cpp.o"
+  "CMakeFiles/lpt_context.dir/context/stack.cpp.o.d"
+  "liblpt_context.a"
+  "liblpt_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang ASM CXX)
+  include(CMakeFiles/lpt_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

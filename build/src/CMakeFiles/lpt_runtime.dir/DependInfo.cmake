@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/compat.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/compat.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/compat.cpp.o.d"
+  "/root/repo/src/runtime/klt_pool.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/klt_pool.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/klt_pool.cpp.o.d"
+  "/root/repo/src/runtime/parallel_for.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/parallel_for.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/parallel_for.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/runtime/sched_packing.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/sched_packing.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/sched_packing.cpp.o.d"
+  "/root/repo/src/runtime/sched_priority.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/sched_priority.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/sched_priority.cpp.o.d"
+  "/root/repo/src/runtime/sched_work_stealing.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/sched_work_stealing.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/sched_work_stealing.cpp.o.d"
+  "/root/repo/src/runtime/signals.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/signals.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/signals.cpp.o.d"
+  "/root/repo/src/runtime/sync.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/sync.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/sync.cpp.o.d"
+  "/root/repo/src/runtime/sync_extra.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/sync_extra.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/sync_extra.cpp.o.d"
+  "/root/repo/src/runtime/timer.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/timer.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/timer.cpp.o.d"
+  "/root/repo/src/runtime/worker.cpp" "src/CMakeFiles/lpt_runtime.dir/runtime/worker.cpp.o" "gcc" "src/CMakeFiles/lpt_runtime.dir/runtime/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpt_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

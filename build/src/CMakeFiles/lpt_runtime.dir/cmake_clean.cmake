@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpt_runtime.dir/runtime/compat.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/compat.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/klt_pool.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/klt_pool.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/parallel_for.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/parallel_for.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/runtime.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/runtime.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/sched_packing.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/sched_packing.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/sched_priority.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/sched_priority.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/sched_work_stealing.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/sched_work_stealing.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/signals.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/signals.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/sync.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/sync.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/sync_extra.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/sync_extra.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/timer.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/timer.cpp.o.d"
+  "CMakeFiles/lpt_runtime.dir/runtime/worker.cpp.o"
+  "CMakeFiles/lpt_runtime.dir/runtime/worker.cpp.o.d"
+  "liblpt_runtime.a"
+  "liblpt_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpt_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/CMakeFiles/lpt_sim.dir/sim/cost_model.cpp.o" "gcc" "src/CMakeFiles/lpt_sim.dir/sim/cost_model.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/lpt_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/lpt_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/timers.cpp" "src/CMakeFiles/lpt_sim.dir/sim/timers.cpp.o" "gcc" "src/CMakeFiles/lpt_sim.dir/sim/timers.cpp.o.d"
+  "/root/repo/src/sim/ult_model.cpp" "src/CMakeFiles/lpt_sim.dir/sim/ult_model.cpp.o" "gcc" "src/CMakeFiles/lpt_sim.dir/sim/ult_model.cpp.o.d"
+  "/root/repo/src/sim/workloads/cholesky_dag.cpp" "src/CMakeFiles/lpt_sim.dir/sim/workloads/cholesky_dag.cpp.o" "gcc" "src/CMakeFiles/lpt_sim.dir/sim/workloads/cholesky_dag.cpp.o.d"
+  "/root/repo/src/sim/workloads/compute_loop.cpp" "src/CMakeFiles/lpt_sim.dir/sim/workloads/compute_loop.cpp.o" "gcc" "src/CMakeFiles/lpt_sim.dir/sim/workloads/compute_loop.cpp.o.d"
+  "/root/repo/src/sim/workloads/insitu_md.cpp" "src/CMakeFiles/lpt_sim.dir/sim/workloads/insitu_md.cpp.o" "gcc" "src/CMakeFiles/lpt_sim.dir/sim/workloads/insitu_md.cpp.o.d"
+  "/root/repo/src/sim/workloads/packing_bsp.cpp" "src/CMakeFiles/lpt_sim.dir/sim/workloads/packing_bsp.cpp.o" "gcc" "src/CMakeFiles/lpt_sim.dir/sim/workloads/packing_bsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

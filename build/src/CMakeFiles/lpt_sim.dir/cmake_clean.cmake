@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpt_sim.dir/sim/cost_model.cpp.o"
+  "CMakeFiles/lpt_sim.dir/sim/cost_model.cpp.o.d"
+  "CMakeFiles/lpt_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/lpt_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/lpt_sim.dir/sim/timers.cpp.o"
+  "CMakeFiles/lpt_sim.dir/sim/timers.cpp.o.d"
+  "CMakeFiles/lpt_sim.dir/sim/ult_model.cpp.o"
+  "CMakeFiles/lpt_sim.dir/sim/ult_model.cpp.o.d"
+  "CMakeFiles/lpt_sim.dir/sim/workloads/cholesky_dag.cpp.o"
+  "CMakeFiles/lpt_sim.dir/sim/workloads/cholesky_dag.cpp.o.d"
+  "CMakeFiles/lpt_sim.dir/sim/workloads/compute_loop.cpp.o"
+  "CMakeFiles/lpt_sim.dir/sim/workloads/compute_loop.cpp.o.d"
+  "CMakeFiles/lpt_sim.dir/sim/workloads/insitu_md.cpp.o"
+  "CMakeFiles/lpt_sim.dir/sim/workloads/insitu_md.cpp.o.d"
+  "CMakeFiles/lpt_sim.dir/sim/workloads/packing_bsp.cpp.o"
+  "CMakeFiles/lpt_sim.dir/sim/workloads/packing_bsp.cpp.o.d"
+  "liblpt_sim.a"
+  "liblpt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/blas_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/blas_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/blas_test.cpp.o.d"
+  "/root/repo/tests/apps/cholesky_app_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/cholesky_app_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/cholesky_app_test.cpp.o.d"
+  "/root/repo/tests/apps/md_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/md_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/md_test.cpp.o.d"
+  "/root/repo/tests/apps/multigrid_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/multigrid_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/multigrid_test.cpp.o.d"
+  "/root/repo/tests/apps/team_test.cpp" "tests/CMakeFiles/test_apps.dir/apps/team_test.cpp.o" "gcc" "tests/CMakeFiles/test_apps.dir/apps/team_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpt_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpt_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_basic.dir/runtime/runtime_basic_test.cpp.o"
+  "CMakeFiles/test_runtime_basic.dir/runtime/runtime_basic_test.cpp.o.d"
+  "test_runtime_basic"
+  "test_runtime_basic.pdb"
+  "test_runtime_basic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_basic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

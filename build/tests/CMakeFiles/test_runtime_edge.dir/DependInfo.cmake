@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/parallel_for_test.cpp" "tests/CMakeFiles/test_runtime_edge.dir/runtime/parallel_for_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime_edge.dir/runtime/parallel_for_test.cpp.o.d"
+  "/root/repo/tests/runtime/runtime_edge_test.cpp" "tests/CMakeFiles/test_runtime_edge.dir/runtime/runtime_edge_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime_edge.dir/runtime/runtime_edge_test.cpp.o.d"
+  "/root/repo/tests/runtime/timer_behavior_test.cpp" "tests/CMakeFiles/test_runtime_edge.dir/runtime/timer_behavior_test.cpp.o" "gcc" "tests/CMakeFiles/test_runtime_edge.dir/runtime/timer_behavior_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lpt_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpt_context.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lpt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_edge.dir/runtime/parallel_for_test.cpp.o"
+  "CMakeFiles/test_runtime_edge.dir/runtime/parallel_for_test.cpp.o.d"
+  "CMakeFiles/test_runtime_edge.dir/runtime/runtime_edge_test.cpp.o"
+  "CMakeFiles/test_runtime_edge.dir/runtime/runtime_edge_test.cpp.o.d"
+  "CMakeFiles/test_runtime_edge.dir/runtime/timer_behavior_test.cpp.o"
+  "CMakeFiles/test_runtime_edge.dir/runtime/timer_behavior_test.cpp.o.d"
+  "test_runtime_edge"
+  "test_runtime_edge.pdb"
+  "test_runtime_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

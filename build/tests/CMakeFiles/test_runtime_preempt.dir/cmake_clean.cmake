@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_preempt.dir/runtime/runtime_preempt_test.cpp.o"
+  "CMakeFiles/test_runtime_preempt.dir/runtime/runtime_preempt_test.cpp.o.d"
+  "test_runtime_preempt"
+  "test_runtime_preempt.pdb"
+  "test_runtime_preempt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_preempt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

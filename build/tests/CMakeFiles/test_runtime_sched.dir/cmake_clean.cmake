@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_sched.dir/runtime/runtime_sched_test.cpp.o"
+  "CMakeFiles/test_runtime_sched.dir/runtime/runtime_sched_test.cpp.o.d"
+  "test_runtime_sched"
+  "test_runtime_sched.pdb"
+  "test_runtime_sched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime_sync.dir/runtime/runtime_sync_test.cpp.o"
+  "CMakeFiles/test_runtime_sync.dir/runtime/runtime_sync_test.cpp.o.d"
+  "test_runtime_sync"
+  "test_runtime_sync.pdb"
+  "test_runtime_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

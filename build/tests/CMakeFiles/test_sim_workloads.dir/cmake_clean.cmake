@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_workloads.dir/sim/sim_workloads_test.cpp.o"
+  "CMakeFiles/test_sim_workloads.dir/sim/sim_workloads_test.cpp.o.d"
+  "test_sim_workloads"
+  "test_sim_workloads.pdb"
+  "test_sim_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

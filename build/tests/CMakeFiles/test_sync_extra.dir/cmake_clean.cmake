@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sync_extra.dir/runtime/sync_extra_test.cpp.o"
+  "CMakeFiles/test_sync_extra.dir/runtime/sync_extra_test.cpp.o.d"
+  "test_sync_extra"
+  "test_sync_extra.pdb"
+  "test_sync_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sync_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

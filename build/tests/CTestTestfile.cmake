@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_context[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_basic[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_preempt[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_sync[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_sync_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_compat[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_core[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
