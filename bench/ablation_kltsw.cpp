@@ -4,6 +4,7 @@
 // preemption intervals incur non-negligible cache misses").
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/workloads/cholesky_dag.hpp"
 #include "sim/workloads/compute_loop.hpp"
@@ -11,8 +12,9 @@
 using namespace lpt;
 using namespace lpt::sim;
 
-int main() {
+int main(int argc, char** argv) {
   const CostModel cm = CostModel::skylake();
+  bench::JsonReport json("ablation_kltsw");
 
   // --- §3.3 optimization ladder at a fixed 1 ms interval -------------------
   std::printf("=== Ablation: KLT-switching optimization ladder (1 ms) ===\n\n");
@@ -37,6 +39,10 @@ int main() {
               "(paper: \"approximately two times\"): %.2fx\n",
               (naive / local > 1.5 && naive / local < 3.5) ? "OK" : "MISMATCH",
               naive / local);
+  json.set("ladder.naive.overhead_pct", naive * 100);
+  json.set("ladder.futex.overhead_pct", futex * 100);
+  json.set("ladder.futex_local.overhead_pct", local * 100);
+  json.set("ladder.gain_naive_over_futex_local", naive / local);
 
   // --- §4.1 interval/cache trade-off ---------------------------------------
   std::printf("\n=== Ablation: preemption interval vs cache refill "
@@ -53,6 +59,9 @@ int main() {
     cc.cache_refill = 0;
     const double gn =
         run_cholesky(cm, cc, CholeskyRuntime::kBoltPreemptive).gflops;
+    const std::string skey = std::to_string(iv / 1'000'000) + "ms";
+    json.set("interval." + skey + ".gflops_refill", g);
+    json.set("interval." + skey + ".gflops_no_refill", gn);
     if (iv == 1'000'000) {
       g1 = g;
       g1_nr = gn;
@@ -73,5 +82,6 @@ int main() {
               (g10_nr / g1_nr - 1) < 0.5 * (g10 / g1 - 1) + 0.01 ? "OK"
                                                                  : "MISMATCH",
               (g10_nr / g1_nr - 1) * 100);
+  json.write(bench::json_path_from_args(argc, argv));
   return 0;
 }

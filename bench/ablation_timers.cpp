@@ -4,6 +4,7 @@
 // running threads are preemptive"). Also the alignment ablation of §3.2.1.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/script_thread.hpp"
 #include "sim/timers.hpp"
@@ -37,13 +38,14 @@ double overhead_us(const CostModel& cm, TimerStrategy timer,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Ablation: timer strategy vs fraction of preemptive "
               "threads ===\n");
   std::printf("56 workers x 20 ms compute threads, 1 ms interval; total "
               "overhead time (us).\n\n");
 
   const CostModel cm = CostModel::skylake();
+  bench::JsonReport json("ablation_timers");
   Table table({"# preemptive", "per-worker (aligned)", "per-process (chain)",
                "per-process (one-to-all)"});
   double chain0 = 0, aligned0 = 0, chain56 = 0, aligned56 = 0;
@@ -51,6 +53,10 @@ int main() {
     const double al = overhead_us(cm, TimerStrategy::kPerWorkerAligned, p);
     const double ch = overhead_us(cm, TimerStrategy::kProcessChain, p);
     const double oa = overhead_us(cm, TimerStrategy::kProcessOneToAll, p);
+    const std::string suffix = ".overhead_us.p" + std::to_string(p);
+    json.set("aligned" + suffix, al);
+    json.set("chain" + suffix, ch);
+    json.set("one_to_all" + suffix, oa);
     if (p == 0) {
       chain0 = ch;
       aligned0 = al;
@@ -80,5 +86,7 @@ int main() {
               "aligned variant\n",
               creation > 2.0 * aligned56 ? "OK" : "MISMATCH",
               creation / aligned56);
+  json.set("creation_time.overhead_us.p56", creation);
+  json.write(bench::json_path_from_args(argc, argv));
   return 0;
 }

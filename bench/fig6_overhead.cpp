@@ -8,6 +8,7 @@
 // needs ~10 ms for <1%.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/workloads/compute_loop.hpp"
 
@@ -16,7 +17,11 @@ using namespace lpt::sim;
 
 namespace {
 
-void run_machine(const CostModel& cm) {
+const char* const kVariantKeys[] = {"klt_naive", "klt_futex", "klt_futex_local",
+                                    "signal_yield", "timer_only"};
+
+void run_machine(const CostModel& cm, bench::JsonReport& json,
+                 const std::string& mkey) {
   std::printf("--- Fig 6 (%s): relative overhead vs timer interval ---\n",
               cm.name.c_str());
   const Time intervals[] = {100'000,   200'000,   500'000,  1'000'000,
@@ -40,6 +45,9 @@ void run_machine(const CostModel& cm) {
       const double oh = fig6_overhead(cm, cfg, variants[i]);
       if (iv == 1'000'000) oh_1ms[i] = oh;
       if (iv == 100'000) oh_100us[i] = oh;
+      json.set(mkey + "." + kVariantKeys[i] + ".overhead_pct." +
+                   std::to_string(iv / 1000) + "us",
+               oh * 100.0);
       row.push_back(Table::fmt("%6.2f%%", oh * 100.0));
     }
     table.add_row(row);
@@ -67,14 +75,16 @@ void run_machine(const CostModel& cm) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Figure 6: overhead of preemptive vs nonpreemptive M:N "
               "threads ===\n");
   std::printf("56 workers x 10 compute threads, per-worker aligned timer.\n\n");
-  run_machine(CostModel::skylake());
+  bench::JsonReport json("fig6_overhead");
+  run_machine(CostModel::skylake(), json, "skylake");
   CostModel knl = CostModel::knl();
   // Paper runs the same 56-worker benchmark shape on KNL.
   knl.num_cores = 56;
-  run_machine(knl);
+  run_machine(knl, json, "knl");
+  json.write(bench::json_path_from_args(argc, argv));
   return 0;
 }

@@ -10,17 +10,19 @@
 // BOLT (no yield hack) deadlocks.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/workloads/cholesky_dag.hpp"
 
 using namespace lpt;
 using namespace lpt::sim;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Figure 7: Cholesky decomposition (GFLOPS) ===\n");
   std::printf("Simulated 56-core Skylake, tile 1000x1000, outer=inner=8.\n\n");
 
   const CostModel cm = CostModel::skylake();
+  bench::JsonReport json("fig7_cholesky");
   const int tile_counts[] = {8, 12, 16, 20, 24};
 
   Table table({"# tiles", "BOLT nonpre. (rev-eng)", "BOLT pre. 10ms",
@@ -42,6 +44,12 @@ int main() {
     const double pre1 = gf(CholeskyRuntime::kBoltPreemptive, 1'000'000);
     const double iomp = gf(CholeskyRuntime::kIompNested, 0);
     const double flat = gf(CholeskyRuntime::kIompFlat, 0);
+    const std::string tkey = "gflops.t" + std::to_string(T);
+    json.set(tkey + ".bolt_nonpre_rev", rev);
+    json.set(tkey + ".bolt_pre_10ms", pre10);
+    json.set(tkey + ".bolt_pre_1ms", pre1);
+    json.set(tkey + ".iomp", iomp);
+    json.set(tkey + ".iomp_flat", flat);
     sum_rev += rev;
     sum_pre10 += pre10;
     sum_pre1 += pre1;
@@ -93,5 +101,8 @@ int main() {
               sum_flat_small, sum_pre10_small);
   std::printf("  [%s] peak around ~1500 GFLOPS at 24x24 (got %.0f)\n",
               sum_pre10 / 5 > 500 ? "OK" : "MISMATCH", sum_pre10 / 5);
+  json.set("deadlock.nonpreemptive", static_cast<std::uint64_t>(naive_dl));
+  json.set("deadlock.preemptive", static_cast<std::uint64_t>(preempt_dl));
+  json.write(bench::json_path_from_args(argc, argv));
   return 0;
 }

@@ -8,18 +8,20 @@
 // and 1 ms beats 10 ms (10 ms gives too few slicing chances).
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/workloads/packing_bsp.hpp"
 
 using namespace lpt;
 using namespace lpt::sim;
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Figure 8: thread packing overhead (HPGMG-style BSP) ===\n");
   std::printf("28 threads per process; x-axis: active cores n; overhead vs "
               "baseline with n threads from the start.\n\n");
 
   const CostModel cm = CostModel::skylake();
+  bench::JsonReport json("fig8_packing");
   const int actives[] = {4, 7, 10, 14, 15, 20, 24, 25, 27, 28};
 
   Table table({"n active", "baseline (s)", "BOLT nonpre.", "BOLT pre. 10ms",
@@ -43,6 +45,11 @@ int main() {
     const double pre10 = oh(Fig8Variant::kBoltPreemptive, 10'000'000);
     const double pre1 = oh(Fig8Variant::kBoltPreemptive, 1'000'000);
     const double iomp = oh(Fig8Variant::kIomp, 0);
+    const std::string nkey = "overhead_pct.n" + std::to_string(n);
+    json.set(nkey + ".bolt_nonpre", nonpre * 100);
+    json.set(nkey + ".bolt_pre_10ms", pre10 * 100);
+    json.set(nkey + ".bolt_pre_1ms", pre1 * 100);
+    json.set(nkey + ".iomp", iomp * 100);
 
     if (n == 14) nonpre_at_14 = nonpre;
     if (n == 15) {
@@ -83,5 +90,6 @@ int main() {
               iomp_at_27 > 0.2 && iomp_at_27 > 3 * pre1_at_27 ? "OK"
                                                               : "MISMATCH",
               iomp_at_27 * 100, pre1_at_27 * 100);
+  json.write(bench::json_path_from_args(argc, argv));
   return 0;
 }

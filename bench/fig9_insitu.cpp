@@ -8,6 +8,7 @@
 // communication windows); Argobots w/ priority is best overall.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/table.hpp"
 #include "sim/workloads/insitu_md.hpp"
 
@@ -21,7 +22,8 @@ struct SweepResult {
   double argo_small = 0, argop_large = 0, argo_large = 0;
 };
 
-SweepResult run_interval(const CostModel& cm, int analysis_interval) {
+SweepResult run_interval(const CostModel& cm, int analysis_interval,
+                         bench::JsonReport& json) {
   std::printf("--- Fig 9%c: analysis interval = %d ---\n",
               analysis_interval == 1 ? 'a' : 'b', analysis_interval);
   const double atoms_list[] = {0.7e7, 1.4e7, 2.8e7, 4.2e7, 5.6e7};
@@ -46,6 +48,13 @@ SweepResult run_interval(const CostModel& cm, int analysis_interval) {
     res.pthp_avg += pthp.overhead;
     res.argo_avg += argo.overhead;
     res.argop_avg += argop.overhead;
+    char akey[64];
+    std::snprintf(akey, sizeof(akey), "iv%d.overhead_pct.atoms%.1fe7",
+                  analysis_interval, atoms / 1e7);
+    json.set(std::string(akey) + ".pthreads", pth.overhead * 100);
+    json.set(std::string(akey) + ".pthreads_prio", pthp.overhead * 100);
+    json.set(std::string(akey) + ".argobots", argo.overhead * 100);
+    json.set(std::string(akey) + ".argobots_prio", argop.overhead * 100);
     if (atoms < 1e7) res.argo_small = argo.overhead;
     if (atoms > 5e7) {
       res.argop_large = argop.overhead;
@@ -71,14 +80,15 @@ SweepResult run_interval(const CostModel& cm, int analysis_interval) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("=== Figure 9: in situ analysis overhead (LAMMPS-style MD) ===\n");
   std::printf("Simulated 56-core Skylake node (one of four symmetric MPI "
               "processes), 100 timesteps.\n\n");
 
   const CostModel cm = CostModel::skylake();
-  const SweepResult a = run_interval(cm, 1);
-  const SweepResult b = run_interval(cm, 2);
+  bench::JsonReport json("fig9_insitu");
+  const SweepResult a = run_interval(cm, 1, json);
+  const SweepResult b = run_interval(cm, 2, json);
 
   std::printf("Shape checks vs paper:\n");
   std::printf("  [%s] Argobots w/ priority is the best configuration "
@@ -103,5 +113,6 @@ int main() {
   std::printf("  [%s] at interval 2 the analysis nearly fits in the idle "
               "windows (Argobots w/ prio %.1f%%)\n",
               b.argop_large < 0.15 ? "OK" : "MISMATCH", b.argop_large * 100);
+  json.write(bench::json_path_from_args(argc, argv));
   return 0;
 }

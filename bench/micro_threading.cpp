@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <string>
+#include <vector>
 
 #include "context/context.hpp"
 #include "context/stack.hpp"
@@ -149,4 +151,27 @@ BENCHMARK(BM_BarrierTwoParties);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accept the same `--json <path>`
+// flag as the other bench binaries by mapping it onto google-benchmark's
+// native JSON reporter (--benchmark_out).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (i + 1 < argc && std::string(argv[i]) == "--json") {
+      out_flag = std::string("--benchmark_out=") + argv[++i];
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 // the interval) and the variant ordering are the reproducible part.
 #include <cstdio>
 
+#include "bench_util.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/time.hpp"
@@ -48,7 +49,8 @@ double median_overhead(Preempt mode, std::int64_t interval_us,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json("real_overhead");
   std::printf("=== Real-runtime preemption overhead on this host ===\n");
   std::printf("(1 worker x 4 compute threads; companion to the simulated "
               "Fig 6 at 56 workers)\n\n");
@@ -75,6 +77,10 @@ int main() {
     table.add_row({Table::fmt("%5.1f ms", iv / 1000.0),
                    Table::fmt("%+6.2f%%", sy * 100),
                    Table::fmt("%+6.2f%%", ks * 100)});
+    json.set(Table::fmt("signal_yield.overhead_pct.%lldus", (long long)iv),
+             sy * 100);
+    json.set(Table::fmt("klt_switching.overhead_pct.%lldus", (long long)iv),
+             ks * 100);
   }
   table.print();
 
@@ -89,5 +95,6 @@ int main() {
               "small (SY %+0.2f%%, KS %+0.2f%%)\n",
               (sy_slow < 0.05 && ks_slow < 0.05) ? "OK" : "NOISY",
               sy_slow * 100, ks_slow * 100);
+  json.write(bench::json_path_from_args(argc, argv));
   return 0;
 }

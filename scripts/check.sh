@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo gate: configure + build + tier-1 tests, then the tracer's
+# non-context-switching unit tests under ThreadSanitizer.
+#
+#   scripts/check.sh [build-dir]        (default: build)
+#
+# TSan scope: the runtime switches between fiber stacks with custom assembly,
+# which TSan's happens-before machinery does not understand — full-suite TSan
+# produces false positives on every context switch. The tracer's lock-free
+# data structures (ring, histograms, exporter) never context-switch, so
+# test_trace_unit runs TSan-clean and guards the tracer's concurrency logic.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== [1/3] normal build =="
+cmake -S . -B "$BUILD" -G Ninja >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== [2/3] tier-1 tests =="
+ctest --test-dir "$BUILD" -L tier1 --output-on-failure
+
+echo "== [3/3] tracer unit tests under TSan =="
+cmake -S . -B "$BUILD-tsan" -G Ninja -DLPT_SANITIZE=thread >/dev/null
+cmake --build "$BUILD-tsan" -j "$JOBS" --target test_trace_unit
+"$BUILD-tsan/tests/test_trace_unit"
+
+echo "== all checks passed =="

@@ -1,6 +1,7 @@
 #include "runtime/klt_pool.hpp"
 
 #include "common/assert.hpp"
+#include "runtime/instrument.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/signals.hpp"
 
@@ -72,6 +73,8 @@ void* KltCreator::thread_main(void* arg) {
 
 void KltCreator::loop() {
   signals::block_runtime_signals();
+  worker_tls()->trace_ring =
+      trace::Collector::instance().acquire_ring(trace::TrackKind::kCreator, -1);
   for (;;) {
     gate_.wait();
     if (stop_.load(std::memory_order_acquire)) return;
@@ -79,6 +82,8 @@ void KltCreator::loop() {
     std::uint32_t n = pending_.exchange(0, std::memory_order_acq_rel);
     for (std::uint32_t i = 0; i < n; ++i) {
       rt_->create_klt(/*starts_parked=*/true);  // parks itself in the pool
+      LPT_TRACE_EVENT(trace::EventType::kKltCreated, 0,
+                      created_.load(std::memory_order_relaxed));
       created_.fetch_add(1, std::memory_order_relaxed);
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     }

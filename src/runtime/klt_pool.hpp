@@ -65,6 +65,9 @@ struct KltCtl : TreiberNode {
   /// Spare KLTs (creator-made or initial spares) park themselves in the pool
   /// before their first wait; initial worker hosts do not.
   bool starts_parked = false;
+
+  /// Trace ring id of this KLT (labels its export track); -1 when untraced.
+  int trace_id = -1;
 };
 
 /// Global + worker-local pools of idle KLTs. try_pop/push are lock-free and

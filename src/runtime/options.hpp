@@ -6,6 +6,8 @@
 #include <functional>
 #include <memory>
 
+#include "common/trace.hpp"
+
 namespace lpt {
 
 class Runtime;
@@ -66,6 +68,13 @@ struct RuntimeOptions {
 
   /// Pin worker KLTs to cores round-robin (no-op beyond available cores).
   bool pin_workers = false;
+
+  /// Scheduling tracer (docs/observability.md). Overridable via the
+  /// LPT_TRACE / LPT_TRACE_FILE / LPT_TRACE_RING_CAP environment variables;
+  /// when `trace.file` is set the runtime writes a Chrome trace_event JSON
+  /// there at shutdown. Off by default: the hot path only pays one relaxed
+  /// flag load per instrumented site.
+  trace::TraceConfig trace;
 };
 
 /// Per-thread spawn attributes.

@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/signals.hpp"
 #include "runtime/timer.hpp"
@@ -51,6 +52,11 @@ Runtime::Runtime(RuntimeOptions opts)
                 "only one lpt::Runtime may be active per process");
 
   signals::install_handlers();
+
+  // Arm the tracer before any runtime thread exists so every thread can
+  // acquire its ring at startup (recording itself never allocates).
+  trace_cfg_ = trace::resolve_config(opts_.trace);
+  if (trace_cfg_.enabled) trace::Collector::instance().configure(trace_cfg_);
 
   n_active_.store(opts_.num_workers, std::memory_order_release);
 
@@ -121,6 +127,14 @@ Runtime::~Runtime() {
     for (auto& k : klts_) pthread_join(k->pthread, nullptr);
   }
 
+  // All rings are quiescent now; flush the configured trace file and stop
+  // recording (the collector keeps the data for late explicit exports).
+  if (trace_cfg_.enabled) {
+    if (!trace_cfg_.file.empty())
+      trace::Collector::instance().write_chrome_json(trace_cfg_.file);
+    trace::Collector::instance().disable();
+  }
+
   detail::runtime_slot().store(nullptr, std::memory_order_release);
 }
 
@@ -149,6 +163,9 @@ void Runtime::klt_main(KltCtl* self) {
   self->tid.store(gettid_syscall(), std::memory_order_release);
   WorkerTls* tls = worker_tls();
   tls->klt = self;
+  tls->trace_ring =
+      trace::Collector::instance().acquire_ring(trace::TrackKind::kWorkerKlt, -1);
+  if (tls->trace_ring != nullptr) self->trace_id = tls->trace_ring->id();
   signals::block_runtime_signals();
   signals::unblock_preempt();
 
@@ -208,6 +225,7 @@ ThreadCtl* Runtime::spawn_ctl(std::function<void()> fn, ThreadAttrs attrs,
   auto* t = new ThreadCtl;
   t->rt = this;
   t->fn = std::move(fn);
+  t->trace_id = next_ult_id_.fetch_add(1, std::memory_order_relaxed) + 1;
   t->preempt = attrs.preempt;
   t->priority = attrs.priority;
   t->detached = detached;
@@ -272,12 +290,47 @@ Runtime::Stats Runtime::stats() const {
         w->n_preempt_klt_switch.load(std::memory_order_relaxed);
     pw.steals = w->n_steals.load(std::memory_order_relaxed);
     pw.parked = w->parked.load(std::memory_order_relaxed);
+    pw.preempt_delivery_samples = w->hist_delivery.count();
+    pw.preempt_resched_samples = w->hist_resched.count();
+    pw.klt_trip_samples = w->hist_klt_trip.count();
+    s.preempt_delivery_ns.merge(w->hist_delivery.snapshot());
+    s.preempt_resched_ns.merge(w->hist_resched.snapshot());
+    s.klt_switch_trip_ns.merge(w->hist_klt_trip.snapshot());
     s.workers.push_back(pw);
   }
   s.klts_created = total_klts();
   s.klts_on_demand = klt_creator_.created();
   s.active_workers = active_workers();
+  s.trace_enabled = trace_cfg_.enabled;
+  if (trace_cfg_.enabled) {
+    s.trace_events = trace::Collector::instance().total_events();
+    s.trace_dropped = trace::Collector::instance().total_dropped();
+  }
   return s;
+}
+
+bool Runtime::write_chrome_trace(const std::string& path) const {
+  if (!trace_cfg_.enabled) return false;
+  return trace::Collector::instance().write_chrome_json(path);
+}
+
+void Runtime::print_trace_summary(std::FILE* out) const {
+  if (!trace_cfg_.enabled) {
+    std::fprintf(out, "trace summary: tracing disabled\n");
+    return;
+  }
+  trace::Collector::instance().write_summary(out);
+  const Stats s = stats();
+  auto hist_line = [&](const char* name, const trace::HistSnapshot& h) {
+    if (h.count() == 0) return;
+    std::fprintf(out,
+                 "  %-28s n=%-8llu p50=%8.0f ns  p90=%8.0f ns  p99=%8.0f ns\n",
+                 name, static_cast<unsigned long long>(h.count()),
+                 h.percentile_ns(50), h.percentile_ns(90), h.percentile_ns(99));
+  };
+  hist_line("preempt delivery", s.preempt_delivery_ns);
+  hist_line("preempt -> reschedule", s.preempt_resched_ns);
+  hist_line("klt suspend -> resume", s.klt_switch_trip_ns);
 }
 
 void Runtime::notify_work() {

@@ -63,6 +63,14 @@ class Runtime {
   std::uint64_t total_klts() const;
 
   /// Point-in-time counters for observability/tuning.
+  ///
+  /// Snapshot coherence: every field is an independent relaxed read of a
+  /// live counter — the struct is NOT a consistent cut of the runtime.
+  /// Monotonic counters (scheduled, preemptions, steals, histogram buckets)
+  /// never run backwards between two stats() calls, but sums across workers
+  /// may disagree transiently with per-thread views (e.g. total_preemptions()
+  /// taken a microsecond later), and `parked` is an instantaneous flag.
+  /// Quiesce the runtime (join all ULTs) before asserting exact equalities.
   struct Stats {
     struct PerWorker {
       std::uint64_t scheduled = 0;           ///< threads dispatched
@@ -70,13 +78,42 @@ class Runtime {
       std::uint64_t preempt_klt_switch = 0;
       std::uint64_t steals = 0;
       bool parked = false;                   ///< packing-suspended right now
+      // Totals of this worker's latency histograms (tracing only; 0 when
+      // tracing is off).
+      std::uint64_t preempt_delivery_samples = 0;
+      std::uint64_t preempt_resched_samples = 0;
+      std::uint64_t klt_trip_samples = 0;
     };
     std::vector<PerWorker> workers;
     std::uint64_t klts_created = 0;   ///< incl. initial worker hosts
     std::uint64_t klts_on_demand = 0; ///< created by the KLT creator
     int active_workers = 0;
+
+    // -- tracer results (all zero when tracing is off) --
+    bool trace_enabled = false;
+    std::uint64_t trace_events = 0;   ///< committed across all rings
+    std::uint64_t trace_dropped = 0;  ///< lost to ring overflow
+    /// Log2 latency histograms merged across workers (ns). See
+    /// trace::HistSnapshot::percentile_ns for summary extraction.
+    trace::HistSnapshot preempt_delivery_ns;  ///< timer fire → handler entry
+    trace::HistSnapshot preempt_resched_ns;   ///< preemption → re-dispatch
+    trace::HistSnapshot klt_switch_trip_ns;   ///< KLT suspend → resume
   };
   Stats stats() const;
+
+  // ----- tracing (docs/observability.md) -----
+
+  /// True when this runtime was constructed with tracing armed (options or
+  /// LPT_TRACE environment).
+  bool trace_enabled() const { return trace_cfg_.enabled; }
+  /// Effective export path after env overrides ("" = no file at shutdown).
+  const std::string& trace_file() const { return trace_cfg_.file; }
+  /// Export everything recorded so far as Chrome trace_event JSON (loadable
+  /// in Perfetto / chrome://tracing). Callable any time; for a coherent
+  /// picture, quiesce the workers first. False when disabled or empty.
+  bool write_chrome_trace(const std::string& path) const;
+  /// Compact text summary (event counts, drops, histogram percentiles).
+  void print_trace_summary(std::FILE* out) const;
 
   // ----- internal API (runtime components; not for applications) -----
 
@@ -107,6 +144,8 @@ class Runtime {
   ThreadCtl* spawn_ctl(std::function<void()> fn, ThreadAttrs attrs, bool detached);
 
   RuntimeOptions opts_;
+  trace::TraceConfig trace_cfg_;  ///< options.trace resolved against env
+  std::atomic<std::uint32_t> next_ult_id_{0};
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<PreemptionTimer> timer_;

@@ -6,6 +6,7 @@
 #include "runtime/scheduler.hpp"
 
 #include "common/assert.hpp"
+#include "runtime/instrument.hpp"
 #include "runtime/runtime.hpp"
 
 namespace lpt {
@@ -32,6 +33,8 @@ ThreadCtl* PriorityScheduler::pick(Worker& w) {
     const int v = (w.rank + step) % n;
     if (ThreadCtl* t = high_[v]->pop_front()) {
       w.n_steals.fetch_add(1, std::memory_order_relaxed);
+      LPT_TRACE_EVENT(trace::EventType::kSteal, t->trace_id,
+                      static_cast<std::uint64_t>(v));
       return t;
     }
   }
@@ -41,6 +44,8 @@ ThreadCtl* PriorityScheduler::pick(Worker& w) {
     const int v = (w.rank + step) % n;
     if (ThreadCtl* t = low_[v]->pop_back()) {
       w.n_steals.fetch_add(1, std::memory_order_relaxed);
+      LPT_TRACE_EVENT(trace::EventType::kSteal, t->trace_id,
+                      static_cast<std::uint64_t>(v));
       return t;
     }
   }

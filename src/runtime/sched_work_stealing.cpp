@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include "common/assert.hpp"
+#include "runtime/instrument.hpp"
 #include "runtime/runtime.hpp"
 
 namespace lpt {
@@ -26,6 +27,8 @@ ThreadCtl* WorkStealingScheduler::pick(Worker& w) {
     if (v == w.rank) continue;
     if (ThreadCtl* t = queues_[v]->pop_front()) {
       w.n_steals.fetch_add(1, std::memory_order_relaxed);
+      LPT_TRACE_EVENT(trace::EventType::kSteal, t->trace_id,
+                      static_cast<std::uint64_t>(v));
       return t;
     }
   }

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 
 namespace lpt::signals {
@@ -76,8 +77,24 @@ void preempt_handler(int /*signo*/, siginfo_t* si, void* /*uctx*/) {
   }
   if (t->no_preempt_depth > 0) {
     t->preempt_pending = true;
+    LPT_TRACE_EVENT(trace::EventType::kHandlerDeferred, t->trace_id);
     errno = saved_errno;
     return;
+  }
+
+  // Timer-fire → handler-entry latency: the sender stamped the worker; all
+  // operations here (exchange, histogram fetch_add, ring record) are
+  // async-signal-safe.
+  if (LPT_TRACE_ON()) {
+    const std::int64_t now = trace::now_ns();
+    const std::int64_t sent =
+        w->preempt_sent_ns.exchange(0, std::memory_order_relaxed);
+    std::uint64_t delivery = 0;
+    if (sent != 0 && now > sent) {
+      delivery = static_cast<std::uint64_t>(now - sent);
+      w->hist_delivery.record(static_cast<std::int64_t>(delivery));
+    }
+    trace::emit(trace::EventType::kHandlerEnter, t->trace_id, delivery);
   }
 
   if (t->preempt == Preempt::SignalYield)
@@ -134,6 +151,11 @@ void unblock_preempt() {
 void send_preempt(Worker& w, int initiator_rank) {
   KltCtl* k = w.current_klt.load(std::memory_order_acquire);
   if (k == nullptr) return;
+  // Stamp the send for delivery-latency accounting (overwritten by a newer
+  // send before the handler consumes it — the handler then measures against
+  // the most recent delivery attempt, which is the one it serves).
+  if (LPT_TRACE_ON())
+    w.preempt_sent_ns.store(trace::now_ns(), std::memory_order_relaxed);
   sigval v;
   v.sival_int = initiator_rank;
   // pthread_sigqueue is a thin rt_tgsigqueueinfo wrapper; safe from handlers.

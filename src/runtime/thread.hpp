@@ -52,6 +52,13 @@ struct ThreadCtl {
   /// Number of times this thread was implicitly preempted (for tests/stats).
   std::atomic<std::uint64_t> preemptions{0};
 
+  /// Small stable id for trace events (assigned at spawn; 0 = untraced).
+  std::uint32_t trace_id = 0;
+  /// Tracing: when this thread was last preempted (set by the post action,
+  /// consumed at the next dispatch for the preempt→reschedule histogram).
+  /// Only touched while the thread is owned by one worker, so unsynchronized.
+  std::int64_t last_preempt_ns = 0;
+
   /// NoPreemptGuard nesting depth. Written only by the thread itself, read
   /// by the preemption handler on the same KLT while the thread runs.
   volatile int no_preempt_depth = 0;

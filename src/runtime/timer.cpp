@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "common/time.hpp"
+#include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/signals.hpp"
 
@@ -56,6 +57,8 @@ class MonitorTimer final : public PreemptionTimer {
 
   void loop() {
     signals::block_runtime_signals();
+    worker_tls()->trace_ring =
+        trace::Collector::instance().acquire_ring(trace::TrackKind::kTimer, -1);
     const int n = rt_->num_workers();
     const std::int64_t interval_ns = rt_->options().interval_us * 1000;
     const std::int64_t t0 = now_ns();
@@ -81,13 +84,21 @@ class MonitorTimer final : public PreemptionTimer {
           const int r = static_cast<int>(tick % static_cast<std::uint64_t>(n));
           // Per-worker timers do not distinguish preemptive workers — the
           // shortcoming §3.2.1 calls out; keep that fidelity.
-          if (worker_started(r)) signals::send_preempt(rt_->worker(r), -1);
+          if (worker_started(r)) {
+            LPT_TRACE_EVENT(trace::EventType::kTimerFire, 0,
+                            static_cast<std::uint64_t>(r));
+            signals::send_preempt(rt_->worker(r), -1);
+          }
           break;
         }
         case TimerKind::PerWorkerCreationTime: {
           // The naive baseline: all workers interrupted at the same instant.
           for (int r = 0; r < n; ++r)
-            if (worker_started(r)) signals::send_preempt(rt_->worker(r), -1);
+            if (worker_started(r)) {
+              LPT_TRACE_EVENT(trace::EventType::kTimerFire, 0,
+                              static_cast<std::uint64_t>(r));
+              signals::send_preempt(rt_->worker(r), -1);
+            }
           break;
         }
         case TimerKind::ProcessOneToAll:
@@ -97,6 +108,8 @@ class MonitorTimer final : public PreemptionTimer {
           // signals at all (§3.2.2).
           for (int r = 0; r < n; ++r) {
             if (worker_eligible(r)) {
+              LPT_TRACE_EVENT(trace::EventType::kTimerFire, 0,
+                              static_cast<std::uint64_t>(r));
               signals::send_preempt(rt_->worker(r), r);
               break;
             }

@@ -6,6 +6,7 @@
 
 #include "common/assert.hpp"
 #include "common/time.hpp"
+#include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/signals.hpp"
 
@@ -108,8 +109,17 @@ __attribute__((noinline)) void handler_klt_switch(Runtime* rt, Worker* w,
     // retries at the next timer tick (§3.1.2 — the handler must never wait
     // for pthread_create, which is not async-signal-safe and may hold locks
     // the interrupted thread owns).
+    LPT_TRACE_EVENT(trace::EventType::kKltPoolMiss, t->trace_id);
     rt->klt_creator().request();
     return;
+  }
+  LPT_TRACE_EVENT(trace::EventType::kKltPoolHit, t->trace_id,
+                  static_cast<std::uint64_t>(b->trace_id >= 0 ? b->trace_id : 0));
+
+  std::int64_t suspend_ns = 0;
+  if (LPT_TRACE_ON()) {
+    suspend_ns = trace::now_ns();
+    trace::emit(trace::EventType::kKltSuspend, t->trace_id);
   }
 
   t->bound_klt = self;
@@ -143,6 +153,12 @@ __attribute__((noinline)) void handler_klt_switch(Runtime* rt, Worker* w,
   tls2->worker = w2;
   tls2->in_ult = true;
   t->bound_klt = nullptr;
+  if (LPT_TRACE_ON() && suspend_ns != 0) {
+    const std::int64_t trip = trace::now_ns() - suspend_ns;
+    w2->hist_klt_trip.record(trip);
+    trace::emit(trace::EventType::kKltResume, t->trace_id,
+                static_cast<std::uint64_t>(trip));
+  }
   // Return unwinds the handler; t continues on its original KLT.
 }
 
@@ -193,6 +209,7 @@ void Worker::scheduler_loop() {
 
 void Worker::run(ThreadCtl* t) {
   n_scheduled.fetch_add(1, std::memory_order_relaxed);
+  trace_dispatch(t);
   t->store_state(ThreadState::kRunning);
   current_ult.store(t, std::memory_order_release);
   current_preempt.store(static_cast<std::uint8_t>(t->preempt),
@@ -211,6 +228,7 @@ void Worker::run_resume_bound(ThreadCtl* t) {
   LPT_CHECK(x != nullptr && me != nullptr && x != me);
 
   n_scheduled.fetch_add(1, std::memory_order_relaxed);
+  trace_dispatch(t);
   t->store_state(ThreadState::kRunning);
   current_ult.store(t, std::memory_order_release);
   current_preempt.store(static_cast<std::uint8_t>(t->preempt),
@@ -232,6 +250,18 @@ void Worker::run_resume_bound(ThreadCtl* t) {
   // Scheduler context resumed later by whichever KLT hosts this worker next.
 }
 
+void Worker::trace_dispatch(ThreadCtl* t) {
+  if (!LPT_TRACE_ON()) return;
+  const std::int64_t now = trace::now_ns();
+  std::uint64_t resched = 0;
+  if (t->last_preempt_ns != 0) {
+    resched = static_cast<std::uint64_t>(now - t->last_preempt_ns);
+    t->last_preempt_ns = 0;
+    hist_resched.record(static_cast<std::int64_t>(resched));
+  }
+  trace::emit(trace::EventType::kUltDispatch, t->trace_id, resched);
+}
+
 void Worker::process_post_action() {
   PostAction a = post;
   post = PostAction{};
@@ -248,6 +278,7 @@ void Worker::process_post_action() {
       break;
     case PostKind::kYield:
       clear_current();
+      LPT_TRACE_EVENT(trace::EventType::kUltYield, a.thread->trace_id);
       a.thread->store_state(ThreadState::kReady);
       rt->scheduler().enqueue(a.thread, this, EnqueueKind::kYield);
       rt->notify_work();
@@ -256,6 +287,10 @@ void Worker::process_post_action() {
       clear_current();
       n_preempt_signal_yield.fetch_add(1, std::memory_order_relaxed);
       a.thread->preemptions.fetch_add(1, std::memory_order_relaxed);
+      if (LPT_TRACE_ON()) {
+        a.thread->last_preempt_ns = trace::now_ns();
+        trace::emit(trace::EventType::kPreemptSignalYield, a.thread->trace_id);
+      }
       a.thread->store_state(ThreadState::kReady);
       rt->scheduler().enqueue(a.thread, this, EnqueueKind::kPreempted);
       rt->notify_work();
@@ -268,6 +303,10 @@ void Worker::process_post_action() {
       clear_current();
       n_preempt_klt_switch.fetch_add(1, std::memory_order_relaxed);
       a.thread->preemptions.fetch_add(1, std::memory_order_relaxed);
+      if (LPT_TRACE_ON()) {
+        a.thread->last_preempt_ns = trace::now_ns();
+        trace::emit(trace::EventType::kPreemptKltSwitch, a.thread->trace_id);
+      }
       a.thread->store_state(ThreadState::kReady);
       // "as if it had called a yield function" (Fig 2c).
       rt->scheduler().enqueue(a.thread, this, EnqueueKind::kPreempted);
@@ -275,6 +314,7 @@ void Worker::process_post_action() {
       break;
     case PostKind::kBlock:
       clear_current();
+      LPT_TRACE_EVENT(trace::EventType::kUltBlock, a.thread->trace_id);
       a.thread->store_state(ThreadState::kBlocked);
       // Only now — with the context fully saved — may others see the thread.
       if (a.release_lock != nullptr) a.release_lock->unlock();
@@ -282,6 +322,7 @@ void Worker::process_post_action() {
       break;
     case PostKind::kExit:
       clear_current();
+      LPT_TRACE_EVENT(trace::EventType::kUltExit, a.thread->trace_id);
       rt->finalize_thread(a.thread);
       break;
   }
@@ -300,12 +341,14 @@ void Worker::idle_backoff(int& failures) {
 
 void Worker::park_for_packing() {
   parked.store(true, std::memory_order_release);
+  LPT_TRACE_EVENT(trace::EventType::kWorkerPark);
   while (rank >= rt->active_workers() && !rt->shutting_down()) {
     std::uint32_t v = wake_word.load(std::memory_order_acquire);
     if (rank < rt->active_workers() || rt->shutting_down()) break;
     futex_wait(&wake_word, v);
   }
   parked.store(false, std::memory_order_release);
+  LPT_TRACE_EVENT(trace::EventType::kWorkerUnpark);
 }
 
 void Worker::maybe_rearm_posix_timer(pid_t tid) {

@@ -9,6 +9,7 @@
 #include "common/cpu.hpp"
 #include "common/futex.hpp"
 #include "common/spinlock.hpp"
+#include "common/trace.hpp"
 #include "context/context.hpp"
 #include "context/stack.hpp"
 #include "runtime/options.hpp"
@@ -78,12 +79,24 @@ struct alignas(kCacheLineSize) Worker {
   std::atomic<std::uint64_t> n_preempt_klt_switch{0};
   std::atomic<std::uint64_t> n_steals{0};
 
+  // -- tracing (see docs/observability.md) --
+  /// Timestamp of the last preemption signal sent at this worker (written by
+  /// the timer/forwarding sender, consumed by the handler to compute the
+  /// fire→handler-entry delivery latency). 0 = consumed / none.
+  std::atomic<std::int64_t> preempt_sent_ns{0};
+  /// Signal-safe log2 latency histograms, merged into Runtime::Stats.
+  trace::LatencyHistogram hist_delivery;   ///< signal send → handler entry
+  trace::LatencyHistogram hist_resched;    ///< preemption → next dispatch
+  trace::LatencyHistogram hist_klt_trip;   ///< KLT suspend → resume round trip
+
   /// Body of the scheduler context: pick/run loop until runtime shutdown.
   void scheduler_loop();
 
  private:
   void run(ThreadCtl* t);
   void run_resume_bound(ThreadCtl* t);  ///< KLT-switching resume protocol
+  /// Dispatch trace event + preempt→reschedule histogram sample.
+  void trace_dispatch(ThreadCtl* t);
   void process_post_action();
   void idle_backoff(int& failures);
   void park_for_packing();
@@ -105,6 +118,9 @@ struct WorkerTls {
   /// NoPreemptGuard nesting depth; handler defers preemption while > 0.
   volatile int no_preempt_depth = 0;
   volatile bool preempt_pending = false;
+  /// This OS thread's trace ring (nullptr when tracing is off). Set once at
+  /// thread startup; read from the signal handler via worker_tls().
+  trace::Ring* trace_ring = nullptr;
 };
 
 /// Never inlined: re-derives the TLS address every call.
