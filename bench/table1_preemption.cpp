@@ -33,6 +33,12 @@ struct RealPreempt {
   trace::HistSnapshot delivery;  ///< timer fire -> handler entry
   trace::HistSnapshot resched;   ///< preemption -> re-dispatch
   trace::HistSnapshot klt_trip;  ///< KLT suspend -> resume (KLT-switching)
+  /// Degradation counters (docs/robustness.md). All zero on a healthy host
+  /// with no LPT_FAULT armed; nonzero values flag that the latency numbers
+  /// above were taken on a degraded runtime and are not comparable.
+  std::uint64_t degraded_ticks = 0;
+  std::uint64_t timer_fallbacks = 0;
+  std::uint64_t faults_injected = 0;
 };
 
 /// Measure the real per-preemption cost on this host: fixed CPU-bound work
@@ -60,6 +66,9 @@ RealPreempt measure_real_preempt(Preempt mode, std::int64_t interval_us,
       out.delivery.merge(st.preempt_delivery_ns);
       out.resched.merge(st.preempt_resched_ns);
       out.klt_trip.merge(st.klt_switch_trip_ns);
+      out.degraded_ticks += st.klt_degraded_ticks;
+      out.timer_fallbacks += st.posix_timer_fallbacks;
+      out.faults_injected += st.faults_injected;
     }
     return {static_cast<double>(elapsed), rt.total_preemptions()};
   };
@@ -86,6 +95,12 @@ void print_real(const char* label, const RealPreempt& r) {
     std::printf(", KLT trip p50 %.1f us", r.klt_trip.median_ns() / 1000.0);
   std::printf("  (%llu preemptions)\n",
               static_cast<unsigned long long>(r.preemptions));
+  if (r.degraded_ticks > 0 || r.timer_fallbacks > 0 || r.faults_injected > 0)
+    std::printf("  %-13s  DEGRADED RUN: %llu deferred ticks, %llu timer "
+                "fallbacks, %llu injected faults — latencies not comparable\n",
+                "", static_cast<unsigned long long>(r.degraded_ticks),
+                static_cast<unsigned long long>(r.timer_fallbacks),
+                static_cast<unsigned long long>(r.faults_injected));
 }
 
 }  // namespace
@@ -162,8 +177,13 @@ int main(int argc, char** argv) {
   json.set("real.signal_yield.preemptions", sy.preemptions);
   json.set_hist("real.signal_yield.delivery", sy.delivery);
   json.set_hist("real.signal_yield.resched", sy.resched);
+  json.set("real.signal_yield.degraded_ticks", sy.degraded_ticks);
+  json.set("real.signal_yield.faults_injected", sy.faults_injected);
   json.set("real.klt_switching.ext_us", ks.ext_us);
   json.set("real.klt_switching.preemptions", ks.preemptions);
+  json.set("real.klt_switching.degraded_ticks", ks.degraded_ticks);
+  json.set("real.klt_switching.timer_fallbacks", ks.timer_fallbacks);
+  json.set("real.klt_switching.faults_injected", ks.faults_injected);
   json.set_hist("real.klt_switching.delivery", ks.delivery);
   json.set_hist("real.klt_switching.resched", ks.resched);
   json.set_hist("real.klt_switching.klt_trip", ks.klt_trip);

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Repo gate: configure + build + tier-1 tests, then the tracer's
-# non-context-switching unit tests under ThreadSanitizer.
+# Repo gate: configure + build + tier-1 tests, the tracer's
+# non-context-switching unit tests under ThreadSanitizer, then the
+# fault-injection suite under AddressSanitizer.
 #
 #   scripts/check.sh [build-dir]        (default: build)
 #
@@ -9,22 +10,34 @@
 # produces false positives on every context switch. The tracer's lock-free
 # data structures (ring, histograms, exporter) never context-switch, so
 # test_trace_unit runs TSan-clean and guards the tracer's concurrency logic.
+#
+# ASan scope: the fault-injection tests (docs/robustness.md) exercise every
+# degraded resource path — pthread_create storms, timer_create fallback, mmap
+# spawn refusal, shutdown of a degraded runtime. ASan catches the classic
+# degradation bugs (double-free of a shed stack, use-after-free of an
+# abandoned KLT request) that a plain run would miss.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/3] normal build =="
+echo "== [1/4] normal build =="
 cmake -S . -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 
-echo "== [2/3] tier-1 tests =="
+echo "== [2/4] tier-1 tests =="
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure
 
-echo "== [3/3] tracer unit tests under TSan =="
+echo "== [3/4] tracer unit tests under TSan =="
 cmake -S . -B "$BUILD-tsan" -G Ninja -DLPT_SANITIZE=thread >/dev/null
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_trace_unit
 "$BUILD-tsan/tests/test_trace_unit"
+
+echo "== [4/4] fault-injection tests under ASan =="
+cmake -S . -B "$BUILD-asan" -G Ninja -DLPT_SANITIZE=address >/dev/null
+cmake --build "$BUILD-asan" -j "$JOBS" --target test_sys test_fault
+"$BUILD-asan/tests/test_sys"
+"$BUILD-asan/tests/test_fault"
 
 echo "== all checks passed =="

@@ -73,6 +73,14 @@ class FutexGate {
       futex_wait(&tickets_, 0);
     }
   }
+  /// Like wait(), but gives up after ~timeout_ns. Returns true when a ticket
+  /// was consumed, false on timeout (no ticket taken).
+  bool wait_for(std::int64_t timeout_ns) {
+    if (try_consume()) return true;
+    futex_wait_timeout(&tickets_, 0, timeout_ns);
+    return try_consume();
+  }
+
   /// Release one waiter (or bank a ticket if none is waiting yet).
   void post() {
     tickets_.fetch_add(1, std::memory_order_acq_rel);
@@ -80,6 +88,15 @@ class FutexGate {
   }
 
  private:
+  bool try_consume() {
+    std::uint32_t c = tickets_.load(std::memory_order_acquire);
+    while (c > 0) {
+      if (tickets_.compare_exchange_weak(c, c - 1, std::memory_order_acq_rel))
+        return true;
+    }
+    return false;
+  }
+
   std::atomic<std::uint32_t> tickets_{0};
 };
 

@@ -29,6 +29,9 @@ const char* event_name(EventType t) {
     case EventType::kKltPoolMiss: return "klt_pool_miss";
     case EventType::kKltCreated: return "klt_created";
     case EventType::kTimerFire: return "timer_fire";
+    case EventType::kKltDegradedTick: return "klt_degraded_tick";
+    case EventType::kTimerFallback: return "timer_fallback";
+    case EventType::kStackAllocFail: return "stack_alloc_fail";
     case EventType::kCount: break;
   }
   return "unknown";

@@ -60,6 +60,9 @@ enum class EventType : std::uint16_t {
   kKltPoolMiss,        ///< pool empty; creation requested, preemption skipped
   kKltCreated,         ///< KLT creator built a spare
   kTimerFire,          ///< monitor timer issued a tick; arg0=target rank
+  kKltDegradedTick,    ///< pool empty + creator saturated or KLT cap hit; tick deferred
+  kTimerFallback,      ///< POSIX per-worker timer degraded to monitor delivery; arg0=rank
+  kStackAllocFail,     ///< spawn failed recoverably: stack mmap refused after shed+retry
   kCount,
 };
 

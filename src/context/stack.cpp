@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "common/sys.hpp"
 
 namespace lpt {
 
@@ -22,9 +23,9 @@ Stack::Stack(std::size_t usable_size) {
   const std::size_t ps = page_size();
   const std::size_t usable = (usable_size + ps - 1) / ps * ps;
   const std::size_t total = usable + ps;  // + guard page
-  void* p = ::mmap(nullptr, total, PROT_READ | PROT_WRITE,
-                   MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
-  LPT_CHECK_MSG(p != MAP_FAILED, "mmap for ULT stack failed");
+  void* p = sys::mmap(nullptr, total, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+  if (p == MAP_FAILED) return;  // invalid; errno says why
   LPT_CHECK(::mprotect(p, ps, PROT_NONE) == 0);
   map_ = p;
   map_size_ = total;
@@ -65,15 +66,54 @@ Stack StackPool::acquire() {
   return Stack(stack_size_);
 }
 
+Stack StackPool::try_acquire(int* err) {
+  Stack s = acquire();
+  if (s.valid()) return s;
+  const int first_err = errno != 0 ? errno : ENOMEM;
+  // Degrade: return every cached mapping to the kernel, then retry once.
+  // (A cached stack of the right size would have been handed out above, so
+  // reaching here means the free list held nothing useful — but a racing
+  // release may have restocked it, and shedding also frees address space
+  // held by other pools' churn.)
+  shed_all();
+  s = Stack(stack_size_);
+  if (s.valid()) return s;
+  if (err != nullptr) *err = errno != 0 ? errno : first_err;
+  return s;
+}
+
 void StackPool::release(Stack&& s) {
   LPT_CHECK(s.valid());
-  SpinlockGuard g(lock_);
-  free_.push_back(std::move(s));
+  Stack drop;  // unmapped outside the lock if the cache is full
+  {
+    SpinlockGuard g(lock_);
+    if (free_.size() < max_cached_) {
+      free_.push_back(std::move(s));
+      return;
+    }
+    ++shed_;
+    drop = std::move(s);
+  }
+}
+
+std::size_t StackPool::shed_all() {
+  std::vector<Stack> drop;
+  {
+    SpinlockGuard g(lock_);
+    drop.swap(free_);
+    shed_ += drop.size();
+  }
+  return drop.size();
 }
 
 std::size_t StackPool::cached() const {
   SpinlockGuard g(lock_);
   return free_.size();
+}
+
+std::uint64_t StackPool::total_shed() const {
+  SpinlockGuard g(lock_);
+  return shed_;
 }
 
 }  // namespace lpt

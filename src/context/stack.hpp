@@ -2,9 +2,15 @@
 // page below the usable area, plus a free-list pool so the fork/join fast
 // path never touches mmap (M:N threads owe much of their speed to cheap
 // thread creation, §1/§2.1).
+//
+// Robustness (docs/robustness.md): allocation goes through lpt::sys::mmap so
+// failures — real ENOMEM or LPT_FAULT-injected — surface as an invalid Stack
+// instead of an abort, and the pool caps its free list so stack-churn
+// workloads cannot grow RSS without bound.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/spinlock.hpp"
@@ -16,6 +22,8 @@ class Stack {
  public:
   Stack() = default;
   /// Maps usable_size rounded up to whole pages, plus one guard page below.
+  /// On mmap failure the object is left invalid (valid() == false) with
+  /// errno set by the failed call — callers decide whether that is fatal.
   explicit Stack(std::size_t usable_size);
   ~Stack();
   Stack(Stack&& other) noexcept;
@@ -35,23 +43,43 @@ class Stack {
   std::size_t size_ = 0;
 };
 
-/// Thread-safe pool of equally sized stacks.
+/// Thread-safe pool of equally sized stacks. The free list keeps at most
+/// `max_cached` stacks; releases beyond the cap munmap immediately (counted
+/// in total_shed()).
 class StackPool {
  public:
-  explicit StackPool(std::size_t stack_size) : stack_size_(stack_size) {}
+  explicit StackPool(std::size_t stack_size, std::size_t max_cached = 64)
+      : stack_size_(stack_size), max_cached_(max_cached) {}
 
-  /// Pop a cached stack or map a fresh one.
+  /// Pop a cached stack or map a fresh one. May return an invalid Stack on
+  /// allocation failure; prefer try_acquire for an errno-carrying variant.
   Stack acquire();
+
+  /// acquire() with graceful degradation: on mmap failure the pool sheds its
+  /// whole free list (returning address space) and retries once. On final
+  /// failure returns an invalid Stack and stores the errno in *err.
+  Stack try_acquire(int* err);
+
   /// Return a stack for reuse (must have been acquired from this pool).
+  /// Dropped (munmap'd) instead of cached once the free list is at capacity.
   void release(Stack&& s);
 
+  /// Drop every cached stack now; returns how many were freed. Used by the
+  /// spawn path to claw back address space before retrying an allocation.
+  std::size_t shed_all();
+
   std::size_t stack_size() const { return stack_size_; }
+  std::size_t max_cached() const { return max_cached_; }
   std::size_t cached() const;
+  /// Cumulative stacks dropped (cap overflow + shed_all).
+  std::uint64_t total_shed() const;
 
  private:
   std::size_t stack_size_;
+  std::size_t max_cached_;
   mutable Spinlock lock_;
   std::vector<Stack> free_;
+  std::uint64_t shed_ = 0;  // guarded by lock_
 };
 
 }  // namespace lpt

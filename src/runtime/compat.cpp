@@ -38,17 +38,28 @@ int thread_create(thread_t* out, const thread_attr_t* attr,
   ta.stack_size = a.stack_size;
 
   if (a.detached) {
-    rt->spawn_detached(
-        [ctl] {
-          ctl->fn(ctl->arg);
-          delete ctl;  // nobody joins a detached thread
-        },
-        ta);
+    if (!rt->spawn_detached(
+            [ctl] {
+              ctl->fn(ctl->arg);
+              delete ctl;  // nobody joins a detached thread
+            },
+            ta)) {
+      const int err = spawn_errno();
+      delete ctl;
+      return err != 0 ? err : EAGAIN;
+    }
     out->ctl = nullptr;  // pthread-style: handle of a detached thread is dead
     return 0;
   }
 
   ctl->thread = rt->spawn([ctl] { ctl->retval = ctl->fn(ctl->arg); }, ta);
+  if (!ctl->thread.joinable()) {
+    // Recoverable spawn failure (stack exhaustion) maps to pthread_create's
+    // EAGAIN contract.
+    const int err = spawn_errno();
+    delete ctl;
+    return err != 0 ? err : EAGAIN;
+  }
   out->ctl = ctl;
   return 0;
 }

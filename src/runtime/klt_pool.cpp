@@ -1,6 +1,10 @@
 #include "runtime/klt_pool.hpp"
 
+#include <algorithm>
+#include <ctime>
+
 #include "common/assert.hpp"
+#include "common/sys.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/runtime.hpp"
 #include "runtime/signals.hpp"
@@ -53,8 +57,12 @@ std::vector<KltCtl*> KltPool::drain() {
 void KltCreator::start(Runtime& rt) {
   rt_ = &rt;
   max_in_flight_ = rt.num_workers();  // one outstanding creation per worker
+  pending_.store(0, std::memory_order_relaxed);
+  in_flight_.store(0, std::memory_order_relaxed);
+  exhausted_.store(false, std::memory_order_relaxed);
   stop_.store(false, std::memory_order_release);
-  LPT_CHECK(pthread_create(&thread_, nullptr, &KltCreator::thread_main, this) == 0);
+  LPT_CHECK(sys::pthread_create(&thread_, nullptr, &KltCreator::thread_main,
+                                this) == 0);
   started_ = true;
 }
 
@@ -64,6 +72,11 @@ void KltCreator::stop() {
   gate_.post();
   pthread_join(thread_, nullptr);
   started_ = false;
+  // Drain abandoned accounting: requests posted after the final batch (or
+  // dropped by saturation) must not leak into a restarted runtime.
+  pending_.store(0, std::memory_order_relaxed);
+  in_flight_.store(0, std::memory_order_relaxed);
+  exhausted_.store(false, std::memory_order_relaxed);
 }
 
 void* KltCreator::thread_main(void* arg) {
@@ -71,20 +84,61 @@ void* KltCreator::thread_main(void* arg) {
   return nullptr;
 }
 
+bool KltCreator::create_one_with_backoff() {
+  std::int64_t backoff = kBackoffBaseNs;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    // A hit KLT cap is sticky (KLTs are only released at shutdown): backing
+    // off cannot help, so report saturation immediately.
+    if (rt_->klt_cap_reached()) return false;
+    if (rt_->create_klt(/*starts_parked=*/true) != nullptr) return true;
+    create_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (stop_.load(std::memory_order_acquire)) return false;
+    const timespec ts{backoff / 1'000'000'000, backoff % 1'000'000'000};
+    nanosleep(&ts, nullptr);
+    backoff = std::min<std::int64_t>(backoff * 2, kBackoffCapNs);
+  }
+  return false;
+}
+
 void KltCreator::loop() {
   signals::block_runtime_signals();
   worker_tls()->trace_ring =
       trace::Collector::instance().acquire_ring(trace::TrackKind::kCreator, -1);
   for (;;) {
-    gate_.wait();
+    if (exhausted_.load(std::memory_order_acquire)) {
+      if (!gate_.wait_for(kSaturatedRetryNs)) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        // Self-retry: handlers stop requesting while saturated, so the
+        // creator itself must probe until a spare can be restocked and
+        // degraded mode can end.
+        if (!rt_->klt_cap_reached() &&
+            rt_->create_klt(/*starts_parked=*/true) != nullptr) {
+          LPT_TRACE_EVENT(trace::EventType::kKltCreated, 0,
+                          created_.load(std::memory_order_relaxed));
+          created_.fetch_add(1, std::memory_order_relaxed);
+          exhausted_.store(false, std::memory_order_release);
+        } else if (!rt_->klt_cap_reached()) {
+          create_failures_.fetch_add(1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+    } else {
+      gate_.wait();
+    }
     if (stop_.load(std::memory_order_acquire)) return;
     // Batch: satisfy every outstanding request before sleeping again.
     std::uint32_t n = pending_.exchange(0, std::memory_order_acq_rel);
     for (std::uint32_t i = 0; i < n; ++i) {
-      rt_->create_klt(/*starts_parked=*/true);  // parks itself in the pool
-      LPT_TRACE_EVENT(trace::EventType::kKltCreated, 0,
-                      created_.load(std::memory_order_relaxed));
-      created_.fetch_add(1, std::memory_order_relaxed);
+      const bool ok =
+          !stop_.load(std::memory_order_acquire) && create_one_with_backoff();
+      if (ok) {
+        LPT_TRACE_EVENT(trace::EventType::kKltCreated, 0,
+                        created_.load(std::memory_order_relaxed));
+        created_.fetch_add(1, std::memory_order_relaxed);
+        exhausted_.store(false, std::memory_order_release);
+      } else {
+        exhausted_.store(true, std::memory_order_release);
+      }
       in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     }
   }

@@ -106,10 +106,19 @@ class KltPool {
 
 /// Dedicated thread that creates KLTs on request. request() is
 /// async-signal-safe (atomic increment + futex wake).
+///
+/// Degradation (docs/robustness.md): pthread_create failures are retried
+/// with capped exponential backoff; once a request cannot be satisfied (or
+/// the max_klts cap is hit) the creator marks itself saturated() so the
+/// preemption handler defers ticks instead of queueing more requests, and it
+/// keeps self-retrying in the background until creation succeeds again.
 class KltCreator {
  public:
   void start(Runtime& rt);
-  void stop();  ///< joins the creator thread
+  /// Joins the creator thread, then drains abandoned requests and resets
+  /// pending/in-flight/saturation accounting so a runtime restarted in the
+  /// same process starts clean.
+  void stop();
 
   /// Ask for one more KLT; callable from the preemption handler. Requests
   /// are capped while creations are in flight: the requesting thread simply
@@ -125,11 +134,29 @@ class KltCreator {
     gate_.post();
   }
 
+  /// True while KLT creation is failing (resource pressure) or capped.
+  /// Async-signal-safe; the handler turns pool misses into degraded ticks
+  /// while this holds.
+  bool saturated() const { return exhausted_.load(std::memory_order_acquire); }
+
   std::uint64_t created() const { return created_.load(std::memory_order_relaxed); }
+  /// pthread_create attempts that failed (injected or real), cumulative.
+  std::uint64_t create_failures() const {
+    return create_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint32_t pending() const { return pending_.load(std::memory_order_relaxed); }
+  int in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
 
  private:
   static void* thread_main(void* arg);
   void loop();
+  /// One creation with capped exponential backoff across kMaxAttempts.
+  bool create_one_with_backoff();
+
+  static constexpr int kMaxAttempts = 8;
+  static constexpr std::int64_t kBackoffBaseNs = 50'000;        ///< 50 µs
+  static constexpr std::int64_t kBackoffCapNs = 1'000'000;      ///< 1 ms
+  static constexpr std::int64_t kSaturatedRetryNs = 2'000'000;  ///< 2 ms
 
   Runtime* rt_ = nullptr;
   pthread_t thread_{};
@@ -137,6 +164,8 @@ class KltCreator {
   std::atomic<int> in_flight_{0};
   int max_in_flight_ = 1;
   std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> create_failures_{0};
+  std::atomic<bool> exhausted_{false};
   std::atomic<bool> stop_{false};
   FutexGate gate_;
   bool started_ = false;

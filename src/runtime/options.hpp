@@ -59,6 +59,17 @@ struct RuntimeOptions {
   /// Default ULT stack size (overridable per thread).
   std::size_t stack_size = 256 * 1024;
 
+  /// Max default-sized stacks the StackPool caches for reuse; releases
+  /// beyond the cap munmap immediately (docs/robustness.md).
+  std::size_t max_cached_stacks = 64;
+
+  /// Upper bound on KLTs the runtime may ever create (worker hosts + spares);
+  /// 0 = unlimited (the paper's as-many-KLTs-as-threads worst case, §3.1.2).
+  /// When the cap is hit, KLT-switch preemptions degrade to deferred ticks
+  /// (Stats::klt_degraded_ticks) instead of creating more kernel threads.
+  /// Must be 0 or >= num_workers.
+  int max_klts = 0;
+
   KltSuspend klt_suspend = KltSuspend::Futex;
   /// Worker-local KLT pools in front of the global pool (§3.3.2).
   bool worker_local_klt_pool = true;

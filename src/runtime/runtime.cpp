@@ -4,10 +4,14 @@
 #include <sched.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <climits>
 #include <cstring>
+#include <ctime>
 
 #include "common/assert.hpp"
+#include "common/sys.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/signals.hpp"
@@ -22,7 +26,11 @@ std::atomic<Runtime*>& runtime_slot() {
   return slot;
 }
 
+thread_local int tl_spawn_errno = 0;
+
 }  // namespace detail
+
+int spawn_errno() { return detail::tl_spawn_errno; }
 
 namespace {
 
@@ -43,9 +51,14 @@ void thread_trampoline(void* arg) {
 }  // namespace
 
 Runtime::Runtime(RuntimeOptions opts)
-    : opts_(std::move(opts)), stack_pool_(opts_.stack_size) {
+    : opts_(std::move(opts)),
+      stack_pool_(opts_.stack_size, opts_.max_cached_stacks) {
   LPT_CHECK(opts_.num_workers >= 1);
   LPT_CHECK(opts_.interval_us >= 1);
+  LPT_CHECK_MSG(opts_.max_klts == 0 || opts_.max_klts >= opts_.num_workers,
+                "max_klts must be 0 (unlimited) or >= num_workers");
+
+  sys::load_env_faults();  // arm any LPT_FAULT schedule before resources move
 
   Runtime* expected = nullptr;
   LPT_CHECK_MSG(detail::runtime_slot().compare_exchange_strong(expected, this),
@@ -65,6 +78,9 @@ Runtime::Runtime(RuntimeOptions opts)
     w->rt = this;
     w->rank = r;
     w->sched_stack = Stack(128 * 1024);
+    LPT_CHECK_MSG(w->sched_stack.valid(),
+                  "cannot map worker scheduler stack (construction is fatal; "
+                  "per-spawn stacks degrade gracefully)");
     w->sched_ctx = make_context(w->sched_stack.base(), w->sched_stack.size(),
                                 &scheduler_trampoline, w.get());
     workers_.push_back(std::move(w));
@@ -90,14 +106,28 @@ Runtime::Runtime(RuntimeOptions opts)
   klt_pool_.configure(opts_.num_workers, opts_.worker_local_klt_pool);
   klt_creator_.start(*this);
 
-  // Launch one host KLT per worker.
+  // Launch one host KLT per worker. Hosts are mandatory, so transient
+  // EAGAIN is ridden out with a short capped backoff; only persistent
+  // failure aborts construction.
   for (int r = 0; r < opts_.num_workers; ++r) {
-    KltCtl* k = create_klt();
+    KltCtl* k = nullptr;
+    std::int64_t backoff_ns = 50'000;
+    for (int attempt = 0; attempt < 16 && k == nullptr; ++attempt) {
+      k = create_klt();
+      if (k == nullptr) {
+        const timespec ts{backoff_ns / 1'000'000'000, backoff_ns % 1'000'000'000};
+        nanosleep(&ts, nullptr);
+        backoff_ns = std::min<std::int64_t>(backoff_ns * 2, 2'000'000);
+      }
+    }
+    LPT_CHECK_MSG(k != nullptr, "cannot create initial worker host KLTs");
     k->action = KltAction::kBecomeWorker;
     k->assign_worker = workers_[r].get();
     k->gate.post();
   }
 
+  // Spares are an optimization: creation failure here is not fatal (the KLT
+  // creator restocks on demand once resources recover).
   for (int i = 0; i < opts_.initial_spare_klts; ++i)
     create_klt(/*starts_parked=*/true);
 
@@ -110,6 +140,12 @@ Runtime::~Runtime() {
   klt_creator_.stop();
 
   shutdown_.store(true, std::memory_order_release);
+  // With shutdown_ visible, no new fallback timer can start; stop any
+  // running one under the same lock that guards its creation.
+  {
+    SpinlockGuard g(fallback_lock_);
+    if (fallback_timer_) fallback_timer_->stop();
+  }
   set_active_workers(num_workers());  // unpark packing-suspended workers
   notify_work();
 
@@ -121,6 +157,14 @@ Runtime::~Runtime() {
       k->action = KltAction::kExit;
       k->gate.post();
     }
+  }
+  // Late preemption sends (an in-flight handler's chain forward, a kernel
+  // timer that outlives its worker) must not pthread_sigqueue a KLT that is
+  // already joined: send_preempt is gated on shutting_down(), and the
+  // delivery targets are cleared here before any join below.
+  for (auto& w : workers_) {
+    w->current_klt.store(nullptr, std::memory_order_release);
+    w->current_tid.store(0, std::memory_order_release);
   }
   {
     SpinlockGuard g(klts_lock_);
@@ -141,15 +185,20 @@ Runtime::~Runtime() {
 Runtime* Runtime::current() { return detail::runtime_instance(); }
 
 KltCtl* Runtime::create_klt(bool starts_parked) {
+  if (klt_cap_reached()) return nullptr;
   auto owned = std::make_unique<KltCtl>();
   owned->rt = this;
   owned->starts_parked = starts_parked;
   KltCtl* k = owned.get();
+  // Register only after a successful create so the shutdown join list never
+  // holds a KLT without a live pthread.
+  if (sys::pthread_create(&k->pthread, nullptr, &Runtime::klt_entry, k) != 0)
+    return nullptr;  // owned frees the control block
   {
     SpinlockGuard g(klts_lock_);
     klts_.push_back(std::move(owned));
   }
-  LPT_CHECK(pthread_create(&k->pthread, nullptr, &Runtime::klt_entry, k) == 0);
+  n_klts_.fetch_add(1, std::memory_order_acq_rel);
   return k;
 }
 
@@ -222,6 +271,32 @@ void Runtime::klt_main(KltCtl* self) {
 
 ThreadCtl* Runtime::spawn_ctl(std::function<void()> fn, ThreadAttrs attrs,
                               bool detached) {
+  // Acquire the stack first: its allocation is the recoverable failure mode
+  // (docs/robustness.md) and nothing else here may be half-done when it
+  // fails. Custom-size stacks get the same shed-and-retry the pool applies.
+  int err = 0;
+  Stack stack;
+  if (attrs.stack_size == 0) {
+    stack = stack_pool_.try_acquire(&err);
+  } else {
+    stack = Stack(attrs.stack_size);
+    if (!stack.valid()) {
+      err = errno != 0 ? errno : ENOMEM;
+      stack_pool_.shed_all();
+      stack = Stack(attrs.stack_size);
+      if (stack.valid()) err = 0;
+    }
+  }
+  if (!stack.valid()) {
+    if (err == 0) err = ENOMEM;
+    n_spawn_stack_fail_.fetch_add(1, std::memory_order_relaxed);
+    LPT_TRACE_EVENT(trace::EventType::kStackAllocFail, 0,
+                    static_cast<std::uint64_t>(err));
+    detail::tl_spawn_errno = err;
+    return nullptr;
+  }
+  detail::tl_spawn_errno = 0;
+
   auto* t = new ThreadCtl;
   t->rt = this;
   t->fn = std::move(fn);
@@ -234,7 +309,7 @@ ThreadCtl* Runtime::spawn_ctl(std::function<void()> fn, ThreadAttrs attrs,
           ? attrs.home_pool
           : spawn_rr_.fetch_add(1, std::memory_order_relaxed) % num_workers();
 
-  t->stack = attrs.stack_size == 0 ? stack_pool_.acquire() : Stack(attrs.stack_size);
+  t->stack = std::move(stack);
   t->ctx = make_context(t->stack.base(), t->stack.size(), &thread_trampoline, t);
 
   ThreadCtl* self = detail::current_ult_or_null();
@@ -249,11 +324,12 @@ ThreadCtl* Runtime::spawn_ctl(std::function<void()> fn, ThreadAttrs attrs,
 }
 
 Thread Runtime::spawn(std::function<void()> fn, ThreadAttrs attrs) {
-  return Thread(spawn_ctl(std::move(fn), attrs, /*detached=*/false));
+  ThreadCtl* t = spawn_ctl(std::move(fn), attrs, /*detached=*/false);
+  return t != nullptr ? Thread(t) : Thread();
 }
 
-void Runtime::spawn_detached(std::function<void()> fn, ThreadAttrs attrs) {
-  spawn_ctl(std::move(fn), attrs, /*detached=*/true);
+bool Runtime::spawn_detached(std::function<void()> fn, ThreadAttrs attrs) {
+  return spawn_ctl(std::move(fn), attrs, /*detached=*/true) != nullptr;
 }
 
 void Runtime::set_active_workers(int n) {
@@ -293,6 +369,10 @@ Runtime::Stats Runtime::stats() const {
     pw.preempt_delivery_samples = w->hist_delivery.count();
     pw.preempt_resched_samples = w->hist_resched.count();
     pw.klt_trip_samples = w->hist_klt_trip.count();
+    pw.klt_degraded_ticks = w->n_klt_degraded.load(std::memory_order_relaxed);
+    pw.posix_timer_fallback =
+        w->posix_timer_degraded.load(std::memory_order_relaxed);
+    s.klt_degraded_ticks += pw.klt_degraded_ticks;
     s.preempt_delivery_ns.merge(w->hist_delivery.snapshot());
     s.preempt_resched_ns.merge(w->hist_resched.snapshot());
     s.klt_switch_trip_ns.merge(w->hist_klt_trip.snapshot());
@@ -301,6 +381,12 @@ Runtime::Stats Runtime::stats() const {
   s.klts_created = total_klts();
   s.klts_on_demand = klt_creator_.created();
   s.active_workers = active_workers();
+  s.klt_create_failures = klt_creator_.create_failures();
+  s.posix_timer_fallbacks = n_timer_fallbacks_.load(std::memory_order_relaxed);
+  s.spawn_stack_failures = n_spawn_stack_fail_.load(std::memory_order_relaxed);
+  s.stacks_cached = stack_pool_.cached();
+  s.stacks_shed = stack_pool_.total_shed();
+  s.faults_injected = sys::total_injected();
   s.trace_enabled = trace_cfg_.enabled;
   if (trace_cfg_.enabled) {
     s.trace_events = trace::Collector::instance().total_events();
@@ -331,6 +417,16 @@ void Runtime::print_trace_summary(std::FILE* out) const {
   hist_line("preempt delivery", s.preempt_delivery_ns);
   hist_line("preempt -> reschedule", s.preempt_resched_ns);
   hist_line("klt suspend -> resume", s.klt_switch_trip_ns);
+}
+
+void Runtime::enable_posix_timer_fallback() {
+  SpinlockGuard g(fallback_lock_);
+  if (shutting_down()) return;
+  n_timer_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  if (fallback_timer_ == nullptr) {
+    fallback_timer_ = PreemptionTimer::make_fallback();
+    fallback_timer_->start(*this);
+  }
 }
 
 void Runtime::notify_work() {

@@ -39,9 +39,15 @@ class Runtime {
   Runtime& operator=(const Runtime&) = delete;
 
   /// Create a ULT. Callable from ULTs and from external kernel threads.
+  ///
+  /// Resource failure is recoverable (docs/robustness.md): when the stack
+  /// cannot be mapped even after the StackPool sheds its cache and retries,
+  /// the returned handle is empty (!joinable()) and spawn_errno() carries
+  /// the reason (e.g. ENOMEM) for the calling thread.
   Thread spawn(std::function<void()> fn, ThreadAttrs attrs = {});
   /// Fire-and-forget variant; the runtime frees the control block at exit.
-  void spawn_detached(std::function<void()> fn, ThreadAttrs attrs = {});
+  /// Returns false (with spawn_errno() set) on recoverable spawn failure.
+  bool spawn_detached(std::function<void()> fn, ThreadAttrs attrs = {});
 
   /// Thread packing (§4.2): workers with rank >= n park at their next
   /// scheduling point (a preemption point for preemptive threads); their
@@ -83,11 +89,25 @@ class Runtime {
       std::uint64_t preempt_delivery_samples = 0;
       std::uint64_t preempt_resched_samples = 0;
       std::uint64_t klt_trip_samples = 0;
+      /// KLT-switch ticks deferred because the creator was saturated or the
+      /// max_klts cap was hit (the thread keeps running, §3.1.2 retry).
+      std::uint64_t klt_degraded_ticks = 0;
+      /// This worker's POSIX timer degraded to monitor-thread delivery.
+      bool posix_timer_fallback = false;
     };
     std::vector<PerWorker> workers;
     std::uint64_t klts_created = 0;   ///< incl. initial worker hosts
     std::uint64_t klts_on_demand = 0; ///< created by the KLT creator
     int active_workers = 0;
+
+    // -- graceful degradation counters (docs/robustness.md) --
+    std::uint64_t klt_degraded_ticks = 0;    ///< sum over workers
+    std::uint64_t klt_create_failures = 0;   ///< failed pthread_create attempts
+    std::uint64_t posix_timer_fallbacks = 0; ///< workers on fallback delivery
+    std::uint64_t spawn_stack_failures = 0;  ///< spawns refused (stack ENOMEM)
+    std::uint64_t stacks_cached = 0;         ///< StackPool free list, now
+    std::uint64_t stacks_shed = 0;           ///< stacks dropped (cap/shed), ever
+    std::uint64_t faults_injected = 0;       ///< LPT_FAULT injections (all sites)
 
     // -- tracer results (all zero when tracing is off) --
     bool trace_enabled = false;
@@ -125,7 +145,22 @@ class Runtime {
 
   /// Allocate + register a KltCtl and start its pthread (runs klt_main).
   /// `starts_parked` spares enter the KLT pool before their first wait.
+  /// Returns nullptr when pthread_create fails or max_klts is reached; the
+  /// caller (KLT creator) owns retry/degradation policy.
   KltCtl* create_klt(bool starts_parked = false);
+
+  /// True when options().max_klts bounds creation and the bound is reached.
+  /// Async-signal-safe (the preemption handler reads it on pool misses).
+  bool klt_cap_reached() const {
+    const int cap = opts_.max_klts;
+    return cap > 0 &&
+           n_klts_.load(std::memory_order_acquire) >= static_cast<unsigned>(cap);
+  }
+
+  /// Put the calling worker's preemption delivery on the monitor-thread
+  /// fallback path after its POSIX per-worker timer failed repeatedly.
+  /// Starts the fallback timer lazily; callable from scheduler context only.
+  void enable_posix_timer_fallback();
 
   /// Wake idle workers after an enqueue.
   void notify_work();
@@ -149,6 +184,10 @@ class Runtime {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<PreemptionTimer> timer_;
+  /// Monitor-thread timer started lazily when a worker's POSIX timer
+  /// degrades (signals only degraded workers); guarded by fallback_lock_.
+  Spinlock fallback_lock_;
+  std::unique_ptr<PreemptionTimer> fallback_timer_;
 
   KltPool klt_pool_;
   KltCreator klt_creator_;
@@ -156,12 +195,23 @@ class Runtime {
 
   mutable Spinlock klts_lock_;
   std::vector<std::unique_ptr<KltCtl>> klts_;  // registry; joined at shutdown
+  /// Mirror of klts_.size() readable from the preemption handler (the
+  /// registry lock is not signal-safe).
+  std::atomic<unsigned> n_klts_{0};
+
+  std::atomic<std::uint64_t> n_spawn_stack_fail_{0};
+  std::atomic<std::uint64_t> n_timer_fallbacks_{0};
 
   std::atomic<int> n_active_{0};
   std::atomic<bool> shutdown_{false};
   std::atomic<std::uint32_t> work_seq_{0};
   std::atomic<int> spawn_rr_{0};  // round-robin hint for external spawns
 };
+
+/// Reason the calling thread's most recent spawn/spawn_detached returned an
+/// empty handle (errno-style, e.g. ENOMEM for stack exhaustion); 0 when it
+/// succeeded. Thread-local, so concurrent spawners do not race.
+int spawn_errno();
 
 namespace this_thread {
 

@@ -7,6 +7,7 @@
 #include <cstring>
 
 #include "common/assert.hpp"
+#include "common/sys.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 
@@ -149,8 +150,13 @@ void unblock_preempt() {
 }
 
 void send_preempt(Worker& w, int initiator_rank) {
+  // Shutdown gate: the destructor clears every worker's current_klt before
+  // joining, but a racing sender may already hold a stale KltCtl*. Checking
+  // shutting_down() *after* the load closes that window for every sender
+  // that starts once shutdown is visible (timer threads and in-handler
+  // chain forwards both come through here).
   KltCtl* k = w.current_klt.load(std::memory_order_acquire);
-  if (k == nullptr) return;
+  if (k == nullptr || w.rt == nullptr || w.rt->shutting_down()) return;
   // Stamp the send for delivery-latency accounting (overwritten by a newer
   // send before the handler consumes it — the handler then measures against
   // the most recent delivery attempt, which is the one it serves).
@@ -159,7 +165,10 @@ void send_preempt(Worker& w, int initiator_rank) {
   sigval v;
   v.sival_int = initiator_rank;
   // pthread_sigqueue is a thin rt_tgsigqueueinfo wrapper; safe from handlers.
-  pthread_sigqueue(k->pthread, preempt_signo(), v);
+  // Routed through sys for fault injection; a failed send (injected EAGAIN
+  // for a full RT-signal queue, or a target mid-exit) just skips this tick —
+  // preemption is periodic, the next interval retries.
+  sys::pthread_sigqueue(k->pthread, preempt_signo(), v);
 }
 
 }  // namespace lpt::signals

@@ -18,7 +18,10 @@ namespace {
 /// worker's *current* KLT, which keeps it correct under KLT-switching.
 class MonitorTimer final : public PreemptionTimer {
  public:
-  explicit MonitorTimer(TimerKind kind) : kind_(kind) {}
+  /// `degraded_only`: deliver only to workers whose POSIX per-worker timer
+  /// has failed (the fallback path, docs/robustness.md).
+  explicit MonitorTimer(TimerKind kind, bool degraded_only = false)
+      : kind_(kind), degraded_only_(degraded_only) {}
 
   void start(Runtime& rt) override {
     rt_ = &rt;
@@ -34,7 +37,11 @@ class MonitorTimer final : public PreemptionTimer {
 
  private:
   bool worker_started(int r) const {
-    return rt_->worker(r).current_klt.load(std::memory_order_acquire) != nullptr;
+    Worker& w = rt_->worker(r);
+    if (degraded_only_ &&
+        !w.posix_timer_degraded.load(std::memory_order_acquire))
+      return false;
+    return w.current_klt.load(std::memory_order_acquire) != nullptr;
   }
   bool worker_eligible(int r) const {
     Worker& w = rt_->worker(r);
@@ -124,6 +131,7 @@ class MonitorTimer final : public PreemptionTimer {
   }
 
   TimerKind kind_;
+  bool degraded_only_;
   Runtime* rt_ = nullptr;
   std::atomic<bool> stop_{false};
   std::thread thread_;
@@ -150,6 +158,11 @@ std::unique_ptr<PreemptionTimer> PreemptionTimer::make(TimerKind kind) {
     default:
       return std::make_unique<MonitorTimer>(kind);
   }
+}
+
+std::unique_ptr<PreemptionTimer> PreemptionTimer::make_fallback() {
+  return std::make_unique<MonitorTimer>(TimerKind::PerWorkerAligned,
+                                        /*degraded_only=*/true);
 }
 
 }  // namespace lpt

@@ -19,6 +19,11 @@
 //  * PosixPerWorker — the paper's literal mechanism: one timer_create(2) per
 //    worker with SIGEV_THREAD_ID (Linux), expirations aligned. The worker
 //    re-arms its timer from scheduler context after a KLT remap.
+//
+// Robustness (docs/robustness.md): when a worker's POSIX timer cannot be
+// (re)created, the runtime lazily starts a monitor-thread *fallback* timer
+// (make_fallback) that delivers PerWorkerAligned-style ticks to degraded
+// workers only — healthy workers keep their kernel timers.
 #pragma once
 
 #include <ctime>
@@ -38,6 +43,11 @@ class PreemptionTimer {
 
   /// nullptr for TimerKind::None.
   static std::unique_ptr<PreemptionTimer> make(TimerKind kind);
+
+  /// Monitor-thread timer that ticks only workers whose POSIX per-worker
+  /// timer has degraded (Worker::posix_timer_degraded). Started lazily by
+  /// Runtime::enable_posix_timer_fallback.
+  static std::unique_ptr<PreemptionTimer> make_fallback();
 };
 
 }  // namespace lpt

@@ -5,6 +5,7 @@
 #include <ctime>
 
 #include "common/assert.hpp"
+#include "common/sys.hpp"
 #include "common/time.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
@@ -105,6 +106,16 @@ __attribute__((noinline)) void handler_klt_switch(Runtime* rt, Worker* w,
 
   KltCtl* b = rt->klt_pool().try_pop(w->rank);
   if (b == nullptr) {
+    // Graceful degradation (docs/robustness.md): while the creator cannot
+    // make KLTs (pthread_create failing) or the max_klts cap is reached,
+    // requesting again is pointless — count a degraded tick and let the
+    // thread keep running until resources recover. All loads here are
+    // atomics; the path stays async-signal-safe.
+    if (rt->klt_creator().saturated() || rt->klt_cap_reached()) {
+      w->n_klt_degraded.fetch_add(1, std::memory_order_relaxed);
+      LPT_TRACE_EVENT(trace::EventType::kKltDegradedTick, t->trace_id);
+      return;
+    }
     // No spare KLT: request one and return; this thread keeps running and
     // retries at the next timer tick (§3.1.2 — the handler must never wait
     // for pthread_create, which is not async-signal-safe and may hold locks
@@ -354,9 +365,15 @@ void Worker::park_for_packing() {
 void Worker::maybe_rearm_posix_timer(pid_t tid) {
   if (rt->options().timer != TimerKind::PosixPerWorker) return;
   if (rt->shutting_down()) return;
+  // Once degraded, ticks come from the monitor-thread fallback; retrying
+  // timer_create on every reschedule would just repeat the failure.
+  if (posix_timer_degraded.load(std::memory_order_relaxed)) return;
   if (tid == 0) tid = worker_tls()->klt->tid.load(std::memory_order_relaxed);
   if (posix_timer_armed && posix_timer_tid == tid) return;
-  if (posix_timer_armed) timer_delete(posix_timer);
+  if (posix_timer_armed) {
+    timer_delete(posix_timer);
+    posix_timer_armed = false;
+  }
 
 #ifndef sigev_notify_thread_id
 #define sigev_notify_thread_id _sigev_un._tid
@@ -367,7 +384,6 @@ void Worker::maybe_rearm_posix_timer(pid_t tid) {
   sev.sigev_signo = signals::preempt_signo();
   sev.sigev_value.sival_int = -1;  // per-worker delivery: no forwarding
   sev.sigev_notify_thread_id = tid;
-  LPT_CHECK(timer_create(CLOCK_MONOTONIC, &sev, &posix_timer) == 0);
 
   const std::int64_t interval_ns = rt->options().interval_us * 1000;
   const int n = rt->num_workers();
@@ -378,10 +394,38 @@ void Worker::maybe_rearm_posix_timer(pid_t tid) {
   const std::int64_t offset_ns = interval_ns * (rank + 1) / n;
   its.it_value.tv_sec = offset_ns / 1'000'000'000;
   its.it_value.tv_nsec = offset_ns % 1'000'000'000;
-  LPT_CHECK(timer_settime(posix_timer, 0, &its, nullptr) == 0);
 
-  posix_timer_armed = true;
-  posix_timer_tid = tid;
+  // All retries happen here, before the next dispatch: leaving this function
+  // neither armed nor degraded would hand the next ULT to an unpreemptible
+  // worker, which is exactly what the fallback exists to prevent.
+  for (int failures = 0; failures < kPosixTimerFailLimit;) {
+    if (sys::timer_create(CLOCK_MONOTONIC, &sev, &posix_timer) != 0) {
+      ++failures;
+      ++posix_timer_failures;
+      continue;
+    }
+    if (sys::timer_settime(posix_timer, 0, &its, nullptr) != 0) {
+      timer_delete(posix_timer);
+      ++failures;
+      ++posix_timer_failures;
+      continue;
+    }
+    posix_timer_armed = true;
+    posix_timer_tid = tid;
+    return;
+  }
+  note_posix_timer_failure();
+}
+
+void Worker::note_posix_timer_failure() {
+  // Degrade (docs/robustness.md): preemption for this worker now rides the
+  // shared monitor thread, which signals only degraded workers. Sticky for
+  // the runtime's lifetime — the POSIX timer API failed repeatedly and the
+  // fallback keeps preemption guarantees intact, just with more jitter.
+  posix_timer_degraded.store(true, std::memory_order_release);
+  LPT_TRACE_EVENT(trace::EventType::kTimerFallback, 0,
+                  static_cast<std::uint64_t>(rank));
+  rt->enable_posix_timer_fallback();
 }
 
 }  // namespace lpt

@@ -73,11 +73,28 @@ struct alignas(kCacheLineSize) Worker {
   bool posix_timer_armed = false;
   pid_t posix_timer_tid = 0;
 
+  // -- graceful degradation (docs/robustness.md) --
+  /// Total timer_create/timer_settime failures observed by this worker.
+  int posix_timer_failures = 0;
+  /// This worker's preemption ticks come from the fallback monitor thread
+  /// instead of its (failed) POSIX timer. Read by the fallback timer to
+  /// signal only degraded workers; sticky until shutdown.
+  std::atomic<bool> posix_timer_degraded{false};
+  /// Arm attempts per maybe_rearm_posix_timer() call before degrading. The
+  /// retries happen in-call so a worker is armed or degraded before it
+  /// dispatches — never silently unpreemptible.
+  static constexpr int kPosixTimerFailLimit = 3;
+  /// Degrade this worker to monitor-thread delivery (sticky).
+  void note_posix_timer_failure();
+
   // -- statistics (tests assert on these) --
   std::atomic<std::uint64_t> n_scheduled{0};
   std::atomic<std::uint64_t> n_preempt_signal_yield{0};
   std::atomic<std::uint64_t> n_preempt_klt_switch{0};
   std::atomic<std::uint64_t> n_steals{0};
+  /// KLT-switch ticks deferred because no spare KLT was available and the
+  /// creator was saturated (or max_klts was reached). Signal-handler written.
+  std::atomic<std::uint64_t> n_klt_degraded{0};
 
   // -- tracing (see docs/observability.md) --
   /// Timestamp of the last preemption signal sent at this worker (written by

@@ -77,6 +77,26 @@ TEST(FutexGate, EachPostReleasesExactlyOneWaiter) {
   for (auto& t : ts) t.join();
 }
 
+TEST(FutexGate, WaitForTimesOutWithoutTicket) {
+  FutexGate g;
+  EXPECT_FALSE(g.wait_for(1'000'000));  // 1 ms, nobody posts
+}
+
+TEST(FutexGate, WaitForConsumesBankedTicket) {
+  FutexGate g;
+  g.post();
+  EXPECT_TRUE(g.wait_for(1'000'000));
+  EXPECT_FALSE(g.wait_for(1'000'000));  // ticket gone
+}
+
+TEST(FutexGate, WaitForWokenByConcurrentPost) {
+  FutexGate g;
+  std::thread poster([&] { g.post(); });
+  // Generous timeout: the post must land well before 5 s.
+  EXPECT_TRUE(g.wait_for(5'000'000'000));
+  poster.join();
+}
+
 TEST(FutexGate, ManyTicketsManyWaiters) {
   FutexGate g;
   constexpr int kN = 8;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cerrno>
 #include <cstring>
+
+#include "common/sys.hpp"
 
 namespace lpt {
 namespace {
@@ -64,6 +67,49 @@ TEST(StackPool, GrowsOnDemand) {
   pool.release(std::move(a));
   pool.release(std::move(b));
   EXPECT_EQ(pool.cached(), 2u);
+}
+
+TEST(StackPool, CapBoundsFreeListAndCountsShed) {
+  StackPool pool(16 * 1024, /*max_cached=*/2);
+  Stack a = pool.acquire();
+  Stack b = pool.acquire();
+  Stack c = pool.acquire();
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  pool.release(std::move(c));  // over the cap: unmapped, not cached
+  EXPECT_EQ(pool.cached(), 2u);
+  EXPECT_EQ(pool.total_shed(), 1u);
+  EXPECT_EQ(pool.max_cached(), 2u);
+}
+
+TEST(StackPool, ShedAllEmptiesCache) {
+  StackPool pool(16 * 1024, 8);
+  Stack a = pool.acquire();
+  Stack b = pool.acquire();  // distinct: acquired before either release
+  pool.release(std::move(a));
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.cached(), 2u);
+  EXPECT_EQ(pool.shed_all(), 2u);
+  EXPECT_EQ(pool.cached(), 0u);
+  EXPECT_EQ(pool.total_shed(), 2u);
+  // Still usable afterwards.
+  Stack s = pool.acquire();
+  EXPECT_TRUE(s.valid());
+}
+
+TEST(StackPool, TryAcquireReportsErrnoOnInjectedFailure) {
+  StackPool pool(16 * 1024, 4);
+  // Every mapping fails: even the shed-and-retry fallback cannot help, and
+  // the caller gets an invalid stack plus the reason.
+  ASSERT_TRUE(sys::configure_faults("mmap:every=1"));
+  int err = 0;
+  Stack s = pool.try_acquire(&err);
+  EXPECT_FALSE(s.valid());
+  EXPECT_EQ(err, ENOMEM);
+  sys::reset_faults();
+  err = -1;
+  Stack ok = pool.try_acquire(&err);
+  EXPECT_TRUE(ok.valid());
 }
 
 }  // namespace
