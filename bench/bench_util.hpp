@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/trace.hpp"
 
@@ -54,6 +55,21 @@ class JsonReport {
     set(key + ".p99", s.percentile(99.0));
     if (s.count() >= 2) set(key + ".stddev", s.stddev());
   }
+  /// Expands a metrics snapshot's preemption-tick pipeline to
+  /// <key>.{ticks_sent,handler_entries,handler_deferred,klt_degraded_ticks,
+  /// preemptions,tick_effectiveness,switch_rate} — how many ticks were sent,
+  /// how many landed on preemptible code, and how many became switches.
+  void set_tick_effectiveness(const std::string& key,
+                              const metrics::Snapshot& s) {
+    set(key + ".ticks_sent", s.ticks_sent);
+    set(key + ".handler_entries", s.handler_entries);
+    set(key + ".handler_deferred", s.handler_deferred);
+    set(key + ".klt_degraded_ticks", s.klt_degraded_ticks);
+    set(key + ".preemptions", s.preemptions);
+    set(key + ".tick_effectiveness", s.tick_effectiveness());
+    set(key + ".switch_rate", s.switch_rate());
+  }
+
   /// Expands a tracer histogram to <key>.{count,p50_ns,p90_ns,p99_ns}.
   void set_hist(const std::string& key, const trace::HistSnapshot& h) {
     set(key + ".count", h.count());

@@ -29,9 +29,15 @@ namespace {
 
 volatile std::uint64_t g_sink;
 
+struct RealDelivery {
+  trace::HistSnapshot hist;    ///< timer fire -> handler entry
+  metrics::Snapshot metrics;   ///< tick-effectiveness counters
+};
+
 /// Run a traced real runtime with `workers` busy signal-yield ULTs for
-/// ~100 ms and return the preemption-delivery histogram.
-trace::HistSnapshot real_delivery(TimerKind timer, int workers) {
+/// ~100 ms and return the preemption-delivery histogram plus the run's
+/// metrics snapshot.
+RealDelivery real_delivery(TimerKind timer, int workers) {
   RuntimeOptions o;
   o.num_workers = workers;
   o.timer = timer;
@@ -56,7 +62,7 @@ trace::HistSnapshot real_delivery(TimerKind timer, int workers) {
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : ts) t.join();
-  return rt.stats().preempt_delivery_ns;
+  return {rt.stats().preempt_delivery_ns, rt.metrics_snapshot()};
 }
 
 }  // namespace
@@ -137,21 +143,27 @@ int main(int argc, char** argv) {
       {"per-process (chain)", "chain", TimerKind::ProcessChain},
   };
   Table real_table({"strategy", "workers", "preemptions", "delivery p50 (us)",
-                    "p99 (us)"});
+                    "p99 (us)", "eff (%)"});
   for (const RealRow& row : rows) {
     for (int workers : {1, 2}) {
-      const trace::HistSnapshot h = real_delivery(row.kind, workers);
+      const RealDelivery r = real_delivery(row.kind, workers);
+      const trace::HistSnapshot& h = r.hist;
       real_table.add_row(
           {row.name, Table::fmt("%d", workers),
            Table::fmt("%llu", static_cast<unsigned long long>(h.count())),
            Table::fmt("%7.1f", h.percentile_ns(50.0) / 1000.0),
-           Table::fmt("%7.1f", h.percentile_ns(99.0) / 1000.0)});
-      json.set_hist(std::string("real.") + row.key + ".w" +
-                        std::to_string(workers) + ".delivery",
-                    h);
+           Table::fmt("%7.1f", h.percentile_ns(99.0) / 1000.0),
+           Table::fmt("%5.0f", 100.0 * r.metrics.tick_effectiveness())});
+      const std::string key =
+          std::string("real.") + row.key + ".w" + std::to_string(workers);
+      json.set_hist(key + ".delivery", h);
+      json.set_tick_effectiveness(key + ".ticks", r.metrics);
     }
   }
   real_table.print();
+  std::printf("\n\"eff\" = handler entries / ticks sent from the always-on "
+              "metrics (docs/observability.md): the fraction of ticks that "
+              "landed on preemptible ULT code.\n");
 
   json.write(bench::json_path_from_args(argc, argv));
   return 0;

@@ -33,6 +33,11 @@ struct RealPreempt {
   trace::HistSnapshot delivery;  ///< timer fire -> handler entry
   trace::HistSnapshot resched;   ///< preemption -> re-dispatch
   trace::HistSnapshot klt_trip;  ///< KLT suspend -> resume (KLT-switching)
+  /// Preemption-tick pipeline from the always-on metrics: sent -> landed on
+  /// preemptible code -> deferred/degraded. Accumulated over the timed runs.
+  std::uint64_t ticks_sent = 0;
+  std::uint64_t handler_entries = 0;
+  std::uint64_t handler_deferred = 0;
   /// Degradation counters (docs/robustness.md). All zero on a healthy host
   /// with no LPT_FAULT armed; nonzero values flag that the latency numbers
   /// above were taken on a degraded runtime and are not comparable.
@@ -69,6 +74,10 @@ RealPreempt measure_real_preempt(Preempt mode, std::int64_t interval_us,
       out.degraded_ticks += st.klt_degraded_ticks;
       out.timer_fallbacks += st.posix_timer_fallbacks;
       out.faults_injected += st.faults_injected;
+      const metrics::Snapshot ms = rt.metrics_snapshot();
+      out.ticks_sent += ms.ticks_sent;
+      out.handler_entries += ms.handler_entries;
+      out.handler_deferred += ms.handler_deferred;
     }
     return {static_cast<double>(elapsed), rt.total_preemptions()};
   };
@@ -95,6 +104,14 @@ void print_real(const char* label, const RealPreempt& r) {
     std::printf(", KLT trip p50 %.1f us", r.klt_trip.median_ns() / 1000.0);
   std::printf("  (%llu preemptions)\n",
               static_cast<unsigned long long>(r.preemptions));
+  if (r.ticks_sent > 0)
+    std::printf("  %-13s  tick effectiveness: %llu ticks -> %llu handler "
+                "entries (%.0f%%), %llu deferred\n",
+                "", static_cast<unsigned long long>(r.ticks_sent),
+                static_cast<unsigned long long>(r.handler_entries),
+                100.0 * static_cast<double>(r.handler_entries) /
+                    static_cast<double>(r.ticks_sent),
+                static_cast<unsigned long long>(r.handler_deferred));
   if (r.degraded_ticks > 0 || r.timer_fallbacks > 0 || r.faults_injected > 0)
     std::printf("  %-13s  DEGRADED RUN: %llu deferred ticks, %llu timer "
                 "fallbacks, %llu injected faults — latencies not comparable\n",
@@ -175,12 +192,26 @@ int main(int argc, char** argv) {
 
   json.set("real.signal_yield.ext_us", sy.ext_us);
   json.set("real.signal_yield.preemptions", sy.preemptions);
+  json.set("real.signal_yield.ticks_sent", sy.ticks_sent);
+  json.set("real.signal_yield.handler_entries", sy.handler_entries);
+  json.set("real.signal_yield.handler_deferred", sy.handler_deferred);
+  json.set("real.signal_yield.tick_effectiveness",
+           sy.ticks_sent > 0 ? static_cast<double>(sy.handler_entries) /
+                                   static_cast<double>(sy.ticks_sent)
+                             : 0.0);
   json.set_hist("real.signal_yield.delivery", sy.delivery);
   json.set_hist("real.signal_yield.resched", sy.resched);
   json.set("real.signal_yield.degraded_ticks", sy.degraded_ticks);
   json.set("real.signal_yield.faults_injected", sy.faults_injected);
   json.set("real.klt_switching.ext_us", ks.ext_us);
   json.set("real.klt_switching.preemptions", ks.preemptions);
+  json.set("real.klt_switching.ticks_sent", ks.ticks_sent);
+  json.set("real.klt_switching.handler_entries", ks.handler_entries);
+  json.set("real.klt_switching.handler_deferred", ks.handler_deferred);
+  json.set("real.klt_switching.tick_effectiveness",
+           ks.ticks_sent > 0 ? static_cast<double>(ks.handler_entries) /
+                                   static_cast<double>(ks.ticks_sent)
+                             : 0.0);
   json.set("real.klt_switching.degraded_ticks", ks.degraded_ticks);
   json.set("real.klt_switching.timer_fallbacks", ks.timer_fallbacks);
   json.set("real.klt_switching.faults_injected", ks.faults_injected);

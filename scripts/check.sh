@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Repo gate: configure + build + tier-1 tests, the tracer's
-# non-context-switching unit tests under ThreadSanitizer, then the
-# fault-injection suite under AddressSanitizer.
+# Repo gate: configure + build + tier-1 tests, the tracer's and the metrics
+# subsystem's non-context-switching unit tests under ThreadSanitizer, the
+# fault-injection suite under AddressSanitizer, then an end-to-end smoke of
+# the metrics publisher (bench run with LPT_METRICS_FILE set, output
+# validated by the strict Prometheus parser in tests/tools/prom_check.cpp).
 #
 #   scripts/check.sh [build-dir]        (default: build)
 #
@@ -22,22 +24,34 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/4] normal build =="
+echo "== [1/6] normal build =="
 cmake -S . -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 
-echo "== [2/4] tier-1 tests =="
+echo "== [2/6] tier-1 tests =="
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure
 
-echo "== [3/4] tracer unit tests under TSan =="
+echo "== [3/6] tracer unit tests under TSan =="
 cmake -S . -B "$BUILD-tsan" -G Ninja -DLPT_SANITIZE=thread >/dev/null
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_trace_unit
 "$BUILD-tsan/tests/test_trace_unit"
 
-echo "== [4/4] fault-injection tests under ASan =="
+echo "== [4/6] metrics + watchdog unit tests under TSan =="
+cmake --build "$BUILD-tsan" -j "$JOBS" --target test_metrics_unit
+"$BUILD-tsan/tests/test_metrics_unit"
+
+echo "== [5/6] fault-injection tests under ASan =="
 cmake -S . -B "$BUILD-asan" -G Ninja -DLPT_SANITIZE=address >/dev/null
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_sys test_fault
 "$BUILD-asan/tests/test_sys"
 "$BUILD-asan/tests/test_fault"
+
+echo "== [6/6] metrics-publisher smoke (bench + prom_check) =="
+cmake --build "$BUILD" -j "$JOBS" --target table1_preemption prom_check
+METRICS_OUT="$(mktemp /tmp/lpt_check_metrics.XXXXXX.prom)"
+LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \
+  "$BUILD/bench/table1_preemption" >/dev/null
+"$BUILD/tests/prom_check" "$METRICS_OUT"
+rm -f "$METRICS_OUT"
 
 echo "== all checks passed =="

@@ -1,0 +1,239 @@
+// Always-on scheduler metrics (docs/observability.md, "Metrics & watchdog").
+//
+// The tracer (trace.hpp) is an opt-in event log for offline analysis; this
+// subsystem is the complementary always-on layer: cheap aggregate counters
+// and gauges a long-running process can scrape at any moment without arming
+// anything. Design constraints, in order:
+//
+//  * hot-path cost — one relaxed store per instrumented site. Per-worker
+//    counters written from scheduler context use Counter (a relaxed
+//    load+store increment with no lock prefix; legal because each counter
+//    has exactly one logical writer). Counters written from signal handlers
+//    or foreign threads use AtomicCounter (relaxed fetch_add, still
+//    async-signal-safe and wait-free).
+//  * no clocks on the dispatch/steal/yield paths — time-in-state is
+//    *sampled*: each worker publishes its instantaneous state as a relaxed
+//    store at transitions, and the watchdog tick (runtime/watchdog.hpp)
+//    attributes elapsed wall time to whichever state it observes.
+//  * no allocation, no locks — everything here is plain atomics; Snapshot
+//    (the read side) is the only allocating type and is never touched by
+//    runtime threads.
+//
+// Exposure paths: Runtime::metrics_snapshot() (stable struct),
+// Runtime::write_metrics() (Prometheus text format / JSON), and the optional
+// background publisher (LPT_METRICS_FILE / LPT_METRICS_PERIOD_MS) that
+// atomically rewrites a scrape file each period.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace lpt::metrics {
+
+/// Monotonic counter with exactly one logical writer (the owning worker's
+/// scheduler context). The increment is a relaxed load+store pair — cheaper
+/// than a locked RMW — which is race-free because concurrent writers do not
+/// exist; signal handlers on the same thread never touch Counter instances
+/// (they use AtomicCounter). Readers may observe any prior value (relaxed).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    v_.store(v_.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Monotonic counter safe for multiple writers, including signal handlers
+/// (relaxed fetch_add is async-signal-safe and wait-free). Used for counters
+/// written by the preemption handler, timer threads, or chain forwards.
+class AtomicCounter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Signed up/down gauge (occupancy-style values). Async-signal-safe.
+class Gauge {
+ public:
+  void add(std::int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void sub(std::int64_t n = 1) { v_.fetch_sub(n, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Instantaneous worker state, published as a relaxed store at transitions
+/// and sampled by the watchdog tick into time_in_state_ns. kScheduling also
+/// covers the brief pick/post-action windows between ULT runs.
+enum class WorkerState : std::uint8_t {
+  kScheduling = 0,  ///< in the scheduler loop (pick / post-action)
+  kRunningUlt = 1,  ///< executing ULT code
+  kIdle = 2,        ///< no work found: backoff spin or futex nap
+  kParked = 3,      ///< thread-packing park (rank >= active_workers)
+};
+inline constexpr int kWorkerStateCount = 4;
+const char* worker_state_name(WorkerState s);
+
+/// Plain copy of one worker's metric values at a point in time. Fields the
+/// worker block cannot know (rank, queue depth, flags) are filled by
+/// Runtime::metrics_snapshot().
+struct WorkerSample {
+  int rank = -1;
+  std::uint64_t dispatches = 0;  ///< ULTs switched into (incl. resumes)
+  std::uint64_t yields = 0;      ///< voluntary yields processed
+  std::uint64_t blocks = 0;      ///< suspensions on sync primitives
+  std::uint64_t exits = 0;       ///< ULT completions processed
+  std::uint64_t steals = 0;      ///< threads taken from a remote queue
+  std::uint64_t preempt_signal_yield = 0;
+  std::uint64_t preempt_klt_switch = 0;
+  std::uint64_t ticks_sent = 0;        ///< preemption signals sent at this worker
+  std::uint64_t handler_entries = 0;   ///< handler hit a preemptible ULT
+  std::uint64_t handler_deferred = 0;  ///< ... but a NoPreemptGuard deferred it
+  std::uint64_t klt_degraded_ticks = 0;
+  std::int64_t queue_depth = 0;        ///< this worker's run-queue(s), now
+  std::uint64_t time_in_state_ns[kWorkerStateCount] = {};
+  std::uint8_t state = 0;              ///< WorkerState, instantaneous
+  bool parked = false;
+  bool posix_timer_fallback = false;
+};
+
+/// Per-worker metric block, embedded in Worker. Cache-line-aligned so two
+/// workers' hot counters never share a line.
+struct alignas(64) WorkerMetrics {
+  // -- scheduler-context counters (single logical writer: the worker) --
+  Counter dispatches;
+  Counter yields;
+  Counter blocks;
+  Counter exits;
+  Counter steals;
+  Counter preempt_signal_yield;
+  Counter preempt_klt_switch;
+
+  // -- signal-handler / cross-thread counters --
+  AtomicCounter ticks_sent;         ///< written by timer threads + chain forwards
+  AtomicCounter handler_entries;    ///< written inside the preemption handler
+  AtomicCounter handler_deferred;   ///< ditto (NoPreemptGuard defer path)
+  AtomicCounter klt_degraded_ticks; ///< ditto (pool empty + creator saturated)
+
+  /// Instantaneous state marker (relaxed store at transitions).
+  std::atomic<std::uint8_t> state{
+      static_cast<std::uint8_t>(WorkerState::kScheduling)};
+  /// Sampled time-in-state accumulators; written only by the watchdog tick
+  /// (single writer under its try-lock), read by snapshots. Zero when the
+  /// watchdog is disabled — the states are markers, the tick is the clock.
+  Counter time_in_state_ns[kWorkerStateCount];
+
+  void set_state(WorkerState s) {
+    state.store(static_cast<std::uint8_t>(s), std::memory_order_relaxed);
+  }
+  std::uint64_t preemptions() const {
+    return preempt_signal_yield.value() + preempt_klt_switch.value();
+  }
+  /// Copy every counter into a plain sample (each field an independent
+  /// relaxed read; see the snapshot-coherence note on Runtime::Stats).
+  WorkerSample sample() const;
+};
+
+/// Point-in-time view of the whole runtime. Per-worker samples plus totals
+/// (finalize()) plus runtime-global gauges. Same coherence contract as
+/// Runtime::Stats: independent relaxed reads, monotonic between snapshots,
+/// exact equalities only after quiescing.
+struct Snapshot {
+  std::int64_t taken_ns = 0;   ///< CLOCK_MONOTONIC at snapshot time
+  std::int64_t uptime_ns = 0;  ///< since Runtime construction
+  int num_workers = 0;
+  int active_workers = 0;
+  std::vector<WorkerSample> workers;
+
+  // -- totals over workers (computed by finalize()) --
+  std::uint64_t dispatches = 0;
+  std::uint64_t yields = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t exits = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t preempt_signal_yield = 0;
+  std::uint64_t preempt_klt_switch = 0;
+  std::uint64_t preemptions = 0;  ///< signal_yield + klt_switch
+  std::uint64_t ticks_sent = 0;
+  std::uint64_t handler_entries = 0;
+  std::uint64_t handler_deferred = 0;
+  std::uint64_t klt_degraded_ticks = 0;
+  std::int64_t run_queue_depth = 0;
+
+  // -- runtime-global --
+  std::uint64_t ults_spawned = 0;
+  std::int64_t ults_live = 0;       ///< spawned minus finished
+  std::uint64_t klts_created = 0;
+  std::uint64_t klts_on_demand = 0;
+  std::uint64_t klt_create_failures = 0;
+  std::int64_t klt_pool_idle = 0;   ///< parked spare KLTs, now
+  std::uint64_t stacks_cached = 0;  ///< StackPool free list, now
+  std::uint64_t stacks_shed = 0;
+  std::uint64_t spawn_stack_failures = 0;
+  std::uint64_t posix_timer_fallbacks = 0;
+  std::uint64_t faults_injected = 0;
+
+  // -- watchdog (runtime/watchdog.hpp) --
+  std::uint64_t watchdog_checks = 0;
+  std::uint64_t watchdog_runnable_starvation = 0;
+  std::uint64_t watchdog_worker_stall = 0;
+  std::uint64_t watchdog_quantum_overrun = 0;
+
+  // -- tracer pass-through (zero when tracing is off) --
+  bool trace_enabled = false;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+
+  /// Fill the totals from `workers`.
+  void finalize();
+
+  /// handler entries / ticks sent (0 when no ticks were sent). A low value
+  /// means ticks land outside preemptible ULT code (idle workers, wrong
+  /// phase); the paper's bounded time-to-preemption needs this near 1.
+  double tick_effectiveness() const {
+    return ticks_sent > 0
+               ? static_cast<double>(handler_entries) /
+                     static_cast<double>(ticks_sent)
+               : 0.0;
+  }
+  /// actual switches / handler entries (0 when no entries). Below 1 when
+  /// NoPreemptGuards defer or KLT-switch ticks degrade.
+  double switch_rate() const {
+    return handler_entries > 0
+               ? static_cast<double>(preemptions) /
+                     static_cast<double>(handler_entries)
+               : 0.0;
+  }
+};
+
+enum class Format : std::uint8_t { kPrometheus, kJson };
+
+/// Prometheus text exposition format (one HELP/TYPE block per family,
+/// per-worker series labelled {worker="r"}).
+void write_prometheus(std::FILE* out, const Snapshot& s);
+/// One JSON object: {"uptime_ns":..., "totals":{...}, "workers":[...], ...}.
+void write_json(std::FILE* out, const Snapshot& s);
+
+/// Background-publisher configuration (RuntimeOptions::metrics_file /
+/// metrics_period_ms overridden by LPT_METRICS_FILE / LPT_METRICS_PERIOD_MS).
+/// The publisher is enabled iff `file` is non-empty.
+struct PublishConfig {
+  std::string file;
+  std::int64_t period_ms = 1000;
+};
+PublishConfig resolve_publish_config(PublishConfig base);
+
+/// Paths ending in ".json" publish JSON; everything else Prometheus text.
+Format format_for_path(const std::string& path);
+
+}  // namespace lpt::metrics

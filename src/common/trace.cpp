@@ -32,6 +32,7 @@ const char* event_name(EventType t) {
     case EventType::kKltDegradedTick: return "klt_degraded_tick";
     case EventType::kTimerFallback: return "timer_fallback";
     case EventType::kStackAllocFail: return "stack_alloc_fail";
+    case EventType::kWatchdogFlag: return "watchdog_flag";
     case EventType::kCount: break;
   }
   return "unknown";

@@ -63,6 +63,7 @@ enum class EventType : std::uint16_t {
   kKltDegradedTick,    ///< pool empty + creator saturated or KLT cap hit; tick deferred
   kTimerFallback,      ///< POSIX per-worker timer degraded to monitor delivery; arg0=rank
   kStackAllocFail,     ///< spawn failed recoverably: stack mmap refused after shed+retry
+  kWatchdogFlag,       ///< starvation watchdog flagged; arg0=WatchdogReport::Kind, arg1=rank
   kCount,
 };
 

@@ -7,6 +7,12 @@
 // Signal-safety contract: LPT_TRACE_EVENT and LPT_TRACE_HIST are callable
 // from the preemption signal handler. They must stay free of allocation,
 // locks, and non-reentrant libc (see docs/observability.md).
+//
+// Observability has two layers: this opt-in tracer (events + histograms for
+// offline analysis) and the always-on metrics counters (common/metrics.hpp,
+// embedded in Worker as `metrics`). Hot-path sites typically feed both — a
+// relaxed counter store unconditionally, a trace event when armed. Counters
+// survive LPT_TRACE_DISABLED; only the event log compiles out.
 #pragma once
 
 #include "common/trace.hpp"

@@ -24,13 +24,19 @@ KltCtl* KltPool::try_pop(int worker_rank) {
     LocalPool& lp = *local_[worker_rank];
     if (KltCtl* k = lp.stack.pop()) {
       lp.size.fetch_sub(1, std::memory_order_relaxed);
+      idle_.sub(1);
       return k;
     }
   }
-  return global_.pop();
+  if (KltCtl* k = global_.pop()) {
+    idle_.sub(1);
+    return k;
+  }
+  return nullptr;
 }
 
 void KltPool::push(KltCtl* k) {
+  idle_.add(1);
   if (use_local_ && k->home_worker >= 0 &&
       k->home_worker < static_cast<int>(local_.size())) {
     LocalPool& lp = *local_[k->home_worker];
@@ -51,6 +57,7 @@ std::vector<KltCtl*> KltPool::drain() {
       lp->size.fetch_sub(1, std::memory_order_relaxed);
       out.push_back(k);
     }
+  idle_.sub(static_cast<std::int64_t>(out.size()));
   return out;
 }
 

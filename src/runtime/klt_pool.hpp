@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/futex.hpp"
+#include "common/metrics.hpp"
 #include "common/spinlock.hpp"
 #include "common/treiber_stack.hpp"
 #include "context/context.hpp"
@@ -93,6 +94,11 @@ class KltPool {
 
   bool local_pools_enabled() const { return use_local_; }
 
+  /// Idle KLTs currently parked across global + local pools (the KLT-pool
+  /// occupancy gauge). Async-signal-safe relaxed read; momentarily off by
+  /// one around a concurrent push/pop.
+  std::int64_t idle() const { return idle_.value(); }
+
  private:
   static constexpr int kLocalCap = 1;
   struct LocalPool {
@@ -102,6 +108,7 @@ class KltPool {
   TreiberStack<KltCtl> global_;
   std::vector<std::unique_ptr<LocalPool>> local_;
   bool use_local_ = false;
+  metrics::Gauge idle_;
 };
 
 /// Dedicated thread that creates KLTs on request. request() is

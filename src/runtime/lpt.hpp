@@ -6,6 +6,8 @@
 //   this_thread::yield / in_ult / worker_rank        — current-thread ops
 //   Mutex / CondVar / Barrier / BusyFlag             — ULT-aware sync
 //   NoPreemptGuard                                   — defer preemption
+//   Runtime::metrics_snapshot / write_metrics        — always-on metrics
+//   WatchdogReport (RuntimeOptions::watchdog_*)      — starvation watchdog
 #pragma once
 
 #include "runtime/options.hpp"       // IWYU pragma: export

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "common/trace.hpp"
 
@@ -12,6 +13,7 @@ namespace lpt {
 
 class Runtime;
 class Scheduler;
+struct WatchdogReport;
 
 /// Per-thread preemption type (paper §3.4: all three coexist in one app).
 enum class Preempt : std::uint8_t {
@@ -86,6 +88,38 @@ struct RuntimeOptions {
   /// there at shutdown. Off by default: the hot path only pays one relaxed
   /// flag load per instrumented site.
   trace::TraceConfig trace;
+
+  // ----- always-on metrics & watchdog (docs/observability.md) -----
+
+  /// When non-empty (or LPT_METRICS_FILE is set), a background publisher
+  /// thread atomically rewrites this file every metrics_period_ms with a
+  /// fresh metrics snapshot — Prometheus text format, or JSON when the path
+  /// ends in ".json". Off by default; the counters themselves are always on.
+  std::string metrics_file;
+  /// Publish period (LPT_METRICS_PERIOD_MS overrides).
+  std::int64_t metrics_period_ms = 1000;
+
+  /// Starvation watchdog (runtime/watchdog.hpp). On by default: it rides the
+  /// monitor timer thread when one exists and otherwise wakes its own thread
+  /// once per watchdog_period_ms — cost is a handful of relaxed loads per
+  /// worker per period, nothing on scheduling hot paths.
+  bool watchdog = true;
+  /// Poll period; detection latency is at most ~2 periods past a threshold.
+  std::int64_t watchdog_period_ms = 100;
+  /// Flag a worker with queued runnable ULTs that has not dispatched for
+  /// this long (kRunnableStarvation).
+  std::int64_t watchdog_runnable_ns = 250'000'000;
+  /// Flag a worker whose preemption handler has not fired although this many
+  /// ticks were sent at a preemptible ULT (kWorkerStall: blocked signal
+  /// mask, stuck NoPreemptGuard, lost timer). 0 disables the check.
+  int watchdog_stall_ticks = 8;
+  /// Flag a preemptible ULT that has run without a scheduling event for this
+  /// many preemption intervals (kQuantumOverrun). 0 disables; the check is
+  /// automatically off when no preemption timer is armed.
+  int watchdog_quantum_factor = 32;
+  /// Called (from the watchdog's driver thread) once per flag episode. When
+  /// unset, the watchdog prints a rate-limited report to stderr instead.
+  std::function<void(const WatchdogReport&)> watchdog_callback;
 };
 
 /// Per-thread spawn attributes.

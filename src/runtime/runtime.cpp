@@ -12,6 +12,7 @@
 
 #include "common/assert.hpp"
 #include "common/sys.hpp"
+#include "common/time.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/signals.hpp"
@@ -59,6 +60,7 @@ Runtime::Runtime(RuntimeOptions opts)
                 "max_klts must be 0 (unlimited) or >= num_workers");
 
   sys::load_env_faults();  // arm any LPT_FAULT schedule before resources move
+  start_ns_ = now_ns();
 
   Runtime* expected = nullptr;
   LPT_CHECK_MSG(detail::runtime_slot().compare_exchange_strong(expected, this),
@@ -133,10 +135,24 @@ Runtime::Runtime(RuntimeOptions opts)
 
   timer_ = PreemptionTimer::make(opts_.timer);
   if (timer_) timer_->start(*this);
+
+  // Monitor-thread timers drive the watchdog for free from their loop; the
+  // other modes (no timer, kernel-delivered POSIX timers) get a dedicated
+  // low-frequency poll thread.
+  const bool monitor_driven =
+      timer_ != nullptr && opts_.timer != TimerKind::PosixPerWorker;
+  if (opts_.watchdog) watchdog_.start(*this, /*own_thread=*/!monitor_driven);
+
+  const metrics::PublishConfig pub = metrics::resolve_publish_config(
+      {opts_.metrics_file, opts_.metrics_period_ms});
+  if (!pub.file.empty()) publisher_.start(*this, pub);
 }
 
 Runtime::~Runtime() {
   if (timer_) timer_->stop();
+  // The watchdog reads worker metrics and scheduler queues; stop it while
+  // both still exist and before the fallback timer (a late driver) goes.
+  watchdog_.stop();
   klt_creator_.stop();
 
   shutdown_.store(true, std::memory_order_release);
@@ -170,6 +186,9 @@ Runtime::~Runtime() {
     SpinlockGuard g(klts_lock_);
     for (auto& k : klts_) pthread_join(k->pthread, nullptr);
   }
+
+  // Final metrics publish with fully quiesced counters, then stop.
+  publisher_.stop();
 
   // All rings are quiescent now; flush the configured trace file and stop
   // recording (the collector keeps the data for late explicit exports).
@@ -319,6 +338,7 @@ ThreadCtl* Runtime::spawn_ctl(std::function<void()> fn, ThreadAttrs attrs,
                      : workers_[t->home_pool % num_workers()].get();
   sched_->enqueue(t, hint, EnqueueKind::kSpawn);
   detail::end_no_preempt(self);
+  n_live_ults_.add(1);
   notify_work();
   return t;
 }
@@ -344,9 +364,7 @@ void Runtime::set_active_workers(int n) {
 
 std::uint64_t Runtime::total_preemptions() const {
   std::uint64_t sum = 0;
-  for (const auto& w : workers_)
-    sum += w->n_preempt_signal_yield.load(std::memory_order_relaxed) +
-           w->n_preempt_klt_switch.load(std::memory_order_relaxed);
+  for (const auto& w : workers_) sum += w->metrics.preemptions();
   return sum;
 }
 
@@ -355,43 +373,100 @@ std::uint64_t Runtime::total_klts() const {
   return klts_.size();
 }
 
-Runtime::Stats Runtime::stats() const {
-  Stats s;
+metrics::Snapshot Runtime::metrics_snapshot() const {
+  metrics::Snapshot s;
+  s.taken_ns = now_ns();
+  s.uptime_ns = s.taken_ns - start_ns_;
+  s.num_workers = num_workers();
+  s.active_workers = active_workers();
   for (const auto& w : workers_) {
-    Stats::PerWorker pw;
-    pw.scheduled = w->n_scheduled.load(std::memory_order_relaxed);
-    pw.preempt_signal_yield =
-        w->n_preempt_signal_yield.load(std::memory_order_relaxed);
-    pw.preempt_klt_switch =
-        w->n_preempt_klt_switch.load(std::memory_order_relaxed);
-    pw.steals = w->n_steals.load(std::memory_order_relaxed);
-    pw.parked = w->parked.load(std::memory_order_relaxed);
-    pw.preempt_delivery_samples = w->hist_delivery.count();
-    pw.preempt_resched_samples = w->hist_resched.count();
-    pw.klt_trip_samples = w->hist_klt_trip.count();
-    pw.klt_degraded_ticks = w->n_klt_degraded.load(std::memory_order_relaxed);
-    pw.posix_timer_fallback =
+    metrics::WorkerSample ws = w->metrics.sample();
+    ws.rank = w->rank;
+    ws.queue_depth = sched_->queue_depth(w->rank);
+    ws.parked = w->parked.load(std::memory_order_relaxed);
+    ws.posix_timer_fallback =
         w->posix_timer_degraded.load(std::memory_order_relaxed);
-    s.klt_degraded_ticks += pw.klt_degraded_ticks;
-    s.preempt_delivery_ns.merge(w->hist_delivery.snapshot());
-    s.preempt_resched_ns.merge(w->hist_resched.snapshot());
-    s.klt_switch_trip_ns.merge(w->hist_klt_trip.snapshot());
-    s.workers.push_back(pw);
+    s.workers.push_back(ws);
   }
+  s.finalize();
+
+  s.ults_spawned = next_ult_id_.load(std::memory_order_relaxed);
+  s.ults_live = n_live_ults_.value();
   s.klts_created = total_klts();
   s.klts_on_demand = klt_creator_.created();
-  s.active_workers = active_workers();
   s.klt_create_failures = klt_creator_.create_failures();
-  s.posix_timer_fallbacks = n_timer_fallbacks_.load(std::memory_order_relaxed);
-  s.spawn_stack_failures = n_spawn_stack_fail_.load(std::memory_order_relaxed);
+  s.klt_pool_idle = klt_pool_.idle();
   s.stacks_cached = stack_pool_.cached();
   s.stacks_shed = stack_pool_.total_shed();
+  s.spawn_stack_failures = n_spawn_stack_fail_.load(std::memory_order_relaxed);
+  s.posix_timer_fallbacks = n_timer_fallbacks_.load(std::memory_order_relaxed);
   s.faults_injected = sys::total_injected();
+
+  s.watchdog_checks = watchdog_.checks();
+  s.watchdog_runnable_starvation =
+      watchdog_.flagged(WatchdogReport::Kind::kRunnableStarvation);
+  s.watchdog_worker_stall =
+      watchdog_.flagged(WatchdogReport::Kind::kWorkerStall);
+  s.watchdog_quantum_overrun =
+      watchdog_.flagged(WatchdogReport::Kind::kQuantumOverrun);
+
   s.trace_enabled = trace_cfg_.enabled;
   if (trace_cfg_.enabled) {
     s.trace_events = trace::Collector::instance().total_events();
     s.trace_dropped = trace::Collector::instance().total_dropped();
   }
+  return s;
+}
+
+bool Runtime::write_metrics(std::FILE* out, metrics::Format format) const {
+  if (out == nullptr) return false;
+  const metrics::Snapshot s = metrics_snapshot();
+  if (format == metrics::Format::kJson)
+    metrics::write_json(out, s);
+  else
+    metrics::write_prometheus(out, s);
+  return true;
+}
+
+Runtime::Stats Runtime::stats() const {
+  // Single aggregation path: every counter Stats shares with the metrics
+  // subsystem comes from the same snapshot, so the two views cannot
+  // disagree. Only the tracer histograms are merged here directly — they
+  // live outside the always-on counters.
+  const metrics::Snapshot m = metrics_snapshot();
+  Stats s;
+  for (int r = 0; r < static_cast<int>(m.workers.size()); ++r) {
+    const metrics::WorkerSample& ws = m.workers[r];
+    const Worker& w = *workers_[r];
+    Stats::PerWorker pw;
+    pw.scheduled = ws.dispatches;
+    pw.preempt_signal_yield = ws.preempt_signal_yield;
+    pw.preempt_klt_switch = ws.preempt_klt_switch;
+    pw.steals = ws.steals;
+    pw.parked = ws.parked;
+    pw.preempt_delivery_samples = w.hist_delivery.count();
+    pw.preempt_resched_samples = w.hist_resched.count();
+    pw.klt_trip_samples = w.hist_klt_trip.count();
+    pw.klt_degraded_ticks = ws.klt_degraded_ticks;
+    pw.posix_timer_fallback = ws.posix_timer_fallback;
+    s.preempt_delivery_ns.merge(w.hist_delivery.snapshot());
+    s.preempt_resched_ns.merge(w.hist_resched.snapshot());
+    s.klt_switch_trip_ns.merge(w.hist_klt_trip.snapshot());
+    s.workers.push_back(pw);
+  }
+  s.klts_created = m.klts_created;
+  s.klts_on_demand = m.klts_on_demand;
+  s.active_workers = m.active_workers;
+  s.klt_degraded_ticks = m.klt_degraded_ticks;
+  s.klt_create_failures = m.klt_create_failures;
+  s.posix_timer_fallbacks = m.posix_timer_fallbacks;
+  s.spawn_stack_failures = m.spawn_stack_failures;
+  s.stacks_cached = m.stacks_cached;
+  s.stacks_shed = m.stacks_shed;
+  s.faults_injected = m.faults_injected;
+  s.trace_enabled = m.trace_enabled;
+  s.trace_events = m.trace_events;
+  s.trace_dropped = m.trace_dropped;
   return s;
 }
 
@@ -417,6 +492,26 @@ void Runtime::print_trace_summary(std::FILE* out) const {
   hist_line("preempt delivery", s.preempt_delivery_ns);
   hist_line("preempt -> reschedule", s.preempt_resched_ns);
   hist_line("klt suspend -> resume", s.klt_switch_trip_ns);
+
+  // Degradation counters (docs/robustness.md): all zero on a healthy run;
+  // nonzero values mean the latencies above were taken on a degraded
+  // runtime. Printed only when something actually degraded.
+  if (s.klt_degraded_ticks > 0 || s.klt_create_failures > 0 ||
+      s.posix_timer_fallbacks > 0 || s.spawn_stack_failures > 0 ||
+      s.stacks_shed > 0 || s.faults_injected > 0) {
+    std::fprintf(out, "degradation:\n");
+    auto count_line = [&](const char* name, std::uint64_t v) {
+      if (v > 0)
+        std::fprintf(out, "  %-28s %llu\n", name,
+                     static_cast<unsigned long long>(v));
+    };
+    count_line("klt degraded ticks", s.klt_degraded_ticks);
+    count_line("klt create failures", s.klt_create_failures);
+    count_line("posix timer fallbacks", s.posix_timer_fallbacks);
+    count_line("spawn stack failures", s.spawn_stack_failures);
+    count_line("stacks shed", s.stacks_shed);
+    count_line("faults injected", s.faults_injected);
+  }
 }
 
 void Runtime::enable_posix_timer_fallback() {
@@ -443,6 +538,7 @@ void Runtime::idle_wait(std::uint32_t seen_seq) {
 void Runtime::finalize_thread(ThreadCtl* t) {
   LPT_CHECK(t->load_state() == ThreadState::kFinished);
   t->fn = nullptr;  // release captures in scheduler context
+  n_live_ults_.sub(1);
 
   // Recycle default-sized stacks through the pool (sizes are page-rounded,
   // so compare against the rounded pool size).

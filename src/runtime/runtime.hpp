@@ -17,12 +17,14 @@
 #include <vector>
 
 #include "common/futex.hpp"
+#include "common/metrics.hpp"
 #include "common/spinlock.hpp"
 #include "context/stack.hpp"
 #include "runtime/klt_pool.hpp"
 #include "runtime/options.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/thread.hpp"
+#include "runtime/watchdog.hpp"
 #include "runtime/worker.hpp"
 
 namespace lpt {
@@ -121,6 +123,28 @@ class Runtime {
   };
   Stats stats() const;
 
+  // ----- always-on metrics (docs/observability.md) -----
+
+  /// Full metrics snapshot: per-worker counters + queue depths, totals, and
+  /// runtime-global gauges. Always available (no tracing required). Same
+  /// coherence contract as stats() — and stats() is itself built from this
+  /// snapshot, so the two views agree on every shared counter by
+  /// construction.
+  metrics::Snapshot metrics_snapshot() const;
+
+  /// Write a snapshot to `out` in Prometheus text format or JSON. Returns
+  /// false only when `out` is null.
+  bool write_metrics(std::FILE* out, metrics::Format format) const;
+
+  /// True when the background metrics publisher is rewriting a file
+  /// (options().metrics_file / LPT_METRICS_FILE).
+  bool metrics_publishing() const { return publisher_.running(); }
+
+  /// Watchdog flag episodes observed so far, by kind.
+  std::uint64_t watchdog_flags(WatchdogReport::Kind kind) const {
+    return watchdog_.flagged(kind);
+  }
+
   // ----- tracing (docs/observability.md) -----
 
   /// True when this runtime was constructed with tracing armed (options or
@@ -162,6 +186,10 @@ class Runtime {
   /// Starts the fallback timer lazily; callable from scheduler context only.
   void enable_posix_timer_fallback();
 
+  /// Drive the watchdog from a timer/monitor thread (runtime/watchdog.hpp).
+  /// No-op when the watchdog is disabled; safe from concurrent drivers.
+  void watchdog_tick(std::int64_t now) { watchdog_.tick(now); }
+
   /// Wake idle workers after an enqueue.
   void notify_work();
   /// Idle worker: sleep until notify_work or timeout.
@@ -180,7 +208,10 @@ class Runtime {
 
   RuntimeOptions opts_;
   trace::TraceConfig trace_cfg_;  ///< options.trace resolved against env
+  std::int64_t start_ns_ = 0;     ///< construction time (uptime metric)
   std::atomic<std::uint32_t> next_ult_id_{0};
+  /// ULTs spawned minus ULTs finished (the lpt_ults_live gauge).
+  metrics::Gauge n_live_ults_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::unique_ptr<Scheduler> sched_;
   std::unique_ptr<PreemptionTimer> timer_;
@@ -201,6 +232,11 @@ class Runtime {
 
   std::atomic<std::uint64_t> n_spawn_stack_fail_{0};
   std::atomic<std::uint64_t> n_timer_fallbacks_{0};
+
+  /// Watchdog + metrics publisher (runtime/watchdog.hpp). Declared after
+  /// workers_/sched_ and stopped before them in the destructor.
+  Watchdog watchdog_;
+  MetricsPublisher publisher_;
 
   std::atomic<int> n_active_{0};
   std::atomic<bool> shutdown_{false};

@@ -86,4 +86,9 @@ bool PackingScheduler::has_work() const {
   return false;
 }
 
+std::int64_t PackingScheduler::queue_depth(int rank) const {
+  if (rank < 0 || rank >= n_total_) return 0;
+  return pools_[rank]->depth();
+}
+
 }  // namespace lpt

@@ -32,7 +32,7 @@ ThreadCtl* PriorityScheduler::pick(Worker& w) {
   for (int step = 1; step < n; ++step) {
     const int v = (w.rank + step) % n;
     if (ThreadCtl* t = high_[v]->pop_front()) {
-      w.n_steals.fetch_add(1, std::memory_order_relaxed);
+      w.metrics.steals.inc();
       LPT_TRACE_EVENT(trace::EventType::kSteal, t->trace_id,
                       static_cast<std::uint64_t>(v));
       return t;
@@ -43,7 +43,7 @@ ThreadCtl* PriorityScheduler::pick(Worker& w) {
   for (int step = 1; step < n; ++step) {
     const int v = (w.rank + step) % n;
     if (ThreadCtl* t = low_[v]->pop_back()) {
-      w.n_steals.fetch_add(1, std::memory_order_relaxed);
+      w.metrics.steals.inc();
       LPT_TRACE_EVENT(trace::EventType::kSteal, t->trace_id,
                       static_cast<std::uint64_t>(v));
       return t;
@@ -68,6 +68,11 @@ bool PriorityScheduler::has_work() const {
   for (const auto& q : low_)
     if (!q->empty()) return true;
   return false;
+}
+
+std::int64_t PriorityScheduler::queue_depth(int rank) const {
+  if (rank < 0 || rank >= static_cast<int>(high_.size())) return 0;
+  return high_[rank]->depth() + low_[rank]->depth();
 }
 
 }  // namespace lpt

@@ -26,7 +26,7 @@ ThreadCtl* WorkStealingScheduler::pick(Worker& w) {
     const int v = static_cast<int>(rng.next_below(n));
     if (v == w.rank) continue;
     if (ThreadCtl* t = queues_[v]->pop_front()) {
-      w.n_steals.fetch_add(1, std::memory_order_relaxed);
+      w.metrics.steals.inc();
       LPT_TRACE_EVENT(trace::EventType::kSteal, t->trace_id,
                       static_cast<std::uint64_t>(v));
       return t;
@@ -47,6 +47,11 @@ bool WorkStealingScheduler::has_work() const {
   for (const auto& q : queues_)
     if (!q->empty()) return true;
   return false;
+}
+
+std::int64_t WorkStealingScheduler::queue_depth(int rank) const {
+  if (rank < 0 || rank >= static_cast<int>(queues_.size())) return 0;
+  return queues_[rank]->depth();
 }
 
 }  // namespace lpt

@@ -41,24 +41,43 @@ class Scheduler {
   virtual void enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) = 0;
   /// Best-effort "is any work queued" (used for idle backoff / shutdown).
   virtual bool has_work() const = 0;
+  /// Ready threads currently queued for worker `rank` (the always-on
+  /// run-queue-depth gauge and the watchdog's starvation check). Best-effort
+  /// instantaneous value; the default keeps custom schedulers working — depth
+  /// then reads 0 and runnable-starvation detection is effectively off.
+  virtual std::int64_t queue_depth(int rank) const {
+    (void)rank;
+    return 0;
+  }
 };
 
 /// Spinlock-protected deque of ready threads, shared building block.
+///
+/// depth() is a lock-free mirror of size() for the metrics/watchdog readers:
+/// it is updated by a relaxed store while the spinlock is already held (so
+/// the mirror is exact, not approximate) and costs the mutators ~1 store —
+/// readers never touch the lock a signal-handler-adjacent path may contend.
 class ThreadQueue {
  public:
   void push_back(ThreadCtl* t) {
     SpinlockGuard g(lock_);
     q_.push_back(t);
+    depth_.store(static_cast<std::int32_t>(q_.size()),
+                 std::memory_order_relaxed);
   }
   void push_front(ThreadCtl* t) {
     SpinlockGuard g(lock_);
     q_.push_front(t);
+    depth_.store(static_cast<std::int32_t>(q_.size()),
+                 std::memory_order_relaxed);
   }
   ThreadCtl* pop_front() {
     SpinlockGuard g(lock_);
     if (q_.empty()) return nullptr;
     ThreadCtl* t = q_.front();
     q_.pop_front();
+    depth_.store(static_cast<std::int32_t>(q_.size()),
+                 std::memory_order_relaxed);
     return t;
   }
   ThreadCtl* pop_back() {
@@ -66,6 +85,8 @@ class ThreadQueue {
     if (q_.empty()) return nullptr;
     ThreadCtl* t = q_.back();
     q_.pop_back();
+    depth_.store(static_cast<std::int32_t>(q_.size()),
+                 std::memory_order_relaxed);
     return t;
   }
   bool empty() const {
@@ -76,10 +97,12 @@ class ThreadQueue {
     SpinlockGuard g(lock_);
     return q_.size();
   }
+  std::int64_t depth() const { return depth_.load(std::memory_order_relaxed); }
 
  private:
   mutable Spinlock lock_;
   std::deque<ThreadCtl*> q_;
+  std::atomic<std::int32_t> depth_{0};
 };
 
 /// BOLT-like default: each worker prioritizes its own FIFO queue and steals
@@ -91,6 +114,7 @@ class WorkStealingScheduler final : public Scheduler {
   ThreadCtl* pick(Worker& w) override;
   void enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) override;
   bool has_work() const override;
+  std::int64_t queue_depth(int rank) const override;
 
  private:
   Runtime* rt_ = nullptr;
@@ -108,6 +132,9 @@ class PackingScheduler final : public Scheduler {
   ThreadCtl* pick(Worker& w) override;
   void enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) override;
   bool has_work() const override;
+  /// Pool `rank` only (shared pools beyond num_workers are not attributed
+  /// to any worker's depth; they surface via has_work / steals instead).
+  std::int64_t queue_depth(int rank) const override;
 
   /// Exposed for unit tests: the private-pool bound N_private given the
   /// current worker counts (line 6 of Algorithm 1).
@@ -133,6 +160,7 @@ class PriorityScheduler final : public Scheduler {
   ThreadCtl* pick(Worker& w) override;
   void enqueue(ThreadCtl* t, Worker* hint, EnqueueKind kind) override;
   bool has_work() const override;
+  std::int64_t queue_depth(int rank) const override;  ///< high + low
 
  private:
   Runtime* rt_ = nullptr;

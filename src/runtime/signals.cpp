@@ -76,8 +76,13 @@ void preempt_handler(int /*signo*/, siginfo_t* si, void* /*uctx*/) {
     errno = saved_errno;
     return;
   }
+  // Tick effectiveness (common/metrics.hpp): this entry found a preemptible
+  // ULT. handler_entries <= ticks_sent (coalesced signals, ticks landing in
+  // scheduler context); the watchdog's stall check rides on the gap.
+  w->metrics.handler_entries.add(1);
   if (t->no_preempt_depth > 0) {
     t->preempt_pending = true;
+    w->metrics.handler_deferred.add(1);
     LPT_TRACE_EVENT(trace::EventType::kHandlerDeferred, t->trace_id);
     errno = saved_errno;
     return;
@@ -157,6 +162,7 @@ void send_preempt(Worker& w, int initiator_rank) {
   // chain forwards both come through here).
   KltCtl* k = w.current_klt.load(std::memory_order_acquire);
   if (k == nullptr || w.rt == nullptr || w.rt->shutting_down()) return;
+  w.metrics.ticks_sent.add(1);
   // Stamp the send for delivery-latency accounting (overwritten by a newer
   // send before the handler consumes it — the handler then measures against
   // the most recent delivery attempt, which is the one it serves).

@@ -126,6 +126,11 @@ class MonitorTimer final : public PreemptionTimer {
         default:
           break;
       }
+      // The watchdog piggybacks on this thread (no extra wakeups): every
+      // monitor tick accrues time-in-state and, at the watchdog's own period,
+      // runs the starvation checks. Multiple drivers (fallback + main timer)
+      // are safe — Watchdog::tick is try-locked.
+      rt_->watchdog_tick(now_ns());
       ++tick;
     }
   }

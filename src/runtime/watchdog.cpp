@@ -1,0 +1,309 @@
+#include "runtime/watchdog.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/time.hpp"
+#include "runtime/instrument.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/signals.hpp"
+
+namespace lpt {
+
+const char* watchdog_kind_name(WatchdogReport::Kind k) {
+  switch (k) {
+    case WatchdogReport::Kind::kRunnableStarvation:
+      return "runnable_starvation";
+    case WatchdogReport::Kind::kWorkerStall:
+      return "worker_stall";
+    case WatchdogReport::Kind::kQuantumOverrun:
+      return "quantum_overrun";
+  }
+  return "?";
+}
+
+namespace watchdog_detail {
+
+unsigned evaluate_worker(const WorkerObs& obs, const WatchdogLimits& limits,
+                         WorkerWatch& w) {
+  if (!w.primed) {
+    // First observation: establish baselines, judge nothing. Thresholds
+    // therefore measure from watchdog start, never from runtime start.
+    w.primed = true;
+    w.dispatches = obs.dispatches;
+    w.dispatch_change_ns = obs.now_ns;
+    w.handler_entries = obs.handler_entries;
+    w.ticks_at_entry_change = obs.ticks_sent;
+    w.depth_zero = obs.queue_depth <= 0;
+    w.depth_nonzero_ns = obs.now_ns;
+    return 0;
+  }
+
+  // Progress resets: any dispatch clears the starvation/overrun episodes,
+  // any handler entry clears the stall episode (and re-baselines the tick
+  // count the next stall is measured against).
+  if (obs.dispatches != w.dispatches) {
+    w.dispatches = obs.dispatches;
+    w.dispatch_change_ns = obs.now_ns;
+    w.starve_flagged = false;
+    w.overrun_flagged = false;
+  }
+  if (obs.handler_entries != w.handler_entries) {
+    w.handler_entries = obs.handler_entries;
+    w.ticks_at_entry_change = obs.ticks_sent;
+    w.stall_flagged = false;
+  }
+  if (obs.queue_depth > 0) {
+    if (w.depth_zero) {
+      w.depth_zero = false;
+      w.depth_nonzero_ns = obs.now_ns;
+    }
+  } else {
+    w.depth_zero = true;
+    w.starve_flagged = false;
+  }
+
+  // "No dispatch since the previous poll" — 0 whenever the worker is
+  // churning, so every check below is vacuous on a healthy worker.
+  const std::int64_t frozen_ns = obs.now_ns - w.dispatch_change_ns;
+  unsigned flags = 0;
+
+  // (a) Runnable starvation: queued work behind a frozen worker. The age is
+  // capped by how long the queue has been non-empty, so work enqueued onto
+  // an already-long-idle worker is not flagged before its own wait exceeds
+  // the threshold.
+  if (limits.runnable_ns > 0 && obs.queue_depth > 0 && !obs.parked &&
+      !w.starve_flagged) {
+    const std::int64_t age =
+        std::min(frozen_ns, obs.now_ns - w.depth_nonzero_ns);
+    if (age >= limits.runnable_ns) {
+      w.starve_flagged = true;
+      flags |= kFlagRunnableStarvation;
+    }
+  }
+
+  // (b) Worker stall: ticks keep being sent at a preemptible ULT but the
+  // handler never runs. Requires a frozen worker — a churning worker's
+  // entries lag ticks legitimately (signals landing in scheduler context
+  // are absorbed without an entry).
+  if (limits.stall_ticks > 0 && obs.preemptible_running && !obs.parked &&
+      frozen_ns > 0 && !w.stall_flagged) {
+    const std::uint64_t unanswered = obs.ticks_sent - w.ticks_at_entry_change;
+    if (unanswered >= limits.stall_ticks) {
+      w.stall_flagged = true;
+      flags |= kFlagWorkerStall;
+    }
+  }
+
+  // (c) Quantum overrun: preemption fires (or should) yet one preemptible
+  // ULT has held the worker far past its quantum.
+  if (limits.quantum_ns > 0 && obs.preemptible_running && !obs.parked &&
+      frozen_ns >= limits.quantum_ns && !w.overrun_flagged) {
+    w.overrun_flagged = true;
+    flags |= kFlagQuantumOverrun;
+  }
+  return flags;
+}
+
+}  // namespace watchdog_detail
+
+void Watchdog::start(Runtime& rt, bool own_thread) {
+  using watchdog_detail::WorkerWatch;
+  rt_ = &rt;
+  const RuntimeOptions& o = rt.options();
+  period_ns_ = o.watchdog_period_ms > 0 ? o.watchdog_period_ms * 1'000'000
+                                        : 100'000'000;
+  limits_.runnable_ns = o.watchdog_runnable_ns;
+  // The tick-driven checks only make sense with a preemption timer armed;
+  // under PosixPerWorker the kernel delivers directly and ticks_sent never
+  // advances, which disables the stall check arithmetic on its own.
+  const bool timer_armed = o.timer != TimerKind::None;
+  limits_.quantum_ns = timer_armed && o.watchdog_quantum_factor > 0
+                           ? o.watchdog_quantum_factor * o.interval_us * 1000
+                           : 0;
+  limits_.stall_ticks = timer_armed && o.watchdog_stall_ticks > 0
+                            ? static_cast<std::uint64_t>(o.watchdog_stall_ticks)
+                            : 0;
+  watch_.assign(static_cast<std::size_t>(rt.num_workers()), WorkerWatch{});
+  checks_.store(0, std::memory_order_relaxed);
+  for (auto& f : flags_) f.store(0, std::memory_order_relaxed);
+  last_accrue_ns_ = now_ns();
+  next_poll_ns_ = last_accrue_ns_ + period_ns_;
+  last_stderr_ns_ = 0;
+  enabled_.store(true, std::memory_order_release);
+  if (own_thread) {
+    thread_stop_.store(false, std::memory_order_release);
+    thread_ = std::thread([this] { thread_loop(); });
+  }
+}
+
+void Watchdog::stop() {
+  // Disabling first makes any still-running driver (the fallback timer
+  // outlives the main one in the destructor) tick into a no-op.
+  enabled_.store(false, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_stop_.store(true, std::memory_order_release);
+    gate_.post();
+    thread_.join();
+  }
+}
+
+void Watchdog::tick(std::int64_t now) {
+  if (!enabled_.load(std::memory_order_acquire)) return;
+  if (busy_.exchange(true, std::memory_order_acquire)) return;
+
+  // Sampled time-in-state: attribute the elapsed wall time to whichever
+  // state each worker advertises right now. Resolution is the driver's
+  // cadence (monitor tick or watchdog period); hot paths pay only the
+  // state-marker store.
+  const std::int64_t delta = now - last_accrue_ns_;
+  if (delta > 0) {
+    last_accrue_ns_ = now;
+    const int n = rt_->num_workers();
+    for (int r = 0; r < n; ++r) {
+      metrics::WorkerMetrics& m = rt_->worker(r).metrics;
+      const std::uint8_t st = m.state.load(std::memory_order_relaxed);
+      if (st < metrics::kWorkerStateCount)
+        m.time_in_state_ns[st].inc(static_cast<std::uint64_t>(delta));
+    }
+  }
+
+  if (now >= next_poll_ns_) {
+    next_poll_ns_ = now + period_ns_;
+    poll(now);
+  }
+  busy_.store(false, std::memory_order_release);
+}
+
+void Watchdog::poll(std::int64_t now) {
+  using namespace watchdog_detail;
+  const int n = rt_->num_workers();
+  for (int r = 0; r < n; ++r) {
+    Worker& w = rt_->worker(r);
+    WorkerObs obs;
+    obs.now_ns = now;
+    obs.dispatches = w.metrics.dispatches.value();
+    obs.ticks_sent = w.metrics.ticks_sent.value();
+    obs.handler_entries = w.metrics.handler_entries.value();
+    obs.queue_depth = rt_->scheduler().queue_depth(r);
+    // A worker with no host KLT yet (startup) is as unjudgeable as a
+    // packing-parked one.
+    obs.parked = w.parked.load(std::memory_order_relaxed) ||
+                 w.current_klt.load(std::memory_order_acquire) == nullptr;
+    obs.preemptible_running =
+        w.current_preempt.load(std::memory_order_relaxed) !=
+        static_cast<std::uint8_t>(Preempt::None);
+
+    WorkerWatch& watch = watch_[r];
+    const unsigned flags = evaluate_worker(obs, limits_, watch);
+    if (flags == 0) continue;
+
+    const std::int64_t frozen_ns = now - watch.dispatch_change_ns;
+    if (flags & kFlagRunnableStarvation) {
+      WatchdogReport rep;
+      rep.kind = WatchdogReport::Kind::kRunnableStarvation;
+      rep.worker = r;
+      rep.age_ns = std::min(frozen_ns, now - watch.depth_nonzero_ns);
+      rep.queue_depth = obs.queue_depth;
+      report(rep);
+    }
+    if (flags & kFlagWorkerStall) {
+      WatchdogReport rep;
+      rep.kind = WatchdogReport::Kind::kWorkerStall;
+      rep.worker = r;
+      rep.age_ns = frozen_ns;
+      rep.queue_depth = obs.queue_depth;
+      rep.ticks_without_handler = obs.ticks_sent - watch.ticks_at_entry_change;
+      report(rep);
+    }
+    if (flags & kFlagQuantumOverrun) {
+      WatchdogReport rep;
+      rep.kind = WatchdogReport::Kind::kQuantumOverrun;
+      rep.worker = r;
+      rep.age_ns = frozen_ns;
+      rep.queue_depth = obs.queue_depth;
+      report(rep);
+    }
+  }
+  checks_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Watchdog::report(const WatchdogReport& r) {
+  flags_[static_cast<int>(r.kind)].fetch_add(1, std::memory_order_relaxed);
+  LPT_TRACE_EVENT(trace::EventType::kWatchdogFlag, 0,
+                  static_cast<std::uint64_t>(r.kind),
+                  static_cast<std::uint64_t>(r.worker));
+  if (rt_->options().watchdog_callback) {
+    rt_->options().watchdog_callback(r);
+    return;
+  }
+  // Default sink: one stderr line per second at most — a starving runtime
+  // flags every period and must not flood the application's logs.
+  const std::int64_t now = now_ns();
+  if (now - last_stderr_ns_ < 1'000'000'000) return;
+  last_stderr_ns_ = now;
+  std::fprintf(stderr,
+               "[lpt watchdog] %s: worker %d stuck for %.0f ms "
+               "(queue depth %" PRId64 ", %" PRIu64 " unanswered ticks)\n",
+               watchdog_kind_name(r.kind), r.worker,
+               static_cast<double>(r.age_ns) / 1e6, r.queue_depth,
+               r.ticks_without_handler);
+}
+
+void Watchdog::thread_loop() {
+  signals::block_runtime_signals();
+  worker_tls()->trace_ring =
+      trace::Collector::instance().acquire_ring(trace::TrackKind::kTimer, -1);
+  for (;;) {
+    gate_.wait_for(period_ns_);
+    if (thread_stop_.load(std::memory_order_acquire)) return;
+    tick(now_ns());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MetricsPublisher
+// ---------------------------------------------------------------------------
+
+void MetricsPublisher::start(Runtime& rt, metrics::PublishConfig cfg) {
+  rt_ = &rt;
+  cfg_ = std::move(cfg);
+  format_ = metrics::format_for_path(cfg_.file);
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { thread_loop(); });
+}
+
+void MetricsPublisher::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  gate_.post();
+  thread_.join();
+  // Final rewrite after the join: the destructor calls stop() once all ULT
+  // work has quiesced, so the file left behind holds the run's final totals.
+  publish_once();
+}
+
+void MetricsPublisher::publish_once() {
+  // Atomic replacement: scrapers (and the check.sh smoke) must never read a
+  // torn file, so write a sibling tmp file and rename over the target.
+  const std::string tmp = cfg_.file + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  rt_->write_metrics(f, format_);
+  std::fclose(f);
+  std::rename(tmp.c_str(), cfg_.file.c_str());
+}
+
+void MetricsPublisher::thread_loop() {
+  signals::block_runtime_signals();
+  const std::int64_t period_ns = cfg_.period_ms * 1'000'000;
+  publish_once();  // a scrape target exists as soon as the runtime does
+  for (;;) {
+    gate_.wait_for(period_ns);
+    if (stop_.load(std::memory_order_acquire)) return;
+    publish_once();
+  }
+}
+
+}  // namespace lpt

@@ -1,0 +1,182 @@
+// Preemption-starvation watchdog + background metrics publisher
+// (docs/observability.md, "Metrics & watchdog").
+//
+// The paper's value proposition is a *bounded* time-to-preemption; the
+// watchdog is the component that checks the bound instead of assuming it.
+// It periodically inspects each worker's always-on counters
+// (common/metrics.hpp) and flags three pathologies:
+//
+//   kRunnableStarvation  a worker has queued runnable ULTs but has not
+//                        dispatched anything for watchdog_runnable_ns —
+//                        work is sitting behind a frozen worker.
+//   kWorkerStall         preemption ticks keep arriving at a worker running
+//                        a preemptible ULT, but the handler never fires:
+//                        blocked signal mask, a stuck NoPreemptGuard, or a
+//                        lost timer.
+//   kQuantumOverrun      a preemptible ULT has monopolized its worker for
+//                        watchdog_quantum_factor quanta — preemption is
+//                        firing but not bounding runtime.
+//
+// Detection is a pure function over counter *progress* (evaluate_worker):
+// no per-dispatch timestamps, no hot-path clock reads, and no dereference
+// of ThreadCtl pointers (which a concurrent join may delete). Each flag
+// raises a counter, emits a trace event when tracing is armed, and invokes
+// RuntimeOptions::watchdog_callback (default: a rate-limited stderr report).
+//
+// Driving: when a monitor timer thread exists it calls Runtime::watchdog_tick
+// from its loop (zero extra threads); with TimerKind::None or PosixPerWorker
+// the watchdog runs its own thread, parked on a futex between periods. The
+// same tick also accrues sampled time-in-state for WorkerMetrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/futex.hpp"
+#include "common/metrics.hpp"
+
+namespace lpt {
+
+class Runtime;
+
+/// What the watchdog observed when it flagged. Carries only values (never a
+/// ThreadCtl pointer: control blocks die concurrently with the watchdog).
+struct WatchdogReport {
+  enum class Kind : std::uint8_t {
+    kRunnableStarvation = 0,
+    kWorkerStall = 1,
+    kQuantumOverrun = 2,
+  };
+  Kind kind;
+  int worker = -1;
+  std::int64_t age_ns = 0;  ///< how long the pathology has persisted
+  std::int64_t queue_depth = 0;
+  std::uint64_t ticks_without_handler = 0;  ///< kWorkerStall only
+};
+const char* watchdog_kind_name(WatchdogReport::Kind k);
+
+namespace watchdog_detail {
+
+/// Thresholds, resolved once at start. Zero disables a check.
+struct WatchdogLimits {
+  std::int64_t runnable_ns = 0;
+  std::int64_t quantum_ns = 0;   ///< 0 when no preemption timer is armed
+  std::uint64_t stall_ticks = 0; ///< 0 when ticks_sent never advances
+};
+
+/// One worker's observable facts at poll time, as seen by the watchdog.
+struct WorkerObs {
+  std::int64_t now_ns = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t ticks_sent = 0;
+  std::uint64_t handler_entries = 0;
+  std::int64_t queue_depth = 0;
+  bool parked = false;              ///< packing-parked or not yet started
+  bool preemptible_running = false; ///< current ULT has Preempt != None
+};
+
+/// Persistent per-worker watch state between polls. `primed` defers judgment
+/// until a baseline exists; the *_flagged latches make each pathology flag
+/// once per episode (cleared when the counter in question moves again).
+struct WorkerWatch {
+  bool primed = false;
+  std::uint64_t dispatches = 0;
+  std::int64_t dispatch_change_ns = 0;  ///< when dispatches last moved
+  std::uint64_t handler_entries = 0;
+  std::uint64_t ticks_at_entry_change = 0;  ///< ticks_sent at that moment
+  bool depth_zero = true;
+  std::int64_t depth_nonzero_ns = 0;  ///< when depth last left zero
+  bool starve_flagged = false;
+  bool stall_flagged = false;
+  bool overrun_flagged = false;
+};
+
+inline constexpr unsigned kFlagRunnableStarvation = 1u << 0;
+inline constexpr unsigned kFlagWorkerStall = 1u << 1;
+inline constexpr unsigned kFlagQuantumOverrun = 1u << 2;
+
+/// Pure detection core (unit-tested without a Runtime). Updates `watch` from
+/// the observation and returns a bitmask of *newly entered* flag episodes.
+unsigned evaluate_worker(const WorkerObs& obs, const WatchdogLimits& limits,
+                         WorkerWatch& watch);
+
+}  // namespace watchdog_detail
+
+/// The runtime-facing watchdog. Lifecycle is owned by Runtime: start() in
+/// the constructor (after the timer), stop() in the destructor (right after
+/// the timer stops, while workers still exist).
+class Watchdog {
+ public:
+  ~Watchdog() { stop(); }
+
+  /// `own_thread`: spawn a dedicated poll thread (TimerKind::None /
+  /// PosixPerWorker); otherwise the monitor timer drives tick().
+  void start(Runtime& rt, bool own_thread);
+  void stop();
+
+  /// Called by whichever thread drives the watchdog, at its own cadence
+  /// (every monitor tick, or once per watchdog period from the own thread).
+  /// Accrues time-in-state each call; runs the starvation poll at most once
+  /// per watchdog period. Safe to call from multiple driver threads (the
+  /// fallback timer may coexist with the main monitor): a try-lock keeps
+  /// passes from overlapping, extra callers simply skip.
+  void tick(std::int64_t now);
+
+  std::uint64_t checks() const {
+    return checks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t flagged(WatchdogReport::Kind k) const {
+    return flags_[static_cast<int>(k)].load(std::memory_order_relaxed);
+  }
+
+ private:
+  void poll(std::int64_t now);
+  void report(const WatchdogReport& r);
+  void thread_loop();
+
+  Runtime* rt_ = nullptr;
+  std::atomic<bool> enabled_{false};
+  std::atomic<bool> busy_{false};  ///< try-lock over tick bodies
+  std::int64_t period_ns_ = 0;
+  watchdog_detail::WatchdogLimits limits_;
+  std::vector<watchdog_detail::WorkerWatch> watch_;
+  std::int64_t last_accrue_ns_ = 0;
+  std::int64_t next_poll_ns_ = 0;
+  std::int64_t last_stderr_ns_ = 0;
+
+  std::atomic<std::uint64_t> checks_{0};
+  std::atomic<std::uint64_t> flags_[3] = {};
+
+  // Own-thread mode.
+  std::atomic<bool> thread_stop_{false};
+  FutexGate gate_;
+  std::thread thread_;
+};
+
+/// Background publisher: rewrites LPT_METRICS_FILE atomically (tmp + rename)
+/// every period with a fresh snapshot, so an external scraper never reads a
+/// torn file. Off unless a file is configured. Writes once immediately at
+/// start and once more at stop so short-lived processes still leave a file.
+class MetricsPublisher {
+ public:
+  ~MetricsPublisher() { stop(); }
+
+  void start(Runtime& rt, metrics::PublishConfig cfg);
+  void stop();
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  void publish_once();
+  void thread_loop();
+
+  Runtime* rt_ = nullptr;
+  metrics::PublishConfig cfg_;
+  metrics::Format format_ = metrics::Format::kPrometheus;
+  std::atomic<bool> stop_{false};
+  FutexGate gate_;
+  std::thread thread_;
+};
+
+}  // namespace lpt

@@ -112,7 +112,7 @@ __attribute__((noinline)) void handler_klt_switch(Runtime* rt, Worker* w,
     // thread keep running until resources recover. All loads here are
     // atomics; the path stays async-signal-safe.
     if (rt->klt_creator().saturated() || rt->klt_cap_reached()) {
-      w->n_klt_degraded.fetch_add(1, std::memory_order_relaxed);
+      w->metrics.klt_degraded_ticks.add(1);
       LPT_TRACE_EVENT(trace::EventType::kKltDegradedTick, t->trace_id);
       return;
     }
@@ -219,14 +219,16 @@ void Worker::scheduler_loop() {
 }
 
 void Worker::run(ThreadCtl* t) {
-  n_scheduled.fetch_add(1, std::memory_order_relaxed);
+  metrics.dispatches.inc();
   trace_dispatch(t);
   t->store_state(ThreadState::kRunning);
   current_ult.store(t, std::memory_order_release);
   current_preempt.store(static_cast<std::uint8_t>(t->preempt),
                         std::memory_order_release);
+  metrics.set_state(metrics::WorkerState::kRunningUlt);
   context_switch(sched_ctx, t->ctx);
-  // Back in scheduler context; the post action says why.
+  // Back in scheduler context; the post action says why. process_post_action
+  // re-marks the state (it must anyway, for the fresh-KLT handoff resume).
 }
 
 void Worker::run_resume_bound(ThreadCtl* t) {
@@ -238,12 +240,13 @@ void Worker::run_resume_bound(ThreadCtl* t) {
   KltCtl* me = worker_tls()->klt;
   LPT_CHECK(x != nullptr && me != nullptr && x != me);
 
-  n_scheduled.fetch_add(1, std::memory_order_relaxed);
+  metrics.dispatches.inc();
   trace_dispatch(t);
   t->store_state(ThreadState::kRunning);
   current_ult.store(t, std::memory_order_release);
   current_preempt.store(static_cast<std::uint8_t>(t->preempt),
                         std::memory_order_release);
+  metrics.set_state(metrics::WorkerState::kRunningUlt);
   current_klt.store(x, std::memory_order_release);
   current_tid.store(x->tid.load(std::memory_order_relaxed),
                     std::memory_order_release);
@@ -274,6 +277,9 @@ void Worker::trace_dispatch(ThreadCtl* t) {
 }
 
 void Worker::process_post_action() {
+  // The scheduler context may have been resumed on a fresh KLT (KLT-switch
+  // handoff), so re-mark the state here, not only after context_switch.
+  metrics.set_state(metrics::WorkerState::kScheduling);
   PostAction a = post;
   post = PostAction{};
   if (a.kind == PostKind::kNone) return;
@@ -289,6 +295,7 @@ void Worker::process_post_action() {
       break;
     case PostKind::kYield:
       clear_current();
+      metrics.yields.inc();
       LPT_TRACE_EVENT(trace::EventType::kUltYield, a.thread->trace_id);
       a.thread->store_state(ThreadState::kReady);
       rt->scheduler().enqueue(a.thread, this, EnqueueKind::kYield);
@@ -296,7 +303,7 @@ void Worker::process_post_action() {
       break;
     case PostKind::kPreemptSignalYield:
       clear_current();
-      n_preempt_signal_yield.fetch_add(1, std::memory_order_relaxed);
+      metrics.preempt_signal_yield.inc();
       a.thread->preemptions.fetch_add(1, std::memory_order_relaxed);
       if (LPT_TRACE_ON()) {
         a.thread->last_preempt_ns = trace::now_ns();
@@ -312,7 +319,7 @@ void Worker::process_post_action() {
       break;
     case PostKind::kPreemptKltSwitch:
       clear_current();
-      n_preempt_klt_switch.fetch_add(1, std::memory_order_relaxed);
+      metrics.preempt_klt_switch.inc();
       a.thread->preemptions.fetch_add(1, std::memory_order_relaxed);
       if (LPT_TRACE_ON()) {
         a.thread->last_preempt_ns = trace::now_ns();
@@ -325,6 +332,7 @@ void Worker::process_post_action() {
       break;
     case PostKind::kBlock:
       clear_current();
+      metrics.blocks.inc();
       LPT_TRACE_EVENT(trace::EventType::kUltBlock, a.thread->trace_id);
       a.thread->store_state(ThreadState::kBlocked);
       // Only now — with the context fully saved — may others see the thread.
@@ -333,6 +341,7 @@ void Worker::process_post_action() {
       break;
     case PostKind::kExit:
       clear_current();
+      metrics.exits.inc();
       LPT_TRACE_EVENT(trace::EventType::kUltExit, a.thread->trace_id);
       rt->finalize_thread(a.thread);
       break;
@@ -340,6 +349,7 @@ void Worker::process_post_action() {
 }
 
 void Worker::idle_backoff(int& failures) {
+  metrics.set_state(metrics::WorkerState::kIdle);
   ++failures;
   if (failures < 64) {
     for (int i = 0; i < 32; ++i) cpu_pause();
@@ -351,6 +361,7 @@ void Worker::idle_backoff(int& failures) {
 }
 
 void Worker::park_for_packing() {
+  metrics.set_state(metrics::WorkerState::kParked);
   parked.store(true, std::memory_order_release);
   LPT_TRACE_EVENT(trace::EventType::kWorkerPark);
   while (rank >= rt->active_workers() && !rt->shutting_down()) {

@@ -8,6 +8,7 @@
 
 #include "common/cpu.hpp"
 #include "common/futex.hpp"
+#include "common/metrics.hpp"
 #include "common/spinlock.hpp"
 #include "common/trace.hpp"
 #include "context/context.hpp"
@@ -87,14 +88,11 @@ struct alignas(kCacheLineSize) Worker {
   /// Degrade this worker to monitor-thread delivery (sticky).
   void note_posix_timer_failure();
 
-  // -- statistics (tests assert on these) --
-  std::atomic<std::uint64_t> n_scheduled{0};
-  std::atomic<std::uint64_t> n_preempt_signal_yield{0};
-  std::atomic<std::uint64_t> n_preempt_klt_switch{0};
-  std::atomic<std::uint64_t> n_steals{0};
-  /// KLT-switch ticks deferred because no spare KLT was available and the
-  /// creator was saturated (or max_klts was reached). Signal-handler written.
-  std::atomic<std::uint64_t> n_klt_degraded{0};
+  /// Always-on counters and the sampled state marker (common/metrics.hpp).
+  /// Scheduler-context sites use the store-based Counter members; the
+  /// preemption handler and timer threads write only the AtomicCounter ones.
+  /// Runtime::stats() and metrics_snapshot() both aggregate from here.
+  metrics::WorkerMetrics metrics;
 
   // -- tracing (see docs/observability.md) --
   /// Timestamp of the last preemption signal sent at this worker (written by

@@ -1,0 +1,168 @@
+// Unit tests of the watchdog's detection logic (watchdog_detail::
+// evaluate_worker) as a pure function over observation sequences — no
+// Runtime, no threads, so they run in the TSan stage alongside the metrics
+// unit tests. Scenario timing is in fake nanoseconds.
+#include <gtest/gtest.h>
+
+#include "runtime/watchdog.hpp"
+
+namespace lpt {
+namespace {
+
+using watchdog_detail::evaluate_worker;
+using watchdog_detail::kFlagQuantumOverrun;
+using watchdog_detail::kFlagRunnableStarvation;
+using watchdog_detail::kFlagWorkerStall;
+using watchdog_detail::WatchdogLimits;
+using watchdog_detail::WorkerObs;
+using watchdog_detail::WorkerWatch;
+
+WatchdogLimits limits() {
+  WatchdogLimits l;
+  l.runnable_ns = 100;
+  l.quantum_ns = 200;
+  l.stall_ticks = 4;
+  return l;
+}
+
+WorkerObs obs(std::int64_t now, std::uint64_t dispatches,
+              std::int64_t depth = 0, bool preemptible = false,
+              std::uint64_t ticks = 0, std::uint64_t entries = 0) {
+  WorkerObs o;
+  o.now_ns = now;
+  o.dispatches = dispatches;
+  o.ticks_sent = ticks;
+  o.handler_entries = entries;
+  o.queue_depth = depth;
+  o.parked = false;
+  o.preemptible_running = preemptible;
+  return o;
+}
+
+TEST(WatchdogEval, FirstObservationOnlyPrimes) {
+  WorkerWatch w;
+  // Ancient-looking state on the very first call must not flag anything.
+  EXPECT_EQ(evaluate_worker(obs(1'000'000, 0, /*depth=*/10), limits(), w), 0u);
+  EXPECT_TRUE(w.primed);
+}
+
+TEST(WatchdogEval, FlagsStarvationOnceUntilProgress) {
+  WorkerWatch w;
+  const WatchdogLimits l = limits();
+  evaluate_worker(obs(0, 5, 1), l, w);
+  EXPECT_EQ(evaluate_worker(obs(50, 5, 1), l, w), 0u);  // under threshold
+  EXPECT_EQ(evaluate_worker(obs(120, 5, 1), l, w), kFlagRunnableStarvation);
+  // Latched: the same episode does not re-flag.
+  EXPECT_EQ(evaluate_worker(obs(500, 5, 1), l, w), 0u);
+  // A dispatch ends the episode; a fresh starve period flags again.
+  EXPECT_EQ(evaluate_worker(obs(600, 6, 1), l, w), 0u);
+  EXPECT_EQ(evaluate_worker(obs(800, 6, 1), l, w), kFlagRunnableStarvation);
+}
+
+TEST(WatchdogEval, StarvationAgeCappedByQueueNonEmptyTime) {
+  WorkerWatch w;
+  const WatchdogLimits l = limits();
+  // Worker idle (no dispatches) with an empty queue for a long time.
+  evaluate_worker(obs(0, 5, 0), l, w);
+  EXPECT_EQ(evaluate_worker(obs(10'000, 5, 0), l, w), 0u);
+  // Work appears: the clock starts at the 0 -> >0 transition, not at the
+  // last dispatch, so no instant flag...
+  EXPECT_EQ(evaluate_worker(obs(10'050, 5, 1), l, w), 0u);
+  // ...but it does flag once the *queue's* wait passes the threshold.
+  EXPECT_EQ(evaluate_worker(obs(10'200, 5, 1), l, w),
+            kFlagRunnableStarvation);
+}
+
+TEST(WatchdogEval, EmptyQueueOrParkedNeverStarves) {
+  WorkerWatch w;
+  const WatchdogLimits l = limits();
+  evaluate_worker(obs(0, 5, 1), l, w);
+  WorkerObs parked = obs(1'000, 5, 1);
+  parked.parked = true;
+  EXPECT_EQ(evaluate_worker(parked, l, w) & kFlagRunnableStarvation, 0u);
+  EXPECT_EQ(evaluate_worker(obs(2'000, 5, 0), l, w) & kFlagRunnableStarvation,
+            0u);
+}
+
+TEST(WatchdogEval, FlagsStallAfterUnansweredTicks) {
+  WorkerWatch w;
+  const WatchdogLimits l = limits();
+  evaluate_worker(obs(0, 5, 0, true, /*ticks=*/10, /*entries=*/10), l, w);
+  // Ticks advance, entries frozen, dispatches frozen -> stall at >= 4.
+  EXPECT_EQ(evaluate_worker(obs(50, 5, 0, true, 13, 10), l, w), 0u);
+  EXPECT_EQ(evaluate_worker(obs(90, 5, 0, true, 14, 10), l, w),
+            kFlagWorkerStall);
+  EXPECT_EQ(evaluate_worker(obs(95, 5, 0, true, 20, 10), l, w), 0u);  // latched
+  // A handler entry re-baselines: ticks since that entry start at zero.
+  EXPECT_EQ(evaluate_worker(obs(100, 5, 0, true, 21, 11), l, w), 0u);
+  EXPECT_EQ(evaluate_worker(obs(150, 5, 0, true, 24, 11), l, w), 0u);
+  EXPECT_EQ(evaluate_worker(obs(190, 5, 0, true, 25, 11), l, w),
+            kFlagWorkerStall);
+}
+
+TEST(WatchdogEval, ChurningWorkerNeverStalls) {
+  WorkerWatch w;
+  const WatchdogLimits l = limits();
+  evaluate_worker(obs(0, 5, 0, true, 10, 10), l, w);
+  // Dispatches keep advancing: frozen_ns is 0 at every poll, so even a large
+  // tick/entry gap (signals landing in scheduler context) cannot stall-flag.
+  EXPECT_EQ(evaluate_worker(obs(100, 6, 0, true, 30, 10), l, w), 0u);
+  EXPECT_EQ(evaluate_worker(obs(200, 7, 0, true, 50, 10), l, w), 0u);
+}
+
+TEST(WatchdogEval, StallDisabledWithoutTicks) {
+  WorkerWatch w;
+  WatchdogLimits l = limits();
+  l.stall_ticks = 0;  // PosixPerWorker / TimerKind::None configuration
+  evaluate_worker(obs(0, 5, 0, true, 0, 0), l, w);
+  EXPECT_EQ(evaluate_worker(obs(10'000, 5, 0, true, 0, 0), l, w) &
+                kFlagWorkerStall,
+            0u);
+}
+
+TEST(WatchdogEval, FlagsQuantumOverrunForLongRunningPreemptible) {
+  WorkerWatch w;
+  const WatchdogLimits l = limits();
+  evaluate_worker(obs(0, 5, 0, true, 10, 10), l, w);
+  EXPECT_EQ(evaluate_worker(obs(150, 5, 0, true, 11, 11), l, w), 0u);
+  // Entries keep advancing (degraded KLT-switch ticks) so no stall — but the
+  // ULT has overstayed: overrun at frozen >= quantum_ns.
+  EXPECT_EQ(evaluate_worker(obs(250, 5, 0, true, 12, 12), l, w),
+            kFlagQuantumOverrun);
+  EXPECT_EQ(evaluate_worker(obs(900, 5, 0, true, 13, 13), l, w),
+            0u);  // latched
+  // Dispatch clears the episode.
+  EXPECT_EQ(evaluate_worker(obs(1'000, 6, 0, true, 13, 13), l, w), 0u);
+  EXPECT_EQ(evaluate_worker(obs(1'300, 6, 0, true, 13, 13), l, w),
+            kFlagQuantumOverrun);
+}
+
+TEST(WatchdogEval, NonPreemptibleUltNeverOverruns) {
+  WorkerWatch w;
+  const WatchdogLimits l = limits();
+  evaluate_worker(obs(0, 5), l, w);
+  // A Preempt::None ULT may legitimately run forever.
+  EXPECT_EQ(evaluate_worker(obs(100'000, 5), l, w) & kFlagQuantumOverrun, 0u);
+}
+
+TEST(WatchdogEval, SimultaneousStarvationAndOverrun) {
+  WorkerWatch w;
+  const WatchdogLimits l = limits();
+  evaluate_worker(obs(0, 5, 1, true, 10, 10), l, w);
+  const unsigned f = evaluate_worker(obs(300, 5, 1, true, 11, 11), l, w);
+  EXPECT_NE(f & kFlagRunnableStarvation, 0u);
+  EXPECT_NE(f & kFlagQuantumOverrun, 0u);
+  EXPECT_EQ(f & kFlagWorkerStall, 0u);
+}
+
+TEST(WatchdogKind, NamesAreStable) {
+  EXPECT_STREQ(watchdog_kind_name(WatchdogReport::Kind::kRunnableStarvation),
+               "runnable_starvation");
+  EXPECT_STREQ(watchdog_kind_name(WatchdogReport::Kind::kWorkerStall),
+               "worker_stall");
+  EXPECT_STREQ(watchdog_kind_name(WatchdogReport::Kind::kQuantumOverrun),
+               "quantum_overrun");
+}
+
+}  // namespace
+}  // namespace lpt

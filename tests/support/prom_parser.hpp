@@ -1,0 +1,190 @@
+// Minimal Prometheus text-exposition parser used by the metrics tests and the
+// check.sh smoke (tests/tools/prom_check.cpp). Strict on the subset the
+// runtime emits: it validates metric-name charsets, label syntax, numeric
+// values, # TYPE/# HELP placement, the counter `_total` naming convention,
+// and duplicate series — so a formatting regression in the exporter fails a
+// test instead of a scrape.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lpt::promtest {
+
+struct Sample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value = 0.0;
+};
+
+struct Parsed {
+  std::vector<Sample> samples;
+  std::map<std::string, std::string> types;  ///< family -> counter|gauge
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+
+  /// Sum of every sample of `name` whose labels all match `where`.
+  double sum(const std::string& name,
+             const std::map<std::string, std::string>& where = {}) const {
+    double total = 0.0;
+    for (const Sample& s : samples) {
+      if (s.name != name) continue;
+      bool match = true;
+      for (const auto& kv : where) {
+        auto it = s.labels.find(kv.first);
+        if (it == s.labels.end() || it->second != kv.second) {
+          match = false;
+          break;
+        }
+      }
+      if (match) total += s.value;
+    }
+    return total;
+  }
+
+  const Sample* find(const std::string& name,
+                     const std::map<std::string, std::string>& labels) const {
+    for (const Sample& s : samples)
+      if (s.name == name && s.labels == labels) return &s;
+    return nullptr;
+  }
+
+  bool has_family(const std::string& name) const {
+    return types.count(name) != 0;
+  }
+};
+
+namespace detail {
+
+inline bool valid_name(const std::string& s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0])) && s[0] != '_')
+    return false;
+  for (char c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' && c != ':')
+      return false;
+  return true;
+}
+
+inline bool valid_label_key(const std::string& s) { return valid_name(s); }
+
+}  // namespace detail
+
+/// Parse a full exposition. All structural problems are collected into
+/// `errors` (with line numbers) rather than stopping at the first.
+inline Parsed parse(const std::string& text) {
+  Parsed out;
+  // family -> whether a sample was already seen (TYPE must come first).
+  std::map<std::string, bool> family_sampled;
+  std::map<std::string, int> series_seen;  // duplicate detection
+  std::size_t pos = 0;
+  int lineno = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    auto err = [&](const std::string& msg) {
+      out.errors.push_back("line " + std::to_string(lineno) + ": " + msg);
+    };
+
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# TYPE <name> <kind>" / "# HELP <name> <text>"
+      if (line.rfind("# TYPE ", 0) == 0) {
+        const std::string rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string::npos) {
+          err("malformed TYPE line");
+          continue;
+        }
+        const std::string fam = rest.substr(0, sp);
+        const std::string kind = rest.substr(sp + 1);
+        if (!detail::valid_name(fam)) err("bad family name '" + fam + "'");
+        if (kind != "counter" && kind != "gauge" && kind != "histogram" &&
+            kind != "summary" && kind != "untyped")
+          err("unknown TYPE kind '" + kind + "'");
+        if (out.types.count(fam)) err("duplicate TYPE for '" + fam + "'");
+        if (family_sampled.count(fam) && family_sampled[fam])
+          err("TYPE for '" + fam + "' after its samples");
+        if (kind == "counter" &&
+            (fam.size() < 6 || fam.compare(fam.size() - 6, 6, "_total") != 0))
+          err("counter '" + fam + "' does not end in _total");
+        out.types[fam] = kind;
+      }
+      continue;  // HELP and comments need no validation beyond being comments
+    }
+
+    // Sample line: name[{k="v",...}] value
+    std::size_t i = 0;
+    while (i < line.size() && line[i] != '{' && line[i] != ' ') ++i;
+    const std::string name = line.substr(0, i);
+    if (!detail::valid_name(name)) {
+      err("bad metric name '" + name + "'");
+      continue;
+    }
+    Sample s;
+    s.name = name;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = line.find('=', i);
+        if (eq == std::string::npos) {
+          err("label without '='");
+          break;
+        }
+        const std::string key = line.substr(i, eq - i);
+        if (!detail::valid_label_key(key)) err("bad label key '" + key + "'");
+        if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+          err("label value not quoted");
+          break;
+        }
+        std::size_t endq = line.find('"', eq + 2);
+        if (endq == std::string::npos) {
+          err("unterminated label value");
+          break;
+        }
+        s.labels[key] = line.substr(eq + 2, endq - (eq + 2));
+        i = endq + 1;
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      if (i >= line.size() || line[i] != '}') {
+        err("unterminated label set");
+        continue;
+      }
+      ++i;
+    }
+    if (i >= line.size() || line[i] != ' ') {
+      err("missing value separator");
+      continue;
+    }
+    const std::string valstr = line.substr(i + 1);
+    char* end = nullptr;
+    s.value = std::strtod(valstr.c_str(), &end);
+    if (end == valstr.c_str() || *end != '\0') {
+      err("bad sample value '" + valstr + "'");
+      continue;
+    }
+
+    // Family of a sample = longest TYPE'd prefix (exact match for us).
+    if (!out.types.count(s.name))
+      err("sample '" + s.name + "' has no preceding TYPE");
+    family_sampled[s.name] = true;
+
+    std::string key = s.name;
+    for (const auto& kv : s.labels)
+      key += "|" + kv.first + "=" + kv.second;
+    if (++series_seen[key] > 1) err("duplicate series " + key);
+
+    out.samples.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace lpt::promtest

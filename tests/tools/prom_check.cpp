@@ -1,0 +1,52 @@
+// Standalone validator for a published metrics file — the check.sh smoke
+// runs a bench with LPT_METRICS_FILE set and then feeds the result through
+// this binary, so the end-to-end publisher path (env config -> background
+// thread -> atomic rewrite -> Prometheus exposition) is gated in CI without
+// gtest. Exit 0 on a clean parse with the core families present.
+#include <cstdio>
+#include <string>
+
+#include "support/prom_parser.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <metrics-file>\n", argv[0]);
+    return 2;
+  }
+  std::FILE* f = std::fopen(argv[1], "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "prom_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  if (text.empty()) {
+    std::fprintf(stderr, "prom_check: %s is empty\n", argv[1]);
+    return 1;
+  }
+
+  const lpt::promtest::Parsed p = lpt::promtest::parse(text);
+  int rc = 0;
+  for (const std::string& e : p.errors) {
+    std::fprintf(stderr, "prom_check: %s\n", e.c_str());
+    rc = 1;
+  }
+  for (const char* fam :
+       {"lpt_uptime_seconds", "lpt_workers", "lpt_dispatches_total",
+        "lpt_run_queue_depth", "lpt_preemptions_total",
+        "lpt_preempt_ticks_sent_total", "lpt_preempt_handler_entries_total",
+        "lpt_ults_spawned_total", "lpt_klts_created_total",
+        "lpt_watchdog_checks_total", "lpt_watchdog_flags_total"}) {
+    if (!p.has_family(fam)) {
+      std::fprintf(stderr, "prom_check: family %s missing\n", fam);
+      rc = 1;
+    }
+  }
+  if (rc == 0)
+    std::printf("prom_check: %s ok (%zu samples, %zu families)\n", argv[1],
+                p.samples.size(), p.types.size());
+  return rc;
+}
