@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Repo gate: configure + build + tier-1 tests, the tracer's and the metrics
 # subsystem's non-context-switching unit tests under ThreadSanitizer, the
-# fault-injection suite under AddressSanitizer, then an end-to-end smoke of
-# the metrics publisher (bench run with LPT_METRICS_FILE set, output
-# validated by the strict Prometheus parser in tests/tools/prom_check.cpp).
+# fault-injection and fault-isolation suites under AddressSanitizer, then an
+# end-to-end smoke of the metrics publisher (bench run with LPT_METRICS_FILE
+# set, output validated by the strict Prometheus parser in
+# tests/tools/prom_check.cpp).
 #
 #   scripts/check.sh [build-dir]        (default: build)
 #
@@ -17,36 +18,45 @@
 # degraded resource path — pthread_create storms, timer_create fallback, mmap
 # spawn refusal, shutdown of a degraded runtime. ASan catches the classic
 # degradation bugs (double-free of a shed stack, use-after-free of an
-# abandoned KLT request) that a plain run would miss.
+# abandoned KLT request) that a plain run would miss. The fault-isolation
+# suite also runs under ASan: SEGV-containment tests GTEST_SKIP themselves
+# (ASan owns the SIGSEGV handler; fault::available() is false in sanitizer
+# builds), while the exception firewall, join/compat plumbing, stack-pool
+# quarantine, and the fault-storm watchdog still run fully instrumented.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/6] normal build =="
+echo "== [1/7] normal build =="
 cmake -S . -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 
-echo "== [2/6] tier-1 tests =="
+echo "== [2/7] tier-1 tests =="
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure
 
-echo "== [3/6] tracer unit tests under TSan =="
+echo "== [3/7] tracer unit tests under TSan =="
 cmake -S . -B "$BUILD-tsan" -G Ninja -DLPT_SANITIZE=thread >/dev/null
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_trace_unit
 "$BUILD-tsan/tests/test_trace_unit"
 
-echo "== [4/6] metrics + watchdog unit tests under TSan =="
+echo "== [4/7] metrics + watchdog unit tests under TSan =="
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_metrics_unit
 "$BUILD-tsan/tests/test_metrics_unit"
 
-echo "== [5/6] fault-injection tests under ASan =="
+echo "== [5/7] fault-injection tests under ASan =="
 cmake -S . -B "$BUILD-asan" -G Ninja -DLPT_SANITIZE=address >/dev/null
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_sys test_fault
 "$BUILD-asan/tests/test_sys"
 "$BUILD-asan/tests/test_fault"
 
-echo "== [6/6] metrics-publisher smoke (bench + prom_check) =="
+echo "== [6/7] fault-isolation tests (normal + ASan self-skip) =="
+"$BUILD/tests/test_fault_isolation"
+cmake --build "$BUILD-asan" -j "$JOBS" --target test_fault_isolation
+"$BUILD-asan/tests/test_fault_isolation"
+
+echo "== [7/7] metrics-publisher smoke (bench + prom_check) =="
 cmake --build "$BUILD" -j "$JOBS" --target table1_preemption prom_check
 METRICS_OUT="$(mktemp /tmp/lpt_check_metrics.XXXXXX.prom)"
 LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \

@@ -29,6 +29,9 @@ WorkerSample WorkerMetrics::sample() const {
   s.handler_entries = handler_entries.value();
   s.handler_deferred = handler_deferred.value();
   s.klt_degraded_ticks = klt_degraded_ticks.value();
+  s.ult_faults = ult_faults.value();
+  s.stack_overflows = stack_overflows.value();
+  s.escaped_exceptions = escaped_exceptions.value();
   for (int i = 0; i < kWorkerStateCount; ++i)
     s.time_in_state_ns[i] = time_in_state_ns[i].value();
   s.state = state.load(std::memory_order_relaxed);
@@ -39,6 +42,7 @@ void Snapshot::finalize() {
   dispatches = yields = blocks = exits = steals = 0;
   preempt_signal_yield = preempt_klt_switch = preemptions = 0;
   ticks_sent = handler_entries = handler_deferred = klt_degraded_ticks = 0;
+  ult_faults = stack_overflows = escaped_exceptions = 0;
   run_queue_depth = 0;
   for (const WorkerSample& w : workers) {
     dispatches += w.dispatches;
@@ -52,6 +56,9 @@ void Snapshot::finalize() {
     handler_entries += w.handler_entries;
     handler_deferred += w.handler_deferred;
     klt_degraded_ticks += w.klt_degraded_ticks;
+    ult_faults += w.ult_faults;
+    stack_overflows += w.stack_overflows;
+    escaped_exceptions += w.escaped_exceptions;
     run_queue_depth += w.queue_depth;
   }
   preemptions = preempt_signal_yield + preempt_klt_switch;
@@ -119,6 +126,15 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
       {"lpt_klt_degraded_ticks_total",
        "KLT-switch ticks degraded to deferred handling (pool exhausted).",
        &WorkerSample::klt_degraded_ticks},
+      {"lpt_ult_faults_total",
+       "ULTs terminated by fault isolation (overflow/segv/bus/exception).",
+       &WorkerSample::ult_faults},
+      {"lpt_stack_overflows_total",
+       "Guard-page stack overflows contained by fault isolation.",
+       &WorkerSample::stack_overflows},
+      {"lpt_escaped_exceptions_total",
+       "ULTs terminated by the exception firewall.",
+       &WorkerSample::escaped_exceptions},
   };
   for (const PerWorkerFamily& f : kFamilies) {
     prom_family(out, f.name, "counter", f.help);
@@ -184,6 +200,22 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
   prom_family(out, "lpt_spawn_stack_failures_total", "counter",
               "spawn() refusals after stack allocation failed.");
   prom_u64(out, "lpt_spawn_stack_failures_total", s.spawn_stack_failures);
+  prom_family(out, "lpt_klts_retired_total", "counter",
+              "Poisoned KLTs retired after a contained fault.");
+  prom_u64(out, "lpt_klts_retired_total", s.klts_retired);
+  prom_family(out, "lpt_stacks_quarantined_total", "counter",
+              "Faulted ULT stacks scrubbed and re-guarded.");
+  prom_u64(out, "lpt_stacks_quarantined_total", s.stacks_quarantined);
+  prom_family(out, "lpt_stack_near_overflows_total", "counter",
+              "Stack releases with a watermark within a page of the guard.");
+  prom_u64(out, "lpt_stack_near_overflows_total", s.stack_near_overflows);
+  prom_family(out, "lpt_stack_watermark_max_bytes", "gauge",
+              "Deepest sampled ULT stack use since startup.");
+  prom_u64(out, "lpt_stack_watermark_max_bytes", s.stack_watermark_max);
+  prom_family(out, "lpt_stack_size_bytes", "gauge",
+              "Effective default ULT stack size (after LPT_STACK_SIZE).");
+  prom_u64(out, "lpt_stack_size_bytes", s.stack_size_bytes);
+
   prom_family(out, "lpt_posix_timer_fallbacks_total", "counter",
               "Per-worker POSIX timers degraded to monitor delivery.");
   prom_u64(out, "lpt_posix_timer_fallbacks_total", s.posix_timer_fallbacks);
@@ -207,6 +239,9 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
                "lpt_watchdog_flags_total{kind=\"quantum_overrun\"} %" PRIu64
                "\n",
                s.watchdog_quantum_overrun);
+  std::fprintf(out,
+               "lpt_watchdog_flags_total{kind=\"fault_storm\"} %" PRIu64 "\n",
+               s.watchdog_fault_storm);
 
   prom_family(out, "lpt_trace_events_total", "counter",
               "Events recorded by the tracer (0 when tracing is off).");
@@ -240,6 +275,11 @@ void write_json(std::FILE* out, const Snapshot& s) {
                s.handler_deferred);
   std::fprintf(out, "    \"klt_degraded_ticks\": %" PRIu64 ",\n",
                s.klt_degraded_ticks);
+  std::fprintf(out, "    \"ult_faults\": %" PRIu64 ",\n", s.ult_faults);
+  std::fprintf(out, "    \"stack_overflows\": %" PRIu64 ",\n",
+               s.stack_overflows);
+  std::fprintf(out, "    \"escaped_exceptions\": %" PRIu64 ",\n",
+               s.escaped_exceptions);
   std::fprintf(out, "    \"tick_effectiveness\": %.6f,\n",
                s.tick_effectiveness());
   std::fprintf(out, "    \"switch_rate\": %.6f,\n", s.switch_rate());
@@ -257,8 +297,14 @@ void write_json(std::FILE* out, const Snapshot& s) {
                s.klt_pool_idle);
   std::fprintf(out,
                "  \"stacks\": {\"cached\": %" PRIu64 ", \"shed\": %" PRIu64
-               ", \"spawn_failures\": %" PRIu64 "},\n",
-               s.stacks_cached, s.stacks_shed, s.spawn_stack_failures);
+               ", \"spawn_failures\": %" PRIu64 ", \"quarantined\": %" PRIu64
+               ", \"near_overflows\": %" PRIu64 ", \"watermark_max\": %" PRIu64
+               ", \"stack_size\": %" PRIu64 "},\n",
+               s.stacks_cached, s.stacks_shed, s.spawn_stack_failures,
+               s.stacks_quarantined, s.stack_near_overflows,
+               s.stack_watermark_max, s.stack_size_bytes);
+  std::fprintf(out, "  \"faults\": {\"klts_retired\": %" PRIu64 "},\n",
+               s.klts_retired);
   std::fprintf(out,
                "  \"degradation\": {\"posix_timer_fallbacks\": %" PRIu64
                ", \"faults_injected\": %" PRIu64 "},\n",
@@ -267,9 +313,10 @@ void write_json(std::FILE* out, const Snapshot& s) {
                "  \"watchdog\": {\"checks\": %" PRIu64
                ", \"runnable_starvation\": %" PRIu64
                ", \"worker_stall\": %" PRIu64 ", \"quantum_overrun\": %" PRIu64
-               "},\n",
+               ", \"fault_storm\": %" PRIu64 "},\n",
                s.watchdog_checks, s.watchdog_runnable_starvation,
-               s.watchdog_worker_stall, s.watchdog_quantum_overrun);
+               s.watchdog_worker_stall, s.watchdog_quantum_overrun,
+               s.watchdog_fault_storm);
   std::fprintf(out,
                "  \"trace\": {\"enabled\": %s, \"events\": %" PRIu64
                ", \"dropped\": %" PRIu64 "},\n",

@@ -100,6 +100,9 @@ struct WorkerSample {
   std::uint64_t handler_entries = 0;   ///< handler hit a preemptible ULT
   std::uint64_t handler_deferred = 0;  ///< ... but a NoPreemptGuard deferred it
   std::uint64_t klt_degraded_ticks = 0;
+  std::uint64_t ult_faults = 0;          ///< ULTs terminated by fault isolation
+  std::uint64_t stack_overflows = 0;     ///< ... of which guard-page overflows
+  std::uint64_t escaped_exceptions = 0;  ///< ... of which exception-firewall hits
   std::int64_t queue_depth = 0;        ///< this worker's run-queue(s), now
   std::uint64_t time_in_state_ns[kWorkerStateCount] = {};
   std::uint8_t state = 0;              ///< WorkerState, instantaneous
@@ -124,6 +127,11 @@ struct alignas(64) WorkerMetrics {
   AtomicCounter handler_entries;    ///< written inside the preemption handler
   AtomicCounter handler_deferred;   ///< ditto (NoPreemptGuard defer path)
   AtomicCounter klt_degraded_ticks; ///< ditto (pool empty + creator saturated)
+  // -- fault isolation (docs/robustness.md); written from the SIGSEGV/SIGBUS
+  //    handler or the exception firewall, hence AtomicCounter --
+  AtomicCounter ult_faults;         ///< all fault-isolation terminations
+  AtomicCounter stack_overflows;    ///< guard-page overflows contained
+  AtomicCounter escaped_exceptions; ///< exception-firewall terminations
 
   /// Instantaneous state marker (relaxed store at transitions).
   std::atomic<std::uint8_t> state{
@@ -168,6 +176,9 @@ struct Snapshot {
   std::uint64_t handler_entries = 0;
   std::uint64_t handler_deferred = 0;
   std::uint64_t klt_degraded_ticks = 0;
+  std::uint64_t ult_faults = 0;
+  std::uint64_t stack_overflows = 0;
+  std::uint64_t escaped_exceptions = 0;
   std::int64_t run_queue_depth = 0;
 
   // -- runtime-global --
@@ -183,11 +194,19 @@ struct Snapshot {
   std::uint64_t posix_timer_fallbacks = 0;
   std::uint64_t faults_injected = 0;
 
+  // -- fault isolation (docs/robustness.md) --
+  std::uint64_t klts_retired = 0;        ///< poisoned KLTs exited after a fault
+  std::uint64_t stacks_quarantined = 0;  ///< faulted stacks scrubbed+re-guarded
+  std::uint64_t stack_near_overflows = 0;///< releases within a page of the guard
+  std::uint64_t stack_watermark_max = 0; ///< deepest stack use seen, bytes
+  std::uint64_t stack_size_bytes = 0;    ///< effective default ULT stack size
+
   // -- watchdog (runtime/watchdog.hpp) --
   std::uint64_t watchdog_checks = 0;
   std::uint64_t watchdog_runnable_starvation = 0;
   std::uint64_t watchdog_worker_stall = 0;
   std::uint64_t watchdog_quantum_overrun = 0;
+  std::uint64_t watchdog_fault_storm = 0;
 
   // -- tracer pass-through (zero when tracing is off) --
   bool trace_enabled = false;

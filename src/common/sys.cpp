@@ -140,7 +140,9 @@ bool parse_site(const std::string& v, Site* out) {
   return false;
 }
 
-int default_errno(Site s) { return s == Site::kMmap ? ENOMEM : EAGAIN; }
+int default_errno(Site s) {
+  return s == Site::kMmap || s == Site::kMprotect ? ENOMEM : EAGAIN;
+}
 
 /// One clause's parsed plan, staged before being published to a SiteState.
 struct Plan {
@@ -240,6 +242,7 @@ const char* site_name(Site s) {
     case Site::kTimerSettime: return "timer_settime";
     case Site::kMmap: return "mmap";
     case Site::kPthreadSigqueue: return "pthread_sigqueue";
+    case Site::kMprotect: return "mprotect";
     case Site::kCount: break;
   }
   return "unknown";
@@ -358,6 +361,17 @@ int pthread_sigqueue(pthread_t thread, int sig, const union sigval value) {
   const int rc = ::pthread_sigqueue(thread, sig, value);
   if (rc != 0)
     site(Site::kPthreadSigqueue).failed.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int mprotect(void* addr, std::size_t len, int prot) {
+  if (const int e = maybe_fail(Site::kMprotect)) {
+    errno = e;
+    return -1;
+  }
+  const int rc = ::mprotect(addr, len, prot);
+  if (rc != 0)
+    site(Site::kMprotect).failed.fetch_add(1, std::memory_order_relaxed);
   return rc;
 }
 

@@ -34,6 +34,7 @@ enum class Site : int {
   kTimerSettime,
   kMmap,
   kPthreadSigqueue,
+  kMprotect,
   kCount,
 };
 
@@ -66,6 +67,11 @@ void* mmap(void* addr, std::size_t length, int prot, int flags, int fd,
 /// Returns an error number (pthread style). Async-signal-safe.
 int pthread_sigqueue(pthread_t thread, int sig, const union sigval value);
 
+/// Returns -1 with errno set on failure (injected or real). Used by the
+/// stack pool to re-assert guard-page protection on cached-stack reuse
+/// (docs/robustness.md, fault isolation).
+int mprotect(void* addr, std::size_t len, int prot);
+
 // --- fault plan ------------------------------------------------------------
 //
 // Schedule syntax (the LPT_FAULT environment variable uses the same string):
@@ -73,7 +79,7 @@ int pthread_sigqueue(pthread_t thread, int sig, const union sigval value);
 //   spec    := clause (';' clause)*
 //   clause  := site ':' kv (',' kv)*
 //   site    := pthread_create | timer_create | timer_settime | mmap
-//            | pthread_sigqueue
+//            | pthread_sigqueue | mprotect
 //   kv      := nth=N      fail exactly the Nth eligible call (1-based)
 //            | first=N    fail eligible calls 1..N
 //            | every=N    fail every Nth eligible call

@@ -33,6 +33,9 @@ const char* event_name(EventType t) {
     case EventType::kTimerFallback: return "timer_fallback";
     case EventType::kStackAllocFail: return "stack_alloc_fail";
     case EventType::kWatchdogFlag: return "watchdog_flag";
+    case EventType::kUltFault: return "ult_fault";
+    case EventType::kKltRetired: return "klt_retired";
+    case EventType::kStackNearOverflow: return "stack_near_overflow";
     case EventType::kCount: break;
   }
   return "unknown";
@@ -188,6 +191,7 @@ bool closes_run_span(EventType t) {
     case EventType::kUltExit:
     case EventType::kPreemptSignalYield:
     case EventType::kPreemptKltSwitch:
+    case EventType::kUltFault:
       return true;
     default:
       return false;

@@ -64,6 +64,9 @@ enum class EventType : std::uint16_t {
   kTimerFallback,      ///< POSIX per-worker timer degraded to monitor delivery; arg0=rank
   kStackAllocFail,     ///< spawn failed recoverably: stack mmap refused after shed+retry
   kWatchdogFlag,       ///< starvation watchdog flagged; arg0=WatchdogReport::Kind, arg1=rank
+  kUltFault,           ///< fault isolation terminated a ULT; arg0=FaultKind, arg1=fault addr
+  kKltRetired,         ///< poisoned KLT retired after a contained fault; arg1=KLT trace id
+  kStackNearOverflow,  ///< released stack's watermark within a page of the guard; arg0=watermark bytes
   kCount,
 };
 

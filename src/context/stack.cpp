@@ -54,14 +54,52 @@ Stack& Stack::operator=(Stack&& other) noexcept {
   return *this;
 }
 
+bool Stack::reassert_guard() {
+  if (map_ == nullptr) return false;
+  return sys::mprotect(map_, guard_size(), PROT_NONE) == 0;
+}
+
+void Stack::scrub() {
+  if (base_ == nullptr) return;
+  (void)::madvise(base_, size_, MADV_DONTNEED);
+}
+
+std::size_t Stack::watermark() const {
+  if (base_ == nullptr) return 0;
+  const std::size_t ps = page_size();
+  const std::size_t npages = size_ / ps;
+  unsigned char vec[256];
+  // Scan upward from the bottom of the usable area; the first resident page
+  // is the deepest the stack ever grew. Cost is one mincore per 256 pages
+  // (1 MiB), and a typical run exits on the first chunk.
+  for (std::size_t i = 0; i < npages; i += sizeof(vec)) {
+    const std::size_t n = npages - i < sizeof(vec) ? npages - i : sizeof(vec);
+    if (::mincore(static_cast<char*>(base_) + i * ps, n * ps, vec) != 0)
+      return 0;
+    for (std::size_t j = 0; j < n; ++j)
+      if ((vec[j] & 1) != 0) return size_ - (i + j) * ps;
+  }
+  return 0;
+}
+
 Stack StackPool::acquire() {
-  {
-    SpinlockGuard g(lock_);
-    if (!free_.empty()) {
-      Stack s = std::move(free_.back());
+  for (;;) {
+    Stack s;
+    {
+      SpinlockGuard g(lock_);
+      if (free_.empty()) break;
+      s = std::move(free_.back());
       free_.pop_back();
-      return s;
     }
+    // A faulted or buggy former tenant could have left the guard writable;
+    // never hand out a cached stack without PROT_NONE re-asserted below it.
+    if (!s.reassert_guard()) {
+      SpinlockGuard g(lock_);
+      ++shed_;  // dropped: s unmaps on scope exit
+      continue;
+    }
+    if (scrub_on_reuse_) s.scrub();
+    return s;
   }
   return Stack(stack_size_);
 }
@@ -96,6 +134,25 @@ void StackPool::release(Stack&& s) {
   }
 }
 
+void StackPool::quarantine(Stack&& s) {
+  LPT_CHECK(s.valid());
+  // The faulting ULT's frames are garbage and the guard may have been the
+  // fault target: return the pages to the kernel and re-protect before this
+  // stack can host another ULT. An unprotectable guard means the mapping is
+  // not trustworthy — drop it.
+  s.scrub();
+  const bool guard_ok = s.reassert_guard();
+  {
+    SpinlockGuard g(lock_);
+    ++quarantined_;
+    if (guard_ok && free_.size() < max_cached_) {
+      free_.push_back(std::move(s));
+      return;
+    }
+    ++shed_;
+  }
+}
+
 std::size_t StackPool::shed_all() {
   std::vector<Stack> drop;
   {
@@ -114,6 +171,11 @@ std::size_t StackPool::cached() const {
 std::uint64_t StackPool::total_shed() const {
   SpinlockGuard g(lock_);
   return shed_;
+}
+
+std::uint64_t StackPool::total_quarantined() const {
+  SpinlockGuard g(lock_);
+  return quarantined_;
 }
 
 }  // namespace lpt

@@ -35,6 +35,29 @@ class Stack {
   /// Lowest usable address (just above the guard page).
   void* base() const { return base_; }
   std::size_t size() const { return size_; }
+  /// Guard page (lowest page of the mapping, PROT_NONE).
+  void* guard() const { return map_; }
+  std::size_t guard_size() const { return map_size_ - size_; }
+  /// True when addr falls inside the guard page — the signature of a stack
+  /// overflow. Async-signal-safe (plain loads).
+  bool in_guard(std::uintptr_t addr) const {
+    const std::uintptr_t g = reinterpret_cast<std::uintptr_t>(map_);
+    return map_ != nullptr && addr >= g && addr - g < guard_size();
+  }
+
+  /// Re-apply PROT_NONE to the guard page (through the sys shim, so LPT_FAULT
+  /// can exercise the failure path). Returns false with errno set on failure;
+  /// callers must then drop the stack rather than hand it out.
+  bool reassert_guard();
+  /// Return the usable region's pages to the kernel (madvise MADV_DONTNEED).
+  /// Best-effort: scrubbing is advisory and failure is ignored.
+  void scrub();
+  /// High-water mark of stack usage in bytes, at page granularity: distance
+  /// from the top of the stack down to the lowest page the kernel has ever
+  /// populated (mincore scan from the bottom). 0 when nothing was touched or
+  /// the scan fails. Pool-reused stacks that were not scrubbed report the
+  /// high-water mark across all their tenants.
+  std::size_t watermark() const;
 
  private:
   void* map_ = nullptr;        // includes guard page
@@ -48,8 +71,14 @@ class Stack {
 /// in total_shed()).
 class StackPool {
  public:
-  explicit StackPool(std::size_t stack_size, std::size_t max_cached = 64)
-      : stack_size_(stack_size), max_cached_(max_cached) {}
+  /// scrub_on_reuse: madvise the usable region back to the kernel every time
+  /// a cached stack is handed out (LPT_STACK_SCRUB) — makes watermark()
+  /// per-tenant accurate at the cost of re-faulting pages in.
+  explicit StackPool(std::size_t stack_size, std::size_t max_cached = 64,
+                     bool scrub_on_reuse = false)
+      : stack_size_(stack_size),
+        max_cached_(max_cached),
+        scrub_on_reuse_(scrub_on_reuse) {}
 
   /// Pop a cached stack or map a fresh one. May return an invalid Stack on
   /// allocation failure; prefer try_acquire for an errno-carrying variant.
@@ -64,6 +93,12 @@ class StackPool {
   /// Dropped (munmap'd) instead of cached once the free list is at capacity.
   void release(Stack&& s);
 
+  /// Return the stack of a *faulted* ULT: always scrubs the usable region and
+  /// re-asserts guard protection before the stack can be reused, and drops it
+  /// entirely if the guard cannot be re-protected. Counted in
+  /// total_quarantined().
+  void quarantine(Stack&& s);
+
   /// Drop every cached stack now; returns how many were freed. Used by the
   /// spawn path to claw back address space before retrying an allocation.
   std::size_t shed_all();
@@ -71,15 +106,19 @@ class StackPool {
   std::size_t stack_size() const { return stack_size_; }
   std::size_t max_cached() const { return max_cached_; }
   std::size_t cached() const;
-  /// Cumulative stacks dropped (cap overflow + shed_all).
+  /// Cumulative stacks dropped (cap overflow + shed_all + failed re-protect).
   std::uint64_t total_shed() const;
+  /// Cumulative faulted stacks routed through quarantine().
+  std::uint64_t total_quarantined() const;
 
  private:
   std::size_t stack_size_;
   std::size_t max_cached_;
+  bool scrub_on_reuse_;
   mutable Spinlock lock_;
   std::vector<Stack> free_;
-  std::uint64_t shed_ = 0;  // guarded by lock_
+  std::uint64_t shed_ = 0;         // guarded by lock_
+  std::uint64_t quarantined_ = 0;  // guarded by lock_
 };
 
 }  // namespace lpt

@@ -67,10 +67,13 @@ int thread_create(thread_t* out, const thread_attr_t* attr,
 int thread_join(thread_t t, void** retval) {
   auto* ctl = static_cast<CompatCtl*>(t.ctl);
   if (ctl == nullptr || ctl->detached || !ctl->thread.joinable()) return EINVAL;
-  ctl->thread.join();
-  if (retval != nullptr) *retval = ctl->retval;
+  const ThreadStatus st = ctl->thread.join_status();
+  const bool failed = st.failed();
+  if (!failed && retval != nullptr) *retval = ctl->retval;
   delete ctl;
-  return 0;
+  // No pthread error fits "the thread was killed by the runtime"; EFAULT is
+  // the closest honest mapping for a fault-terminated thread.
+  return failed ? EFAULT : 0;
 }
 
 int thread_detach(thread_t t) {

@@ -36,7 +36,10 @@ int thread_create(thread_t* out, const thread_attr_t* attr,
                   void* (*start_routine)(void*), void* arg);
 
 /// pthread_join analogue; *retval (if non-null) receives the start routine's
-/// return value. Returns 0, EINVAL for a null/detached handle.
+/// return value. Returns 0, EINVAL for a null/detached handle, or EFAULT when
+/// fault isolation terminated the thread (stack overflow, contained SEGV/BUS,
+/// escaped exception) — *retval is then left untouched, since the start
+/// routine never returned one.
 int thread_join(thread_t t, void** retval);
 
 /// pthread_detach analogue: the handle becomes unusable, resources are

@@ -1,0 +1,58 @@
+// Fault isolation (docs/robustness.md): sigaltstack-based SIGSEGV/SIGBUS
+// handling that turns a ULT's stack overflow (or, under isolate_faults, any
+// synchronous fault in ULT context) into a Failed thread status instead of a
+// process crash. The recovery mechanism is the paper's signal-yield trick
+// (§3.1.1) applied to synchronous signals: the handler abandons the faulting
+// context and jumps straight into the worker's scheduler context, which
+// quarantines the stack and wakes joiners.
+//
+// Faults outside ULT context — scheduler stacks, runtime helper threads,
+// application kernel threads — are never contained: the handler re-installs
+// whatever disposition was active before the runtime started and returns, so
+// the re-executed instruction crashes the process through the original
+// handler (or the default core dump) with the fault state intact.
+//
+// Sanitizer builds: ASan/TSan install their own SEGV handlers and shadow the
+// stack region; containment is compiled to a no-op there (available() ==
+// false) and the runtime behaves as if fault_isolation were off.
+#pragma once
+
+#include <cstddef>
+
+namespace lpt {
+class Runtime;
+struct KltCtl;
+}  // namespace lpt
+
+namespace lpt::fault {
+
+/// Alt-stack bytes per KLT. Generous: the handler itself is shallow, but it
+/// must absorb the signal frame (large with AVX-512 state) plus the jump
+/// into scheduler context.
+inline constexpr std::size_t kAltStackSize = 64 * 1024;
+
+/// True when SEGV/BUS containment can actually engage in this build (not a
+/// sanitizer build) AND a runtime has it installed. Tests use this to skip
+/// containment assertions under ASan/TSan.
+bool available();
+
+/// Install the SIGSEGV/SIGBUS handlers, saving the previous dispositions for
+/// chaining. Called once per Runtime construction (no-op when already
+/// installed, in sanitizer builds, and under fault_isolation == false).
+void install(Runtime& rt);
+
+/// Restore the pre-install dispositions (Runtime destruction).
+void restore();
+
+/// Allocate and register this KLT's sigaltstack (owned by *k, freed with it).
+/// Called from klt_main on every runtime-managed kernel thread; no-op when
+/// containment is not installed.
+void register_alt_stack(KltCtl* k);
+
+/// Re-enable SIGSEGV/SIGBUS on the calling KLT. The containment path leaves
+/// the handler without sigreturn (it jumps into scheduler context), so the
+/// kernel-blocked fault signals must be unblocked explicitly — same protocol
+/// as signals::unblock_preempt() after a signal-yield preemption.
+void unblock_fault_signals();
+
+}  // namespace lpt::fault

@@ -39,6 +39,11 @@ void suspend_block(ThreadCtl* self, Spinlock* sl, Mutex* m);
 /// Terminate the current ULT (no save; the scheduler recycles the stack).
 [[noreturn]] void suspend_exit(ThreadCtl* self);
 
+/// Terminate the current ULT as Failed (exception firewall path; self->fault
+/// must already be filled in). The scheduler quarantines the stack and wakes
+/// joiners with the failure record.
+[[noreturn]] void suspend_fail(ThreadCtl* self);
+
 // --- preemption-handler bodies (called from the signal handler) ------------
 
 /// Signal-yield (§3.1.1): switch to the scheduler from inside the handler.

@@ -69,6 +69,11 @@ struct KltCtl : TreiberNode {
 
   /// Trace ring id of this KLT (labels its export track); -1 when untraced.
   int trace_id = -1;
+
+  /// sigaltstack buffer for the fault-isolation SIGSEGV/SIGBUS handler (the
+  /// faulting ULT's own stack may be the unusable thing being reported).
+  /// Registered by klt_main, freed after the pthread is joined.
+  std::unique_ptr<char[]> alt_stack;
 };
 
 /// Global + worker-local pools of idle KLTs. try_pop/push are lock-free and

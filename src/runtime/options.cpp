@@ -1,0 +1,65 @@
+// Environment overlay for RuntimeOptions (docs/robustness.md). Keep the
+// parsing forgiving-but-loud: a malformed knob is reported to stderr and
+// ignored rather than aborting startup, matching load_env_faults().
+#include "runtime/options.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace lpt {
+
+namespace {
+
+bool env_flag(const char* name, bool fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return fallback;
+  return !(std::strcmp(v, "0") == 0 || std::strcmp(v, "off") == 0 ||
+           std::strcmp(v, "false") == 0);
+}
+
+/// Parse "262144", "256K", "1M" (case-insensitive suffix). Returns false on
+/// anything else, including trailing junk and zero.
+bool parse_size(const char* v, std::size_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long x = std::strtoull(v, &end, 10);
+  if (errno != 0 || end == v) return false;
+  std::size_t mult = 1;
+  if (*end == 'k' || *end == 'K') {
+    mult = 1024;
+    ++end;
+  } else if (*end == 'm' || *end == 'M') {
+    mult = 1024 * 1024;
+    ++end;
+  }
+  if (*end != '\0' || x == 0 || x > (1ull << 40) / mult) return false;
+  *out = static_cast<std::size_t>(x) * mult;
+  return true;
+}
+
+}  // namespace
+
+RuntimeOptions resolve_env_options(RuntimeOptions o) {
+  if (const char* v = std::getenv("LPT_STACK_SIZE"); v != nullptr && v[0] != '\0') {
+    std::size_t bytes = 0;
+    if (!parse_size(v, &bytes)) {
+      std::fprintf(stderr, "lpt: ignoring malformed LPT_STACK_SIZE='%s'\n", v);
+    } else {
+      o.stack_size = bytes;
+    }
+  }
+  if (o.stack_size < kMinStackSize) o.stack_size = kMinStackSize;
+  const std::size_t ps = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  o.stack_size = (o.stack_size + ps - 1) / ps * ps;
+
+  o.fault_isolation = env_flag("LPT_FAULT_ISOLATION", o.fault_isolation);
+  o.isolate_faults = env_flag("LPT_ISOLATE_FAULTS", o.isolate_faults);
+  o.stack_scrub = env_flag("LPT_STACK_SCRUB", o.stack_scrub);
+  return o;
+}
+
+}  // namespace lpt

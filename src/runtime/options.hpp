@@ -120,7 +120,45 @@ struct RuntimeOptions {
   /// Called (from the watchdog's driver thread) once per flag episode. When
   /// unset, the watchdog prints a rate-limited report to stderr instead.
   std::function<void(const WatchdogReport&)> watchdog_callback;
+  /// Flag a worker that terminated this many faulting ULTs within one
+  /// watchdog period (kFaultStorm: an application bug is burning workers on
+  /// crash-and-restart churn). 0 disables the check.
+  int watchdog_fault_storm = 4;
+
+  // ----- fault isolation (docs/robustness.md) -----
+
+  /// Master switch for the fault-isolation subsystem (LPT_FAULT_ISOLATION=0
+  /// disables). When on, the runtime installs sigaltstack-based SIGSEGV /
+  /// SIGBUS handlers that terminate a ULT overflowing into its stack guard
+  /// page with ThreadStatus Failed(kStackOverflow) instead of crashing the
+  /// process, and ULT entry gets an exception firewall (escaped exceptions
+  /// become Failed(kException)). Faults outside ULT context always chain to
+  /// the previously-installed handler and crash normally. Forced off in
+  /// sanitizer builds (sanitizers own the SEGV handler).
+  bool fault_isolation = true;
+  /// Also contain SIGSEGV/SIGBUS faults that are *not* stack overflows when
+  /// they hit inside ULT context (LPT_ISOLATE_FAULTS=1). Off by default:
+  /// a wild store may have corrupted shared state, so the conservative
+  /// default only contains overflows, whose blast radius is provably the
+  /// guard page.
+  bool isolate_faults = false;
+  /// madvise(MADV_DONTNEED) a cached stack's usable region every time the
+  /// pool hands it out (LPT_STACK_SCRUB=1): per-tenant-accurate stack
+  /// watermarks and no data leakage between ULTs, at the cost of re-faulting
+  /// pages on reuse.
+  bool stack_scrub = false;
 };
+
+/// Overlay environment knobs onto `o` and enforce invariants; called once by
+/// the Runtime constructor. LPT_STACK_SIZE (bytes, optional K/M suffix) is
+/// validated, page-rounded, and clamped to a sane minimum; malformed values
+/// are reported to stderr and ignored. Also applies LPT_FAULT_ISOLATION,
+/// LPT_ISOLATE_FAULTS, and LPT_STACK_SCRUB.
+RuntimeOptions resolve_env_options(RuntimeOptions o);
+
+/// Smallest stack resolve_env_options will accept (LPT_STACK_SIZE below this
+/// is raised to it): enough for the trampoline + a couple of frames.
+inline constexpr std::size_t kMinStackSize = 16 * 1024;
 
 /// Per-thread spawn attributes.
 struct ThreadAttrs {

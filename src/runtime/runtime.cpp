@@ -13,6 +13,7 @@
 #include "common/assert.hpp"
 #include "common/sys.hpp"
 #include "common/time.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/signals.hpp"
@@ -41,19 +42,36 @@ void scheduler_trampoline(void* arg) {
   LPT_CHECK_MSG(false, "scheduler_loop returned");
 }
 
-/// Entry of every ULT context.
+/// Entry of every ULT context. The try block is the exception firewall
+/// (docs/robustness.md): an exception escaping the thread function would
+/// std::terminate the whole process from a context no handler owns, so it is
+/// converted into a Failed thread status instead, symmetrical with fault
+/// containment. Unlike a SEGV, the stack unwinds normally here — destructors
+/// of the ULT's frames do run.
 void thread_trampoline(void* arg) {
   auto* t = static_cast<ThreadCtl*>(arg);
   detail::mark_in_ult();
-  t->fn();
+  try {
+    t->fn();
+  } catch (const std::exception& e) {
+    t->fault.kind = FaultKind::kException;
+    std::strncpy(t->fault.what, e.what(), sizeof(t->fault.what) - 1);
+    detail::suspend_fail(t);
+  } catch (...) {
+    t->fault.kind = FaultKind::kException;
+    std::strncpy(t->fault.what, "non-std exception",
+                 sizeof(t->fault.what) - 1);
+    detail::suspend_fail(t);
+  }
   detail::suspend_exit(t);
 }
 
 }  // namespace
 
 Runtime::Runtime(RuntimeOptions opts)
-    : opts_(std::move(opts)),
-      stack_pool_(opts_.stack_size, opts_.max_cached_stacks) {
+    : opts_(resolve_env_options(std::move(opts))),
+      stack_pool_(opts_.stack_size, opts_.max_cached_stacks,
+                  opts_.stack_scrub) {
   LPT_CHECK(opts_.num_workers >= 1);
   LPT_CHECK(opts_.interval_us >= 1);
   LPT_CHECK_MSG(opts_.max_klts == 0 || opts_.max_klts >= opts_.num_workers,
@@ -67,6 +85,7 @@ Runtime::Runtime(RuntimeOptions opts)
                 "only one lpt::Runtime may be active per process");
 
   signals::install_handlers();
+  fault::install(*this);
 
   // Arm the tracer before any runtime thread exists so every thread can
   // acquire its ring at startup (recording itself never allocates).
@@ -198,6 +217,7 @@ Runtime::~Runtime() {
     trace::Collector::instance().disable();
   }
 
+  fault::restore();
   detail::runtime_slot().store(nullptr, std::memory_order_release);
 }
 
@@ -234,6 +254,7 @@ void Runtime::klt_main(KltCtl* self) {
   tls->trace_ring =
       trace::Collector::instance().acquire_ring(trace::TrackKind::kWorkerKlt, -1);
   if (tls->trace_ring != nullptr) self->trace_id = tls->trace_ring->id();
+  fault::register_alt_stack(self);
   signals::block_runtime_signals();
   signals::unblock_preempt();
 
@@ -402,6 +423,13 @@ metrics::Snapshot Runtime::metrics_snapshot() const {
   s.posix_timer_fallbacks = n_timer_fallbacks_.load(std::memory_order_relaxed);
   s.faults_injected = sys::total_injected();
 
+  s.klts_retired = n_klts_retired_.value();
+  s.stacks_quarantined = stack_pool_.total_quarantined();
+  s.stack_near_overflows =
+      n_stack_near_overflow_.load(std::memory_order_relaxed);
+  s.stack_watermark_max = stack_watermark_max_.load(std::memory_order_relaxed);
+  s.stack_size_bytes = stack_pool_.stack_size();
+
   s.watchdog_checks = watchdog_.checks();
   s.watchdog_runnable_starvation =
       watchdog_.flagged(WatchdogReport::Kind::kRunnableStarvation);
@@ -409,6 +437,8 @@ metrics::Snapshot Runtime::metrics_snapshot() const {
       watchdog_.flagged(WatchdogReport::Kind::kWorkerStall);
   s.watchdog_quantum_overrun =
       watchdog_.flagged(WatchdogReport::Kind::kQuantumOverrun);
+  s.watchdog_fault_storm =
+      watchdog_.flagged(WatchdogReport::Kind::kFaultStorm);
 
   s.trace_enabled = trace_cfg_.enabled;
   if (trace_cfg_.enabled) {
@@ -464,6 +494,13 @@ Runtime::Stats Runtime::stats() const {
   s.stacks_cached = m.stacks_cached;
   s.stacks_shed = m.stacks_shed;
   s.faults_injected = m.faults_injected;
+  s.ult_faults = m.ult_faults;
+  s.stack_overflows = m.stack_overflows;
+  s.escaped_exceptions = m.escaped_exceptions;
+  s.klts_retired = m.klts_retired;
+  s.stacks_quarantined = m.stacks_quarantined;
+  s.stack_near_overflows = m.stack_near_overflows;
+  s.stack_watermark_max = m.stack_watermark_max;
   s.trace_enabled = m.trace_enabled;
   s.trace_events = m.trace_events;
   s.trace_dropped = m.trace_dropped;
@@ -498,7 +535,8 @@ void Runtime::print_trace_summary(std::FILE* out) const {
   // runtime. Printed only when something actually degraded.
   if (s.klt_degraded_ticks > 0 || s.klt_create_failures > 0 ||
       s.posix_timer_fallbacks > 0 || s.spawn_stack_failures > 0 ||
-      s.stacks_shed > 0 || s.faults_injected > 0) {
+      s.stacks_shed > 0 || s.faults_injected > 0 || s.ult_faults > 0 ||
+      s.klts_retired > 0) {
     std::fprintf(out, "degradation:\n");
     auto count_line = [&](const char* name, std::uint64_t v) {
       if (v > 0)
@@ -511,6 +549,11 @@ void Runtime::print_trace_summary(std::FILE* out) const {
     count_line("spawn stack failures", s.spawn_stack_failures);
     count_line("stacks shed", s.stacks_shed);
     count_line("faults injected", s.faults_injected);
+    count_line("ult faults contained", s.ult_faults);
+    count_line("stack overflows", s.stack_overflows);
+    count_line("escaped exceptions", s.escaped_exceptions);
+    count_line("klts retired", s.klts_retired);
+    count_line("stacks quarantined", s.stacks_quarantined);
   }
 }
 
@@ -535,6 +578,16 @@ void Runtime::idle_wait(std::uint32_t seen_seq) {
   futex_wait_timeout(&work_seq_, seen_seq, 1'000'000 /* 1 ms */);
 }
 
+namespace {
+
+/// Page-rounded pool stack size, for "is this stack recyclable" checks.
+std::size_t pooled_stack_size(const StackPool& pool) {
+  const std::size_t page = 4096;
+  return (pool.stack_size() + page - 1) / page * page;
+}
+
+}  // namespace
+
 void Runtime::finalize_thread(ThreadCtl* t) {
   LPT_CHECK(t->load_state() == ThreadState::kFinished);
   t->fn = nullptr;  // release captures in scheduler context
@@ -542,12 +595,50 @@ void Runtime::finalize_thread(ThreadCtl* t) {
 
   // Recycle default-sized stacks through the pool (sizes are page-rounded,
   // so compare against the rounded pool size).
-  const std::size_t page = 4096;
-  const std::size_t pooled = (stack_pool_.stack_size() + page - 1) / page * page;
-  if (t->stack.valid() && t->stack.size() == pooled) {
+  if (t->stack.valid() && t->stack.size() == pooled_stack_size(stack_pool_)) {
     stack_pool_.release(std::move(t->stack));
   }
 
+  publish_done_and_wake(t);
+}
+
+void Runtime::finalize_failed_thread(ThreadCtl* t) {
+  LPT_CHECK(t->load_state() == ThreadState::kFailed);
+  t->fn = nullptr;
+  n_live_ults_.sub(1);
+
+  if (t->stack.valid()) {
+    // Sample how deep the thread actually got before it died (resident pages
+    // via mincore) — published to joiners through FaultInfo and folded into
+    // the runtime-wide high-water mark. A watermark within one page of the
+    // guard means a near-overflow even when the fault was something else.
+    const std::size_t wm = t->stack.watermark();
+    t->fault.stack_watermark = wm;
+    std::uint64_t seen = stack_watermark_max_.load(std::memory_order_relaxed);
+    while (wm > seen && !stack_watermark_max_.compare_exchange_weak(
+                            seen, wm, std::memory_order_relaxed))
+      ;
+    const std::size_t page = 4096;
+    if (wm + page >= t->stack.size() &&
+        t->fault.kind != FaultKind::kStackOverflow) {
+      n_stack_near_overflow_.fetch_add(1, std::memory_order_relaxed);
+      LPT_TRACE_EVENT(trace::EventType::kStackNearOverflow, t->trace_id,
+                      static_cast<std::uint64_t>(wm));
+    }
+
+    // A failed thread's stack never goes straight back to the free list:
+    // quarantine scrubs it and re-asserts the guard mapping (an overflow may
+    // have been *through* a guard the kernel already reported once), shedding
+    // the stack entirely if the guard cannot be re-established.
+    if (t->stack.size() == pooled_stack_size(stack_pool_)) {
+      stack_pool_.quarantine(std::move(t->stack));
+    }
+  }
+
+  publish_done_and_wake(t);
+}
+
+void Runtime::publish_done_and_wake(ThreadCtl* t) {
   // Everything dereferencing t must happen before the done flag is
   // published: an external joiner may return from futex_wait and delete the
   // control block the instant done != 0.
@@ -575,6 +666,17 @@ void Runtime::finalize_thread(ThreadCtl* t) {
 // Thread handle
 // ---------------------------------------------------------------------------
 
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kStackOverflow: return "stack_overflow";
+    case FaultKind::kSegv: return "segv";
+    case FaultKind::kBus: return "bus";
+    case FaultKind::kException: return "exception";
+  }
+  return "?";
+}
+
 Thread::~Thread() {
   if (ctl_ != nullptr) join();
 }
@@ -593,8 +695,13 @@ std::uint64_t Thread::preemptions() const {
   return ctl_->preemptions.load(std::memory_order_relaxed);
 }
 
-void Thread::join() {
-  LPT_CHECK_MSG(ctl_ != nullptr, "join on empty Thread handle");
+void Thread::join() { (void)join_status(); }
+
+ThreadStatus Thread::join_status() {
+  // Joining an empty or already-joined handle is a benign no-op (status
+  // reads completed == false): spawn failure hands out empty handles, and
+  // fault-handling code paths may join defensively.
+  if (ctl_ == nullptr) return ThreadStatus{};
   ThreadCtl* t = ctl_;
 
   ThreadCtl* self = detail::current_ult_or_null();
@@ -617,8 +724,14 @@ void Thread::join() {
     while (t->done.load(std::memory_order_acquire) == 0) futex_wait(&t->done, 0);
   }
 
+  // The done store published t->fault (release/acquire pair above); copy it
+  // out before the control block goes away.
+  ThreadStatus st;
+  st.completed = true;
+  st.fault = t->fault;
   delete t;
   ctl_ = nullptr;
+  return st;
 }
 
 // ---------------------------------------------------------------------------

@@ -111,6 +111,15 @@ class Runtime {
     std::uint64_t stacks_shed = 0;           ///< stacks dropped (cap/shed), ever
     std::uint64_t faults_injected = 0;       ///< LPT_FAULT injections (all sites)
 
+    // -- fault isolation (docs/robustness.md) --
+    std::uint64_t ult_faults = 0;            ///< ULTs terminated kFailed, ever
+    std::uint64_t stack_overflows = 0;       ///< ... by guard-page overflow
+    std::uint64_t escaped_exceptions = 0;    ///< ... by the exception firewall
+    std::uint64_t klts_retired = 0;          ///< poisoned KLTs exited, ever
+    std::uint64_t stacks_quarantined = 0;    ///< failed-ULT stacks re-guarded
+    std::uint64_t stack_near_overflows = 0;  ///< watermark within a page of guard
+    std::uint64_t stack_watermark_max = 0;   ///< deepest sampled stack use, bytes
+
     // -- tracer results (all zero when tracing is off) --
     bool trace_enabled = false;
     std::uint64_t trace_events = 0;   ///< committed across all rings
@@ -200,11 +209,23 @@ class Runtime {
   /// control block if detached. Called by the scheduler after the exit switch.
   void finalize_thread(ThreadCtl* t);
 
+  /// Finalize a kFailed thread (fault isolation): sample the stack watermark
+  /// into t->fault, quarantine the stack instead of pooling it directly, then
+  /// wake joiners like finalize_thread. Called from the kFault post action.
+  void finalize_failed_thread(ThreadCtl* t);
+
+  /// Count a poisoned KLT retired by the fault handler. Async-signal-safe
+  /// (called from the SIGSEGV handler before the KLT exits).
+  void note_klt_retired() { n_klts_retired_.add(1); }
+
  private:
   friend struct Worker;
   static void* klt_entry(void* arg);
   void klt_main(KltCtl* self);
   ThreadCtl* spawn_ctl(std::function<void()> fn, ThreadAttrs attrs, bool detached);
+  /// Shared tail of finalize_thread/finalize_failed_thread: publish done,
+  /// wake joiners, free detached control blocks.
+  void publish_done_and_wake(ThreadCtl* t);
 
   RuntimeOptions opts_;
   trace::TraceConfig trace_cfg_;  ///< options.trace resolved against env
@@ -232,6 +253,11 @@ class Runtime {
 
   std::atomic<std::uint64_t> n_spawn_stack_fail_{0};
   std::atomic<std::uint64_t> n_timer_fallbacks_{0};
+
+  // -- fault isolation (docs/robustness.md) --
+  metrics::AtomicCounter n_klts_retired_;        ///< written from the handler
+  std::atomic<std::uint64_t> n_stack_near_overflow_{0};
+  std::atomic<std::uint64_t> stack_watermark_max_{0};  ///< CAS-max on release
 
   /// Watchdog + metrics publisher (runtime/watchdog.hpp). Declared after
   /// workers_/sched_ and stopped before them in the destructor.

@@ -22,6 +22,36 @@ enum class ThreadState : std::uint32_t {
   kRunning,  ///< executing on some worker
   kBlocked,  ///< suspended on a sync primitive or join
   kFinished, ///< thread function returned
+  kFailed,   ///< terminated by the fault-isolation subsystem
+};
+
+/// Why a ULT was terminated by fault isolation (docs/robustness.md).
+enum class FaultKind : std::uint8_t {
+  kNone = 0,        ///< completed normally
+  kStackOverflow,   ///< faulted into its stack's guard page
+  kSegv,            ///< other SIGSEGV, contained under isolate_faults
+  kBus,             ///< SIGBUS, contained under isolate_faults
+  kException,       ///< C++ exception escaped the thread function
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Failure record for a ULT terminated by fault isolation. Written before
+/// the thread's completion flag is published, so joiners read it race-free.
+struct FaultInfo {
+  FaultKind kind = FaultKind::kNone;
+  std::uintptr_t fault_addr = 0;    ///< si_addr for signal faults
+  std::size_t stack_watermark = 0;  ///< bytes of stack used (page granularity)
+  char what[64] = {};               ///< exception message (kException)
+};
+
+/// Completion report returned by Thread::join_status().
+struct ThreadStatus {
+  /// False when the handle was empty / already joined (no thread was waited
+  /// on); the remaining fields are then meaningless.
+  bool completed = false;
+  FaultInfo fault;
+  bool failed() const { return fault.kind != FaultKind::kNone; }
 };
 
 /// Internal per-ULT control block. Owned by the Thread handle (joinable
@@ -66,6 +96,11 @@ struct ThreadCtl {
   /// exit turns it into a voluntary yield.
   volatile bool preempt_pending = false;
 
+  /// Failure record (fault isolation). Written by the fault handler or the
+  /// exception firewall while the thread is current on one worker, published
+  /// to joiners by the `done` store.
+  FaultInfo fault;
+
   ThreadState load_state() const {
     return static_cast<ThreadState>(state.load(std::memory_order_acquire));
   }
@@ -90,8 +125,16 @@ class Thread {
   bool joinable() const { return ctl_ != nullptr; }
 
   /// Wait for completion. Callable from a ULT (blocks cooperatively) or from
-  /// any external kernel thread (blocks on a futex).
+  /// any external kernel thread (blocks on a futex). Joining an empty or
+  /// already-joined handle is a benign no-op — double-join is defined
+  /// behavior, unlike std::thread (see runtime_edge_test.cpp).
   void join();
+
+  /// join() that also reports how the thread ended: status.completed is true
+  /// when a real thread was joined, and status.fault carries the failure
+  /// record when fault isolation terminated it (stack overflow, contained
+  /// SEGV/BUS, escaped exception).
+  ThreadStatus join_status();
 
   /// Times the thread was implicitly preempted so far.
   std::uint64_t preemptions() const;

@@ -19,6 +19,8 @@ const char* watchdog_kind_name(WatchdogReport::Kind k) {
       return "worker_stall";
     case WatchdogReport::Kind::kQuantumOverrun:
       return "quantum_overrun";
+    case WatchdogReport::Kind::kFaultStorm:
+      return "fault_storm";
   }
   return "?";
 }
@@ -37,6 +39,7 @@ unsigned evaluate_worker(const WorkerObs& obs, const WatchdogLimits& limits,
     w.ticks_at_entry_change = obs.ticks_sent;
     w.depth_zero = obs.queue_depth <= 0;
     w.depth_nonzero_ns = obs.now_ns;
+    w.ult_faults = obs.ult_faults;
     return 0;
   }
 
@@ -103,6 +106,21 @@ unsigned evaluate_worker(const WorkerObs& obs, const WatchdogLimits& limits,
     w.overrun_flagged = true;
     flags |= kFlagQuantumOverrun;
   }
+
+  // (d) Fault storm: fault isolation terminated storm_faults or more ULTs on
+  // this worker within one poll period. Unlike the other checks this is a
+  // *rate* judgment on a counter delta — containment keeps the process up,
+  // the watchdog makes sure a systemic failure cannot hide behind it. The
+  // episode latch clears on any fault-free poll.
+  const std::uint64_t new_faults = obs.ult_faults - w.ult_faults;
+  w.ult_faults = obs.ult_faults;
+  if (new_faults == 0) {
+    w.storm_flagged = false;
+  } else if (limits.storm_faults > 0 && new_faults >= limits.storm_faults &&
+             !w.storm_flagged) {
+    w.storm_flagged = true;
+    flags |= kFlagFaultStorm;
+  }
   return flags;
 }
 
@@ -125,6 +143,10 @@ void Watchdog::start(Runtime& rt, bool own_thread) {
   limits_.stall_ticks = timer_armed && o.watchdog_stall_ticks > 0
                             ? static_cast<std::uint64_t>(o.watchdog_stall_ticks)
                             : 0;
+  limits_.storm_faults =
+      o.watchdog_fault_storm > 0
+          ? static_cast<std::uint64_t>(o.watchdog_fault_storm)
+          : 0;
   watch_.assign(static_cast<std::size_t>(rt.num_workers()), WorkerWatch{});
   checks_.store(0, std::memory_order_relaxed);
   for (auto& f : flags_) f.store(0, std::memory_order_relaxed);
@@ -187,6 +209,7 @@ void Watchdog::poll(std::int64_t now) {
     obs.ticks_sent = w.metrics.ticks_sent.value();
     obs.handler_entries = w.metrics.handler_entries.value();
     obs.queue_depth = rt_->scheduler().queue_depth(r);
+    obs.ult_faults = w.metrics.ult_faults.value();
     // A worker with no host KLT yet (startup) is as unjudgeable as a
     // packing-parked one.
     obs.parked = w.parked.load(std::memory_order_relaxed) ||
@@ -222,6 +245,14 @@ void Watchdog::poll(std::int64_t now) {
       rep.kind = WatchdogReport::Kind::kQuantumOverrun;
       rep.worker = r;
       rep.age_ns = frozen_ns;
+      rep.queue_depth = obs.queue_depth;
+      report(rep);
+    }
+    if (flags & kFlagFaultStorm) {
+      WatchdogReport rep;
+      rep.kind = WatchdogReport::Kind::kFaultStorm;
+      rep.worker = r;
+      rep.age_ns = period_ns_;
       rep.queue_depth = obs.queue_depth;
       report(rep);
     }

@@ -16,6 +16,11 @@
 //   kQuantumOverrun      a preemptible ULT has monopolized its worker for
 //                        watchdog_quantum_factor quanta — preemption is
 //                        firing but not bounding runtime.
+//   kFaultStorm          fault isolation terminated watchdog_fault_storm or
+//                        more ULTs on one worker within a single poll period
+//                        — containment is masking a systemic failure (bad
+//                        workload, corrupted shared state) rather than an
+//                        isolated bug.
 //
 // Detection is a pure function over counter *progress* (evaluate_worker):
 // no per-dispatch timestamps, no hot-path clock reads, and no dereference
@@ -48,6 +53,7 @@ struct WatchdogReport {
     kRunnableStarvation = 0,
     kWorkerStall = 1,
     kQuantumOverrun = 2,
+    kFaultStorm = 3,
   };
   Kind kind;
   int worker = -1;
@@ -64,6 +70,7 @@ struct WatchdogLimits {
   std::int64_t runnable_ns = 0;
   std::int64_t quantum_ns = 0;   ///< 0 when no preemption timer is armed
   std::uint64_t stall_ticks = 0; ///< 0 when ticks_sent never advances
+  std::uint64_t storm_faults = 0; ///< contained faults per poll period; 0 = off
 };
 
 /// One worker's observable facts at poll time, as seen by the watchdog.
@@ -73,6 +80,7 @@ struct WorkerObs {
   std::uint64_t ticks_sent = 0;
   std::uint64_t handler_entries = 0;
   std::int64_t queue_depth = 0;
+  std::uint64_t ult_faults = 0;     ///< fault-isolation terminations, ever
   bool parked = false;              ///< packing-parked or not yet started
   bool preemptible_running = false; ///< current ULT has Preempt != None
 };
@@ -88,14 +96,17 @@ struct WorkerWatch {
   std::uint64_t ticks_at_entry_change = 0;  ///< ticks_sent at that moment
   bool depth_zero = true;
   std::int64_t depth_nonzero_ns = 0;  ///< when depth last left zero
+  std::uint64_t ult_faults = 0;     ///< fault count at the last poll
   bool starve_flagged = false;
   bool stall_flagged = false;
   bool overrun_flagged = false;
+  bool storm_flagged = false;
 };
 
 inline constexpr unsigned kFlagRunnableStarvation = 1u << 0;
 inline constexpr unsigned kFlagWorkerStall = 1u << 1;
 inline constexpr unsigned kFlagQuantumOverrun = 1u << 2;
+inline constexpr unsigned kFlagFaultStorm = 1u << 3;
 
 /// Pure detection core (unit-tested without a Runtime). Updates `watch` from
 /// the observation and returns a bitmask of *newly entered* flag episodes.
@@ -147,7 +158,7 @@ class Watchdog {
   std::int64_t last_stderr_ns_ = 0;
 
   std::atomic<std::uint64_t> checks_{0};
-  std::atomic<std::uint64_t> flags_[3] = {};
+  std::atomic<std::uint64_t> flags_[4] = {};
 
   // Own-thread mode.
   std::atomic<bool> thread_stop_{false};

@@ -7,6 +7,7 @@
 #include "common/assert.hpp"
 #include "common/sys.hpp"
 #include "common/time.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/signals.hpp"
@@ -82,6 +83,26 @@ __attribute__((noinline)) void suspend_exit(ThreadCtl* self) {
   tls->in_ult = false;
   self->store_state(ThreadState::kFinished);
   w->post = PostAction{PostKind::kExit, self, nullptr, nullptr};
+  context_jump(w->sched_ctx);
+}
+
+__attribute__((noinline)) void suspend_fail(ThreadCtl* self) {
+  // Exception firewall landing: self->fault is already filled in by the
+  // trampoline's catch block. Same shape as suspend_exit, but the thread
+  // ends kFailed and its stack goes through quarantine, not straight back
+  // to the pool — an unwound-through stack is intact, but treating every
+  // failed ULT's stack identically keeps the release path single.
+  WorkerTls* tls = worker_tls();
+  Worker* w = tls->worker;
+  LPT_CHECK(w != nullptr && self != nullptr);
+  tls->in_ult = false;
+  self->store_state(ThreadState::kFailed);
+  w->metrics.ult_faults.add(1);
+  w->metrics.escaped_exceptions.add(1);
+  LPT_TRACE_EVENT(trace::EventType::kUltFault, self->trace_id,
+                  static_cast<std::uint64_t>(self->fault.kind),
+                  self->fault.fault_addr);
+  w->post = PostAction{PostKind::kFault, self, nullptr, nullptr};
   context_jump(w->sched_ctx);
 }
 
@@ -344,6 +365,14 @@ void Worker::process_post_action() {
       metrics.exits.inc();
       LPT_TRACE_EVENT(trace::EventType::kUltExit, a.thread->trace_id);
       rt->finalize_thread(a.thread);
+      break;
+    case PostKind::kFault:
+      clear_current();
+      rt->finalize_failed_thread(a.thread);
+      // The SEGV/BUS containment jump skipped sigreturn (fault.hpp); when
+      // the fault came from the exception firewall instead this is a cheap
+      // no-op-shaped unblock of already-unblocked signals.
+      fault::unblock_fault_signals();
       break;
   }
 }

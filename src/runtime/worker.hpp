@@ -34,6 +34,8 @@ enum class PostKind : std::uint8_t {
   kPreemptKltSwitch,   ///< handler parked the KLT → re-enqueue as preempted
   kBlock,              ///< suspended on a sync primitive; finalize locks
   kExit,               ///< thread function finished; recycle and wake joiners
+  kFault,              ///< fault isolation abandoned the thread; quarantine
+                       ///< its stack, mark kFailed, wake joiners
 };
 
 struct PostAction {

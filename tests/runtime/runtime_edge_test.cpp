@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -158,6 +159,34 @@ TEST(ThreadHandle, MoveConstructedHandleOwnsThread) {
   EXPECT_TRUE(b.joinable());
   b.join();
   EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadHandle, DoubleJoinIsBenignNoOp) {
+  Runtime rt{RuntimeOptions{}};
+  std::atomic<int> done{0};
+  Thread a = rt.spawn([&] { done.fetch_add(1); });
+  a.join();
+  EXPECT_FALSE(a.joinable());
+  a.join();  // already joined: defined no-op, unlike std::thread
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadHandle, JoinStatusOnEmptyHandleReportsNothingJoined) {
+  Thread empty;
+  const ThreadStatus st = empty.join_status();
+  EXPECT_FALSE(st.completed);
+  EXPECT_FALSE(st.failed());
+}
+
+TEST(ThreadHandle, JoinAfterFailureIsBenignAndStatusIsSticky) {
+  Runtime rt{RuntimeOptions{}};
+  Thread bad = rt.spawn([] { throw std::runtime_error("edge boom"); });
+  const ThreadStatus st = bad.join_status();
+  EXPECT_TRUE(st.completed);
+  EXPECT_TRUE(st.failed());
+  bad.join();  // handle already consumed: benign no-op
+  const ThreadStatus again = bad.join_status();
+  EXPECT_FALSE(again.completed);  // nothing left to join
 }
 
 TEST(ExternalThreads, ConcurrentSpawnersFromManyKernelThreads) {
