@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Repo gate: configure + build + tier-1 tests, the tracer's and the metrics
 # subsystem's non-context-switching unit tests under ThreadSanitizer, the
-# fault-injection and fault-isolation suites under AddressSanitizer, then an
-# end-to-end smoke of the metrics publisher (bench run with LPT_METRICS_FILE
-# set, output validated by the strict Prometheus parser in
-# tests/tools/prom_check.cpp).
+# fault-injection and fault-isolation suites under AddressSanitizer, the
+# self-healing remediation suite via its env knobs (LPT_REMEDIATE) and under
+# LPT_FAULT-degraded KLT creation, an end-to-end smoke of the metrics
+# publisher (bench run with LPT_METRICS_FILE set, output validated by the
+# strict Prometheus parser in tests/tools/prom_check.cpp), and a short run
+# of the self-healing soak (scripts/soak.sh).
 #
 #   scripts/check.sh [build-dir]        (default: build)
 #
@@ -29,39 +31,60 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/7] normal build =="
+echo "== [1/9] normal build =="
 cmake -S . -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 
-echo "== [2/7] tier-1 tests =="
+echo "== [2/9] tier-1 tests =="
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure
 
-echo "== [3/7] tracer unit tests under TSan =="
+echo "== [3/9] tracer unit tests under TSan =="
 cmake -S . -B "$BUILD-tsan" -G Ninja -DLPT_SANITIZE=thread >/dev/null
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_trace_unit
 "$BUILD-tsan/tests/test_trace_unit"
 
-echo "== [4/7] metrics + watchdog unit tests under TSan =="
+echo "== [4/9] metrics + watchdog unit tests under TSan =="
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_metrics_unit
 "$BUILD-tsan/tests/test_metrics_unit"
 
-echo "== [5/7] fault-injection tests under ASan =="
+echo "== [5/9] fault-injection tests under ASan =="
 cmake -S . -B "$BUILD-asan" -G Ninja -DLPT_SANITIZE=address >/dev/null
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_sys test_fault
 "$BUILD-asan/tests/test_sys"
 "$BUILD-asan/tests/test_fault"
 
-echo "== [6/7] fault-isolation tests (normal + ASan self-skip) =="
+echo "== [6/9] fault-isolation tests (normal + ASan self-skip) =="
 "$BUILD/tests/test_fault_isolation"
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_fault_isolation
 "$BUILD-asan/tests/test_fault_isolation"
 
-echo "== [7/7] metrics-publisher smoke (bench + prom_check) =="
+echo "== [7/9] self-healing: remediation suite (LPT_REMEDIATE=1 + degraded) =="
+# Env-path acceptance (docs/robustness.md, "Self-healing"): the wedged-worker
+# and runaway workloads recover with remediation enabled via the environment.
+# The off-by-default test is the one run that must NOT see the flag, so it is
+# filtered out here (stage 2 already ran it clean).
+LPT_REMEDIATE=1 "$BUILD/tests/test_remediation" \
+  --gtest_filter='-Remediation.OffByDefaultOnlyFlags'
+# Degraded self-healing: with spare-KLT creation failing after startup, the
+# signal-yield directed-cancel and deadline rungs still heal (they need no
+# fresh KLT); klt_replace fails soft and retries. One test per process:
+# LPT_FAULT counting is arm-relative and cumulative within a process, and
+# startup worker KLTs are mandatory — after=8 covers one runtime's startup,
+# not a whole suite's.
+LPT_FAULT='pthread_create:after=8,every=2' "$BUILD/tests/test_remediation" \
+  --gtest_filter='Cancel.DirectedTickKillsSpinnerSignalYield'
+LPT_FAULT='pthread_create:after=8,every=2' "$BUILD/tests/test_remediation" \
+  --gtest_filter='Deadline.PerSpawnDeadlineCancelsRunaway'
+
+echo "== [8/9] metrics-publisher smoke (bench + prom_check) =="
 cmake --build "$BUILD" -j "$JOBS" --target table1_preemption prom_check
 METRICS_OUT="$(mktemp /tmp/lpt_check_metrics.XXXXXX.prom)"
 LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \
   "$BUILD/bench/table1_preemption" >/dev/null
 "$BUILD/tests/prom_check" "$METRICS_OUT"
 rm -f "$METRICS_OUT"
+
+echo "== [9/9] self-healing soak (scripts/soak.sh, short) =="
+SOAK_SECONDS=5 scripts/soak.sh "$BUILD"
 
 echo "== all checks passed =="

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Self-healing soak (docs/robustness.md, "Self-healing"): run the mixed
+# cancel/deadline/timed-wait workload in tests/tools/soak.cpp for
+# SOAK_SECONDS (default 60) with the remediation ladder on, then verify the
+# two things only a long, whole-process run can: shutdown of a runtime that
+# has been cancelling and replacing KLTs for a minute is clean (kernel-thread
+# count returns to baseline — no leaked workers, pool spares, or orphaned
+# KLTs) and a fresh runtime in the same process still works.
+#
+#   scripts/soak.sh [build-dir]        (default: build)
+#   SOAK_SECONDS=5 scripts/soak.sh     (short run, used by check.sh stage 9)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+SECONDS_TO_RUN="${SOAK_SECONDS:-60}"
+
+cmake --build "$BUILD" -j "$(nproc 2>/dev/null || echo 2)" --target soak
+"$BUILD/tests/soak" "$SECONDS_TO_RUN"

@@ -32,6 +32,7 @@ WorkerSample WorkerMetrics::sample() const {
   s.ult_faults = ult_faults.value();
   s.stack_overflows = stack_overflows.value();
   s.escaped_exceptions = escaped_exceptions.value();
+  s.ult_cancels = ult_cancels.value();
   for (int i = 0; i < kWorkerStateCount; ++i)
     s.time_in_state_ns[i] = time_in_state_ns[i].value();
   s.state = state.load(std::memory_order_relaxed);
@@ -42,7 +43,7 @@ void Snapshot::finalize() {
   dispatches = yields = blocks = exits = steals = 0;
   preempt_signal_yield = preempt_klt_switch = preemptions = 0;
   ticks_sent = handler_entries = handler_deferred = klt_degraded_ticks = 0;
-  ult_faults = stack_overflows = escaped_exceptions = 0;
+  ult_faults = stack_overflows = escaped_exceptions = ult_cancels = 0;
   run_queue_depth = 0;
   for (const WorkerSample& w : workers) {
     dispatches += w.dispatches;
@@ -59,6 +60,7 @@ void Snapshot::finalize() {
     ult_faults += w.ult_faults;
     stack_overflows += w.stack_overflows;
     escaped_exceptions += w.escaped_exceptions;
+    ult_cancels += w.ult_cancels;
     run_queue_depth += w.queue_depth;
   }
   preemptions = preempt_signal_yield + preempt_klt_switch;
@@ -135,6 +137,9 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
       {"lpt_escaped_exceptions_total",
        "ULTs terminated by the exception firewall.",
        &WorkerSample::escaped_exceptions},
+      {"lpt_ult_cancels_total",
+       "ULTs terminated by request_cancel() or deadline expiry.",
+       &WorkerSample::ult_cancels},
   };
   for (const PerWorkerFamily& f : kFamilies) {
     prom_family(out, f.name, "counter", f.help);
@@ -242,6 +247,15 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
   std::fprintf(out,
                "lpt_watchdog_flags_total{kind=\"fault_storm\"} %" PRIu64 "\n",
                s.watchdog_fault_storm);
+  prom_family(out, "lpt_remediations_total", "counter",
+              "Self-healing remediation actions taken, by kind.");
+  std::fprintf(out, "lpt_remediations_total{kind=\"retick\"} %" PRIu64 "\n",
+               s.remediations_retick);
+  std::fprintf(out, "lpt_remediations_total{kind=\"cancel\"} %" PRIu64 "\n",
+               s.remediations_cancel);
+  std::fprintf(out,
+               "lpt_remediations_total{kind=\"klt_replace\"} %" PRIu64 "\n",
+               s.remediations_klt_replace);
 
   prom_family(out, "lpt_trace_events_total", "counter",
               "Events recorded by the tracer (0 when tracing is off).");
@@ -280,6 +294,7 @@ void write_json(std::FILE* out, const Snapshot& s) {
                s.stack_overflows);
   std::fprintf(out, "    \"escaped_exceptions\": %" PRIu64 ",\n",
                s.escaped_exceptions);
+  std::fprintf(out, "    \"ult_cancels\": %" PRIu64 ",\n", s.ult_cancels);
   std::fprintf(out, "    \"tick_effectiveness\": %.6f,\n",
                s.tick_effectiveness());
   std::fprintf(out, "    \"switch_rate\": %.6f,\n", s.switch_rate());
@@ -317,6 +332,11 @@ void write_json(std::FILE* out, const Snapshot& s) {
                s.watchdog_checks, s.watchdog_runnable_starvation,
                s.watchdog_worker_stall, s.watchdog_quantum_overrun,
                s.watchdog_fault_storm);
+  std::fprintf(out,
+               "  \"remediations\": {\"retick\": %" PRIu64
+               ", \"cancel\": %" PRIu64 ", \"klt_replace\": %" PRIu64 "},\n",
+               s.remediations_retick, s.remediations_cancel,
+               s.remediations_klt_replace);
   std::fprintf(out,
                "  \"trace\": {\"enabled\": %s, \"events\": %" PRIu64
                ", \"dropped\": %" PRIu64 "},\n",

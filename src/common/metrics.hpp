@@ -103,6 +103,7 @@ struct WorkerSample {
   std::uint64_t ult_faults = 0;          ///< ULTs terminated by fault isolation
   std::uint64_t stack_overflows = 0;     ///< ... of which guard-page overflows
   std::uint64_t escaped_exceptions = 0;  ///< ... of which exception-firewall hits
+  std::uint64_t ult_cancels = 0;         ///< ... of which cancel/deadline expiry
   std::int64_t queue_depth = 0;        ///< this worker's run-queue(s), now
   std::uint64_t time_in_state_ns[kWorkerStateCount] = {};
   std::uint8_t state = 0;              ///< WorkerState, instantaneous
@@ -132,6 +133,7 @@ struct alignas(64) WorkerMetrics {
   AtomicCounter ult_faults;         ///< all fault-isolation terminations
   AtomicCounter stack_overflows;    ///< guard-page overflows contained
   AtomicCounter escaped_exceptions; ///< exception-firewall terminations
+  AtomicCounter ult_cancels;        ///< cancellation/deadline terminations
 
   /// Instantaneous state marker (relaxed store at transitions).
   std::atomic<std::uint8_t> state{
@@ -179,6 +181,7 @@ struct Snapshot {
   std::uint64_t ult_faults = 0;
   std::uint64_t stack_overflows = 0;
   std::uint64_t escaped_exceptions = 0;
+  std::uint64_t ult_cancels = 0;
   std::int64_t run_queue_depth = 0;
 
   // -- runtime-global --
@@ -207,6 +210,11 @@ struct Snapshot {
   std::uint64_t watchdog_worker_stall = 0;
   std::uint64_t watchdog_quantum_overrun = 0;
   std::uint64_t watchdog_fault_storm = 0;
+
+  // -- self-healing remediation ladder (docs/robustness.md) --
+  std::uint64_t remediations_retick = 0;
+  std::uint64_t remediations_cancel = 0;
+  std::uint64_t remediations_klt_replace = 0;
 
   // -- tracer pass-through (zero when tracing is off) --
   bool trace_enabled = false;

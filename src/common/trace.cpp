@@ -36,6 +36,8 @@ const char* event_name(EventType t) {
     case EventType::kUltFault: return "ult_fault";
     case EventType::kKltRetired: return "klt_retired";
     case EventType::kStackNearOverflow: return "stack_near_overflow";
+    case EventType::kUltCancel: return "ult_cancel";
+    case EventType::kRemediation: return "remediation";
     case EventType::kCount: break;
   }
   return "unknown";

@@ -69,11 +69,20 @@ int thread_join(thread_t t, void** retval) {
   if (ctl == nullptr || ctl->detached || !ctl->thread.joinable()) return EINVAL;
   const ThreadStatus st = ctl->thread.join_status();
   const bool failed = st.failed();
+  const bool cancelled = st.fault.kind == FaultKind::kCancelled;
   if (!failed && retval != nullptr) *retval = ctl->retval;
   delete ctl;
   // No pthread error fits "the thread was killed by the runtime"; EFAULT is
-  // the closest honest mapping for a fault-terminated thread.
+  // the closest honest mapping for a fault-terminated thread, EINTR for one
+  // cut short by cancellation.
+  if (cancelled) return EINTR;
   return failed ? EFAULT : 0;
+}
+
+int thread_cancel(thread_t t) {
+  auto* ctl = static_cast<CompatCtl*>(t.ctl);
+  if (ctl == nullptr || ctl->detached || !ctl->thread.joinable()) return ESRCH;
+  return ctl->thread.request_cancel() ? 0 : ESRCH;
 }
 
 int thread_detach(thread_t t) {

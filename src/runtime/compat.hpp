@@ -36,11 +36,22 @@ int thread_create(thread_t* out, const thread_attr_t* attr,
                   void* (*start_routine)(void*), void* arg);
 
 /// pthread_join analogue; *retval (if non-null) receives the start routine's
-/// return value. Returns 0, EINVAL for a null/detached handle, or EFAULT when
+/// return value. Returns 0, EINVAL for a null/detached handle, EFAULT when
 /// fault isolation terminated the thread (stack overflow, contained SEGV/BUS,
-/// escaped exception) — *retval is then left untouched, since the start
-/// routine never returned one.
+/// escaped exception), or EINTR when the thread was cancelled
+/// (thread_cancel / deadline expiry) — pthreads would report
+/// PTHREAD_CANCELED via *retval, but this veneer keeps retval for genuine
+/// returns only, so the interrupted-style errno carries the verdict. On
+/// EFAULT/EINTR *retval is left untouched, since the start routine never
+/// returned one.
 int thread_join(thread_t t, void** retval);
+
+/// pthread_cancel analogue. Requests cancellation: the thread ends at its
+/// next cancellation point (yield, sync waits, sleep_for, timed waits) or,
+/// under a preemptive technique, at the next directed preemption tick.
+/// Returns 0, or ESRCH for a null/detached handle or a thread that already
+/// finished (pthread_cancel's no-such-thread contract).
+int thread_cancel(thread_t t);
 
 /// pthread_detach analogue: the handle becomes unusable, resources are
 /// reclaimed when the thread finishes.

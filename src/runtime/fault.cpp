@@ -59,8 +59,10 @@ void fault_handler(int signo, siginfo_t* si, void* uctx) {
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
   ThreadCtl* t = nullptr;
-  if (rt != nullptr && w != nullptr && tls->in_ult)
-    t = w->current_ult.load(std::memory_order_relaxed);
+  // Identity from the hosting KLT, not the worker: after a forced KLT
+  // replacement (watchdog remediation) w->current_ult belongs to the new
+  // host while this KLT still runs its old ULT.
+  if (rt != nullptr && w != nullptr && tls->in_ult) t = tls->hosted_ult;
   if (t == nullptr) {
     // Scheduler context, runtime helper thread, or an application kernel
     // thread: not recoverable — nothing owns the faulting frames.
@@ -104,6 +106,32 @@ void fault_handler(int signo, siginfo_t* si, void* uctx) {
   if (overflow) w->metrics.stack_overflows.add(1);
   LPT_TRACE_EVENT(trace::EventType::kUltFault, t->trace_id,
                   static_cast<std::uint64_t>(t->fault.kind), addr);
+
+  // Claim scheduler-context ownership before recovering through it
+  // (worker.hpp host_token). A failed claim means the watchdog force-replaced
+  // this KLT's worker host: the scheduler context runs elsewhere, so recover
+  // through the orphan retirement instead — klt_main finalizes the thread
+  // after the jump and this kernel thread exits.
+  {
+    KltCtl* self = tls->klt;
+    KltCtl* expect = self;
+    if (self == nullptr ||
+        !w->host_token.compare_exchange_strong(expect, nullptr,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+      if (self == nullptr) {
+        chain_to_previous(signo);
+        return;
+      }
+      tls->in_ult = false;
+      self->orphan_finalize = t;
+      self->orphan_finished = false;
+      self->pending_wake = nullptr;
+      self->pending_wake_in_handler = false;
+      self->native_op = KltNativeOp::kExit;
+      context_jump(self->native_ctx);
+    }
+  }
 
   // Recover via the signal-yield trick (§3.1.1), minus the context save: the
   // faulting frames are garbage, so jump straight into scheduler context and

@@ -44,6 +44,17 @@ void suspend_block(ThreadCtl* self, Spinlock* sl, Mutex* m);
 /// joiners with the failure record.
 [[noreturn]] void suspend_fail(ThreadCtl* self);
 
+/// Terminate the current ULT as Failed(kCancelled) — the cooperative half of
+/// cancellation. Same landing as suspend_fail (stack quarantined, joiners
+/// woken with the failure record) but counted as a cancellation. Destructors
+/// of frames live on the abandoned stack do NOT run (docs/robustness.md).
+[[noreturn]] void suspend_cancel(ThreadCtl* self);
+
+/// Cancellation point: returns normally unless `self` has a pending cancel
+/// request, in which case it does not return (suspend_cancel). Safe to call
+/// with nullptr (external thread / scheduler context).
+void cancel_point(ThreadCtl* self);
+
 // --- preemption-handler bodies (called from the signal handler) ------------
 
 /// Signal-yield (§3.1.1): switch to the scheduler from inside the handler.

@@ -20,6 +20,8 @@ namespace lpt {
 
 class Runtime;
 struct Worker;
+struct ThreadCtl;
+class Mutex;
 
 /// What a woken KLT should do. Written by the waker before posting the gate.
 enum class KltAction : std::uint8_t {
@@ -59,6 +61,16 @@ struct KltCtl : TreiberNode {
   KltNativeOp native_op = KltNativeOp::kPark;
   KltCtl* pending_wake = nullptr;  ///< KLT to wake once off the scheduler stack
   bool pending_wake_in_handler = false;  ///< use in-handler resume protocol
+
+  // -- orphaned-KLT handoff (docs/robustness.md "Self-healing") --
+  // Set by a ULT stranded on a KLT whose worker host the watchdog replaced.
+  // klt_main performs the deferred work after the context switch off the ULT
+  // stack — the same save-before-publish discipline as the post-action
+  // protocol — then exits on kExit.
+  ThreadCtl* orphan_finalize = nullptr;  ///< finalize after the switch
+  bool orphan_finished = false;  ///< true: normal exit; false: failed/cancelled
+  Spinlock* orphan_release_lock = nullptr;  ///< orphaned block: drop after save
+  Mutex* orphan_release_mutex = nullptr;    ///< ditto (condvar wait path)
 
   /// Preferred worker-local pool to return to (-1 = global only).
   int home_worker = -1;

@@ -41,6 +41,30 @@ bool parse_size(const char* v, std::size_t* out) {
   return true;
 }
 
+/// Parse a positive decimal integer in [1, cap]. Rejects trailing junk,
+/// zero, and negatives, mirroring parse_size().
+bool parse_count(const char* v, long long cap, long long* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long long x = std::strtoll(v, &end, 10);
+  if (errno != 0 || end == v || *end != '\0' || x <= 0 || x > cap) return false;
+  *out = x;
+  return true;
+}
+
+/// Overlay an integer env knob, reporting and ignoring malformed values like
+/// the LPT_STACK_SIZE path does.
+void env_count(const char* name, long long cap, long long* out) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || v[0] == '\0') return;
+  long long x = 0;
+  if (!parse_count(v, cap, &x)) {
+    std::fprintf(stderr, "lpt: ignoring malformed %s='%s'\n", name, v);
+    return;
+  }
+  *out = x;
+}
+
 }  // namespace
 
 RuntimeOptions resolve_env_options(RuntimeOptions o) {
@@ -59,6 +83,24 @@ RuntimeOptions resolve_env_options(RuntimeOptions o) {
   o.fault_isolation = env_flag("LPT_FAULT_ISOLATION", o.fault_isolation);
   o.isolate_faults = env_flag("LPT_ISOLATE_FAULTS", o.isolate_faults);
   o.stack_scrub = env_flag("LPT_STACK_SCRUB", o.stack_scrub);
+
+  o.remediation = env_flag("LPT_REMEDIATE", o.remediation);
+  // Per-flag watchdog thresholds, expressed in watchdog poll periods so they
+  // track watchdog_period_ms automatically. Starvation periods scale the
+  // no-dispatch age threshold; stall periods set the unanswered-tick count.
+  long long starvation_periods = 0;
+  env_count("LPT_WATCHDOG_STARVATION_PERIODS", 1'000'000, &starvation_periods);
+  if (starvation_periods > 0) {
+    o.watchdog_runnable_ns = starvation_periods * o.watchdog_period_ms * 1'000'000;
+  }
+  long long stall_periods = 0;
+  env_count("LPT_WATCHDOG_STALL_PERIODS", 1'000'000, &stall_periods);
+  if (stall_periods > 0) o.watchdog_stall_ticks = static_cast<int>(stall_periods);
+  long long max_per_period = 0;
+  env_count("LPT_REMEDIATE_MAX_PER_PERIOD", 1'000'000, &max_per_period);
+  if (max_per_period > 0) o.remediate_max_per_period = static_cast<int>(max_per_period);
+  if (o.remediate_max_per_period < 1) o.remediate_max_per_period = 1;
+  if (o.default_ult_deadline_ns < 0) o.default_ult_deadline_ns = 0;
   return o;
 }
 

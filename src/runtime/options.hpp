@@ -125,6 +125,25 @@ struct RuntimeOptions {
   /// crash-and-restart churn). 0 disables the check.
   int watchdog_fault_storm = 4;
 
+  // ----- self-healing: remediation & deadlines (docs/robustness.md) -----
+
+  /// Watchdog remediation ladder (LPT_REMEDIATE=1 enables). When on, the
+  /// watchdog escalates from flagging to acting: a quantum overrun gets a
+  /// directed re-tick, a stalled worker gets its KLT force-replaced from the
+  /// KLT pool, and an overrunning ULT past its deadline is cancelled. Every
+  /// action is counted (Stats::remediations_*, lpt_remediations_total),
+  /// traced (kRemediation), and reported through watchdog_callback. Off by
+  /// default: detection stays flag-only.
+  bool remediation = false;
+  /// Cap on remediation actions taken per watchdog poll period
+  /// (LPT_REMEDIATE_MAX_PER_PERIOD overrides; must be >= 1). Bounds the blast
+  /// radius of a misconfigured ladder.
+  int remediate_max_per_period = 4;
+  /// Default per-ULT deadline in ns, armed at spawn for every thread whose
+  /// ThreadAttrs::deadline is zero; 0 = no default deadline. Expiry requests
+  /// cancellation at the next watchdog tick.
+  std::int64_t default_ult_deadline_ns = 0;
+
   // ----- fault isolation (docs/robustness.md) -----
 
   /// Master switch for the fault-isolation subsystem (LPT_FAULT_ISOLATION=0
@@ -153,7 +172,9 @@ struct RuntimeOptions {
 /// the Runtime constructor. LPT_STACK_SIZE (bytes, optional K/M suffix) is
 /// validated, page-rounded, and clamped to a sane minimum; malformed values
 /// are reported to stderr and ignored. Also applies LPT_FAULT_ISOLATION,
-/// LPT_ISOLATE_FAULTS, and LPT_STACK_SCRUB.
+/// LPT_ISOLATE_FAULTS, LPT_STACK_SCRUB, LPT_REMEDIATE, and the integer knobs
+/// LPT_WATCHDOG_STARVATION_PERIODS / LPT_WATCHDOG_STALL_PERIODS /
+/// LPT_REMEDIATE_MAX_PER_PERIOD (validated like LPT_STACK_SIZE).
 RuntimeOptions resolve_env_options(RuntimeOptions o);
 
 /// Smallest stack resolve_env_options will accept (LPT_STACK_SIZE below this
@@ -169,6 +190,10 @@ struct ThreadAttrs {
   int home_pool = -1;
   /// 0 = use RuntimeOptions::stack_size.
   std::size_t stack_size = 0;
+  /// Relative deadline in ns from spawn; 0 = use
+  /// RuntimeOptions::default_ult_deadline_ns (which may itself be 0 = none).
+  /// On expiry the watchdog tick requests cancellation (Failed(kCancelled)).
+  std::int64_t deadline_ns = 0;
 };
 
 }  // namespace lpt

@@ -11,6 +11,7 @@
 #include <ctime>
 
 #include "common/assert.hpp"
+#include "common/cpu.hpp"
 #include "common/sys.hpp"
 #include "common/time.hpp"
 #include "runtime/fault.hpp"
@@ -294,6 +295,29 @@ void Runtime::klt_main(KltCtl* self) {
     const KltNativeOp op = self->native_op;
     self->native_op = KltNativeOp::kPark;
 
+    // Orphan handoff (docs/robustness.md "Self-healing"): a ULT stranded on
+    // this KLT by a forced replacement deferred its guard releases and
+    // finalization to here — doing either on the ULT stack would publish the
+    // thread before its context save completed (the usual
+    // enqueue-before-save race, now on the orphan path).
+    if (self->orphan_release_lock != nullptr) {
+      self->orphan_release_lock->unlock();
+      self->orphan_release_lock = nullptr;
+    }
+    if (self->orphan_release_mutex != nullptr) {
+      self->orphan_release_mutex->unlock();
+      self->orphan_release_mutex = nullptr;
+    }
+    if (self->orphan_finalize != nullptr) {
+      ThreadCtl* dead = self->orphan_finalize;
+      self->orphan_finalize = nullptr;
+      if (self->orphan_finished)
+        finalize_thread(dead);
+      else
+        finalize_failed_thread(dead);
+      self->orphan_finished = false;
+    }
+
     if (peer != nullptr) {
       // The wake happens here — off the scheduler stack — so the woken side
       // can safely resume or re-enter that scheduler context.
@@ -351,6 +375,12 @@ ThreadCtl* Runtime::spawn_ctl(std::function<void()> fn, ThreadAttrs attrs,
 
   t->stack = std::move(stack);
   t->ctx = make_context(t->stack.base(), t->stack.size(), &thread_trampoline, t);
+
+  // Arm the deadline before the thread becomes runnable so it cannot finish
+  // (and be finalized) with a registration still pending.
+  const std::int64_t deadline_rel =
+      attrs.deadline_ns > 0 ? attrs.deadline_ns : opts_.default_ult_deadline_ns;
+  if (deadline_rel > 0) arm_deadline(t, now_ns() + deadline_rel);
 
   ThreadCtl* self = detail::current_ult_or_null();
   detail::begin_no_preempt(self);
@@ -440,6 +470,10 @@ metrics::Snapshot Runtime::metrics_snapshot() const {
   s.watchdog_fault_storm =
       watchdog_.flagged(WatchdogReport::Kind::kFaultStorm);
 
+  s.remediations_retick = remediations(RemediationKind::kRetick);
+  s.remediations_cancel = remediations(RemediationKind::kCancel);
+  s.remediations_klt_replace = remediations(RemediationKind::kKltReplace);
+
   s.trace_enabled = trace_cfg_.enabled;
   if (trace_cfg_.enabled) {
     s.trace_events = trace::Collector::instance().total_events();
@@ -497,6 +531,10 @@ Runtime::Stats Runtime::stats() const {
   s.ult_faults = m.ult_faults;
   s.stack_overflows = m.stack_overflows;
   s.escaped_exceptions = m.escaped_exceptions;
+  s.ult_cancels = m.ult_cancels;
+  s.remediations_retick = m.remediations_retick;
+  s.remediations_cancel = m.remediations_cancel;
+  s.remediations_klt_replace = m.remediations_klt_replace;
   s.klts_retired = m.klts_retired;
   s.stacks_quarantined = m.stacks_quarantined;
   s.stack_near_overflows = m.stack_near_overflows;
@@ -536,7 +574,8 @@ void Runtime::print_trace_summary(std::FILE* out) const {
   if (s.klt_degraded_ticks > 0 || s.klt_create_failures > 0 ||
       s.posix_timer_fallbacks > 0 || s.spawn_stack_failures > 0 ||
       s.stacks_shed > 0 || s.faults_injected > 0 || s.ult_faults > 0 ||
-      s.klts_retired > 0) {
+      s.klts_retired > 0 || s.ult_cancels > 0 || s.remediations_retick > 0 ||
+      s.remediations_cancel > 0 || s.remediations_klt_replace > 0) {
     std::fprintf(out, "degradation:\n");
     auto count_line = [&](const char* name, std::uint64_t v) {
       if (v > 0)
@@ -554,6 +593,10 @@ void Runtime::print_trace_summary(std::FILE* out) const {
     count_line("escaped exceptions", s.escaped_exceptions);
     count_line("klts retired", s.klts_retired);
     count_line("stacks quarantined", s.stacks_quarantined);
+    count_line("ult cancels", s.ult_cancels);
+    count_line("remediations: retick", s.remediations_retick);
+    count_line("remediations: cancel", s.remediations_cancel);
+    count_line("remediations: klt replace", s.remediations_klt_replace);
   }
 }
 
@@ -578,6 +621,292 @@ void Runtime::idle_wait(std::uint32_t seen_seq) {
   futex_wait_timeout(&work_seq_, seen_seq, 1'000'000 /* 1 ms */);
 }
 
+// ---------------------------------------------------------------------------
+// Self-healing: timed waits, deadlines, remediation (docs/robustness.md)
+// ---------------------------------------------------------------------------
+
+void Runtime::lower_next_due(std::int64_t when) {
+  std::int64_t cur = next_due_.load(std::memory_order_relaxed);
+  while (when < cur && !next_due_.compare_exchange_weak(
+                           cur, when, std::memory_order_acq_rel))
+    ;
+}
+
+void Runtime::register_timed_wait(ThreadCtl* t, std::int64_t wake_ns,
+                                  Spinlock* guard,
+                                  std::vector<ThreadCtl*>* waiters) {
+  {
+    SpinlockGuard g(timed_lock_);
+    timed_waits_.push_back(TimedWait{t, wake_ns, guard, waiters, false});
+  }
+  lower_next_due(wake_ns);
+  // Close the race with a concurrent cancel: if the flag was set before this
+  // entry became visible, the canceller's kick_timers may have fired against
+  // an empty registry. The registry lock orders the two critical sections,
+  // so one side is guaranteed to see the other's write.
+  if (t->cancel_requested.load(std::memory_order_acquire)) lower_next_due(0);
+}
+
+void Runtime::unregister_timed_wait(ThreadCtl* t) {
+  for (;;) {
+    bool busy = false;
+    {
+      SpinlockGuard g(timed_lock_);
+      for (std::size_t i = 0; i < timed_waits_.size(); ++i) {
+        if (timed_waits_[i].t != t) continue;
+        if (timed_waits_[i].busy) {
+          // An expiry scan copied this entry and is touching t outside the
+          // lock; it erases the entry when done. Spin it out — the wait
+          // itself is over, only the bookkeeping lags.
+          busy = true;
+        } else {
+          timed_waits_[i] = timed_waits_.back();
+          timed_waits_.pop_back();
+        }
+        break;
+      }
+    }
+    if (!busy) return;
+    cpu_pause();
+  }
+}
+
+void Runtime::expire_timers(std::int64_t now) {
+  if (now < next_due_.load(std::memory_order_acquire)) return;
+
+  // Collect due entries under the registry lock, then act on them outside
+  // it: the waker must take each primitive's guard, and guard-then-registry
+  // is the order register_timed_wait uses (holding both here would ABBA).
+  // `busy` / deadline_busy_ pin the copies against concurrent unregister /
+  // finalize while the lock is dropped. Concurrent scans (idle workers +
+  // monitor tick) are safe: busy entries are skipped, so each due entry has
+  // exactly one owner.
+  std::vector<TimedWait> due;
+  std::vector<ThreadCtl*> expired;
+  {
+    SpinlockGuard g(timed_lock_);
+    std::int64_t next = kNoDeadline;
+    for (auto& e : timed_waits_) {
+      // A cancel request makes the wait due immediately: the thread must
+      // reach its wakeup cancellation point, not serve out the timeout.
+      if (!e.busy && (e.wake_ns <= now ||
+                      e.t->cancel_requested.load(std::memory_order_relaxed))) {
+        e.busy = true;
+        due.push_back(e);
+      } else if (!e.busy && e.wake_ns < next) {
+        next = e.wake_ns;
+      }
+    }
+    for (std::size_t i = 0; i < deadline_armed_.size();) {
+      ThreadCtl* t = deadline_armed_[i];
+      if (t->deadline_ns <= now) {
+        deadline_busy_.push_back(t);
+        expired.push_back(t);
+        deadline_armed_[i] = deadline_armed_.back();
+        deadline_armed_.pop_back();
+      } else {
+        if (t->deadline_ns < next) next = t->deadline_ns;
+        ++i;
+      }
+    }
+    next_due_.store(next, std::memory_order_release);
+  }
+
+  for (TimedWait& e : due) {
+    bool won;
+    if (e.waiters != nullptr) {
+      // Race the normal notify path for the wakeup under the primitive's
+      // guard: whoever removes t from the waiter list owns the requeue.
+      SpinlockGuard g(*e.guard);
+      auto it = std::find(e.waiters->begin(), e.waiters->end(), e.t);
+      won = it != e.waiters->end();
+      if (won) {
+        e.waiters->erase(it);
+        e.t->wait_timed_out = true;
+      }
+    } else {
+      // Sleep: no competing waker. Taking the guard is still required — it
+      // is released only after the sleeper's context save completes.
+      SpinlockGuard g(*e.guard);
+      e.t->wait_timed_out = true;
+      won = true;
+    }
+    if (won) {
+      e.t->store_state(ThreadState::kReady);
+      sched_->enqueue(e.t, nullptr, EnqueueKind::kUnblock);
+    }
+  }
+  if (!due.empty()) {
+    notify_work();
+    SpinlockGuard g(timed_lock_);
+    for (const TimedWait& e : due) {
+      for (std::size_t i = 0; i < timed_waits_.size(); ++i) {
+        if (timed_waits_[i].t == e.t && timed_waits_[i].busy) {
+          timed_waits_[i] = timed_waits_.back();
+          timed_waits_.pop_back();
+          break;
+        }
+      }
+    }
+  }
+
+  // Deadline expiry always acts — the per-thread deadline is a spawn-time
+  // contract, not part of the opt-in watchdog ladder (which gates only the
+  // retick/klt_replace rungs).
+  for (ThreadCtl* t : expired) {
+    t->cancel_requested.store(true, std::memory_order_release);
+    int rank = -1;
+    for (auto& w : workers_) {
+      // Pointer compare only: t may be running, blocked, or finishing.
+      if (w->current_ult.load(std::memory_order_acquire) != t) continue;
+      rank = w->rank;
+      if (w->current_preempt.load(std::memory_order_relaxed) !=
+          static_cast<std::uint8_t>(Preempt::None))
+        signals::send_preempt(*w, -1);
+      break;
+    }
+    note_remediation(RemediationKind::kCancel, rank,
+                     WatchdogReport::Kind::kQuantumOverrun, /*report=*/true);
+  }
+  if (!expired.empty()) {
+    // A victim blocked in a timed wait was not due in this scan's collection
+    // pass; re-arm so the next tick wakes it into its cancellation point.
+    lower_next_due(0);
+    SpinlockGuard g(timed_lock_);
+    for (ThreadCtl* t : expired) {
+      for (std::size_t i = 0; i < deadline_busy_.size(); ++i) {
+        if (deadline_busy_[i] == t) {
+          deadline_busy_[i] = deadline_busy_.back();
+          deadline_busy_.pop_back();
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Runtime::maybe_expire_timers() {
+  const std::int64_t due = next_due_.load(std::memory_order_relaxed);
+  if (due == kNoDeadline) return;
+  const std::int64_t now = now_ns();
+  if (now >= due) expire_timers(now);
+}
+
+void Runtime::arm_deadline(ThreadCtl* t, std::int64_t deadline_abs_ns) {
+  t->deadline_ns = deadline_abs_ns;
+  {
+    SpinlockGuard g(timed_lock_);
+    deadline_armed_.push_back(t);
+  }
+  lower_next_due(deadline_abs_ns);
+}
+
+void Runtime::disarm_deadline(ThreadCtl* t) {
+  if (t->deadline_ns == 0) return;  // never armed: stay off the lock
+  for (;;) {
+    bool busy = false;
+    {
+      SpinlockGuard g(timed_lock_);
+      for (std::size_t i = 0; i < deadline_armed_.size(); ++i) {
+        if (deadline_armed_[i] == t) {
+          deadline_armed_[i] = deadline_armed_.back();
+          deadline_armed_.pop_back();
+          break;
+        }
+      }
+      for (ThreadCtl* b : deadline_busy_)
+        if (b == t) busy = true;
+    }
+    // A scan is still dereferencing t outside the lock; t must stay alive
+    // until it drops the busy pin.
+    if (!busy) return;
+    cpu_pause();
+  }
+}
+
+bool Runtime::force_replace_worker_klt(Worker& w) {
+  if (shutting_down()) return false;
+  KltCtl* old_host = w.current_klt.load(std::memory_order_acquire);
+  if (old_host == nullptr) return false;
+
+  // Claim the scheduler context exactly like a suspension primitive would.
+  // Success means the wedged tenant (if any) has NOT entered the scheduler:
+  // when it eventually tries, its own claim fails and it lands on the orphan
+  // path. Failure means the scheduler currently owns the context (the worker
+  // is not actually wedged in ULT code) — nothing to replace.
+  KltCtl* expect = old_host;
+  if (!w.host_token.compare_exchange_strong(expect, nullptr,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+    return false;
+
+  KltCtl* fresh = klt_pool_.try_pop(w.rank);
+  if (fresh == nullptr) fresh = create_klt();
+  if (fresh == nullptr) {
+    // No replacement host available: hand the token back untouched so the
+    // tenant keeps running normally, and ask the creator to restock for the
+    // watchdog's next attempt.
+    w.host_token.store(old_host, std::memory_order_release);
+    if (!klt_creator_.saturated() && !klt_cap_reached())
+      klt_creator_.request();
+    return false;
+  }
+
+  // The stranded tenant must not be visible as this worker's current ULT —
+  // the new host's scheduler context would otherwise report a thread it does
+  // not run (and a directed cancel tick could unwind the wrong victim).
+  w.current_ult.store(nullptr, std::memory_order_release);
+  w.current_preempt.store(static_cast<std::uint8_t>(Preempt::None),
+                          std::memory_order_release);
+
+  // The old host is poisoned from the runtime's perspective: it exits at its
+  // tenant's next runtime entry (orphan path) and is joined at shutdown.
+  note_klt_retired();
+  LPT_TRACE_EVENT(trace::EventType::kKltRetired, 0, 0,
+                  static_cast<std::uint64_t>(
+                      old_host->trace_id >= 0 ? old_host->trace_id : 0));
+
+  fresh->action = KltAction::kBecomeWorker;
+  fresh->assign_worker = &w;
+  w.current_klt.store(fresh, std::memory_order_release);
+  w.current_tid.store(fresh->tid.load(std::memory_order_relaxed),
+                      std::memory_order_release);
+  fresh->gate.post();
+  return true;
+}
+
+void Runtime::note_remediation(RemediationKind kind, int worker_rank,
+                               WatchdogReport::Kind cause, bool report) {
+  const int i = static_cast<int>(kind) - 1;
+  if (i < 0 || i >= 3) return;
+  n_remediations_[i].add(1);
+  LPT_TRACE_EVENT(trace::EventType::kRemediation, 0,
+                  static_cast<std::uint64_t>(kind),
+                  static_cast<std::uint64_t>(
+                      worker_rank >= 0 ? worker_rank : 0));
+  if (!report) return;  // the watchdog poll already reports this episode
+
+  // Actions taken outside a watchdog poll (deadline-driven cancels) have no
+  // other reporter; synthesize the report the poll would have produced.
+  WatchdogReport rep;
+  rep.kind = cause;
+  rep.worker = worker_rank;
+  rep.remediation = kind;
+  if (opts_.watchdog_callback) {
+    opts_.watchdog_callback(rep);
+    return;
+  }
+  const std::int64_t now = now_ns();
+  std::int64_t last = last_remediation_stderr_ns_.load(std::memory_order_relaxed);
+  if (now - last < 1'000'000'000 ||
+      !last_remediation_stderr_ns_.compare_exchange_strong(
+          last, now, std::memory_order_relaxed))
+    return;
+  std::fprintf(stderr, "[lpt watchdog] remediation %s: worker %d (%s)\n",
+               remediation_kind_name(kind), worker_rank,
+               watchdog_kind_name(cause));
+}
+
 namespace {
 
 /// Page-rounded pool stack size, for "is this stack recyclable" checks.
@@ -590,6 +919,7 @@ std::size_t pooled_stack_size(const StackPool& pool) {
 
 void Runtime::finalize_thread(ThreadCtl* t) {
   LPT_CHECK(t->load_state() == ThreadState::kFinished);
+  disarm_deadline(t);
   t->fn = nullptr;  // release captures in scheduler context
   n_live_ults_.sub(1);
 
@@ -604,6 +934,7 @@ void Runtime::finalize_thread(ThreadCtl* t) {
 
 void Runtime::finalize_failed_thread(ThreadCtl* t) {
   LPT_CHECK(t->load_state() == ThreadState::kFailed);
+  disarm_deadline(t);
   t->fn = nullptr;
   n_live_ults_.sub(1);
 
@@ -673,6 +1004,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kSegv: return "segv";
     case FaultKind::kBus: return "bus";
     case FaultKind::kException: return "exception";
+    case FaultKind::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -696,6 +1028,72 @@ std::uint64_t Thread::preemptions() const {
 }
 
 void Thread::join() { (void)join_status(); }
+
+bool Thread::request_cancel() {
+  if (ctl_ == nullptr) return false;
+  ThreadCtl* t = ctl_;
+  if (t->done.load(std::memory_order_acquire) != 0) return false;
+  t->cancel_requested.store(true, std::memory_order_release);
+  // If the target is running right now under a preemptive technique, a
+  // directed tick unwinds it promptly even if it never reaches a cancellation
+  // point. Under Preempt::None the request stays cooperative by design.
+  if (t->preempt != Preempt::None && t->rt != nullptr) {
+    for (int r = 0; r < t->rt->num_workers(); ++r) {
+      Worker& w = t->rt->worker(r);
+      if (w.current_ult.load(std::memory_order_acquire) != t) continue;
+      signals::send_preempt(w, -1);
+      break;
+    }
+  }
+  // If the target is blocked in a timed wait (sleep_for, join_for, timed
+  // acquires), make it due so the next expiry scan wakes it into the
+  // cancellation point instead of letting it serve out the timeout.
+  if (t->rt != nullptr) t->rt->kick_timers();
+  return true;
+}
+
+bool Thread::join_for(std::chrono::nanoseconds timeout) {
+  if (ctl_ == nullptr) return true;  // empty handle: trivially joined
+  ThreadCtl* t = ctl_;
+  const std::int64_t deadline =
+      now_ns() + (timeout.count() > 0 ? timeout.count() : 0);
+
+  ThreadCtl* self = detail::current_ult_or_null();
+  if (self != nullptr) {
+    LPT_CHECK_MSG(self != t, "thread cannot join itself");
+    for (;;) {
+      if (t->done.load(std::memory_order_acquire) != 0) break;
+      if (now_ns() >= deadline) return false;
+      detail::begin_no_preempt(self);
+      t->waiters_lock.lock();
+      if (t->done.load(std::memory_order_acquire) != 0) {
+        t->waiters_lock.unlock();
+        detail::end_no_preempt(self);
+        break;
+      }
+      t->waiters.push_back(self);
+      self->wait_timed_out = false;
+      t->rt->register_timed_wait(self, deadline, &t->waiters_lock,
+                                 &t->waiters);
+      detail::suspend_block(self, &t->waiters_lock, nullptr);
+      t->rt->unregister_timed_wait(self);
+      detail::end_no_preempt(self);  // cancellation point
+      if (self->wait_timed_out && t->done.load(std::memory_order_acquire) == 0)
+        return false;
+    }
+  } else {
+    for (;;) {
+      if (t->done.load(std::memory_order_acquire) != 0) break;
+      const std::int64_t left = deadline - now_ns();
+      if (left <= 0) return false;
+      futex_wait_timeout(&t->done, 0, left);
+    }
+  }
+
+  delete t;
+  ctl_ = nullptr;
+  return true;
+}
 
 ThreadStatus Thread::join_status() {
   // Joining an empty or already-joined handle is a benign no-op (status
@@ -743,7 +1141,38 @@ namespace this_thread {
 void yield() {
   ThreadCtl* self = detail::current_ult_or_null();
   if (self == nullptr) return;
+  detail::cancel_point(self);
   detail::suspend_yield(self);
+}
+
+void sleep_for(std::chrono::nanoseconds d) {
+  ThreadCtl* self = detail::current_ult_or_null();
+  if (self == nullptr) {
+    if (d.count() <= 0) return;
+    timespec ts;
+    ts.tv_sec = static_cast<time_t>(d.count() / 1'000'000'000);
+    ts.tv_nsec = static_cast<long>(d.count() % 1'000'000'000);
+    nanosleep(&ts, nullptr);
+    return;
+  }
+  detail::cancel_point(self);
+  if (d.count() <= 0) {
+    detail::suspend_yield(self);
+    return;
+  }
+  // Sleep through the timed-wait registry: waiters == nullptr means no
+  // competing waker, expiry always wins. The thread's own waiters_lock
+  // doubles as the save-rendezvous guard (released by the post action after
+  // the context save, so the expiry scan cannot requeue a half-saved
+  // thread). No joiner can hold it: a sleeping thread is not done.
+  const std::int64_t deadline = now_ns() + d.count();
+  detail::begin_no_preempt(self);
+  self->waiters_lock.lock();
+  self->wait_timed_out = false;
+  self->rt->register_timed_wait(self, deadline, &self->waiters_lock, nullptr);
+  detail::suspend_block(self, &self->waiters_lock, nullptr);
+  self->rt->unregister_timed_wait(self);
+  detail::end_no_preempt(self);  // cancellation point
 }
 
 bool in_ult() { return detail::current_ult_or_null() != nullptr; }

@@ -13,6 +13,8 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -115,10 +117,16 @@ class Runtime {
     std::uint64_t ult_faults = 0;            ///< ULTs terminated kFailed, ever
     std::uint64_t stack_overflows = 0;       ///< ... by guard-page overflow
     std::uint64_t escaped_exceptions = 0;    ///< ... by the exception firewall
+    std::uint64_t ult_cancels = 0;           ///< ... by cancel/deadline expiry
     std::uint64_t klts_retired = 0;          ///< poisoned KLTs exited, ever
     std::uint64_t stacks_quarantined = 0;    ///< failed-ULT stacks re-guarded
     std::uint64_t stack_near_overflows = 0;  ///< watermark within a page of guard
     std::uint64_t stack_watermark_max = 0;   ///< deepest sampled stack use, bytes
+
+    // -- self-healing remediation (docs/robustness.md) --
+    std::uint64_t remediations_retick = 0;       ///< directed re-ticks sent
+    std::uint64_t remediations_cancel = 0;       ///< deadline-driven cancels
+    std::uint64_t remediations_klt_replace = 0;  ///< forced KLT replacements
 
     // -- tracer results (all zero when tracing is off) --
     bool trace_enabled = false;
@@ -152,6 +160,12 @@ class Runtime {
   /// Watchdog flag episodes observed so far, by kind.
   std::uint64_t watchdog_flags(WatchdogReport::Kind kind) const {
     return watchdog_.flagged(kind);
+  }
+
+  /// Remediation actions taken so far, by kind (kNone is not counted).
+  std::uint64_t remediations(RemediationKind kind) const {
+    const int i = static_cast<int>(kind) - 1;
+    return i >= 0 && i < 3 ? n_remediations_[i].value() : 0;
   }
 
   // ----- tracing (docs/observability.md) -----
@@ -196,8 +210,13 @@ class Runtime {
   void enable_posix_timer_fallback();
 
   /// Drive the watchdog from a timer/monitor thread (runtime/watchdog.hpp).
-  /// No-op when the watchdog is disabled; safe from concurrent drivers.
-  void watchdog_tick(std::int64_t now) { watchdog_.tick(now); }
+  /// No-op when the watchdog is disabled; safe from concurrent drivers. Also
+  /// the timed-wait/deadline expiry driver: expirations happen before the
+  /// watchdog poll so a deadline-expired cancel is visible the same period.
+  void watchdog_tick(std::int64_t now) {
+    expire_timers(now);
+    watchdog_.tick(now);
+  }
 
   /// Wake idle workers after an enqueue.
   void notify_work();
@@ -218,6 +237,47 @@ class Runtime {
   /// (called from the SIGSEGV handler before the KLT exits).
   void note_klt_retired() { n_klts_retired_.add(1); }
 
+  // ----- self-healing: timed waits, deadlines, remediation -----
+  // (docs/robustness.md "Self-healing")
+
+  /// Register the calling ULT `t` for a timed wakeup at absolute `wake_ns`.
+  /// `guard` is the spinlock protecting `waiters`, the list t pushed itself
+  /// onto (nullptr waiters = sleep: expiry always wins). Caller must hold
+  /// `guard` across register + suspend_block and call unregister_timed_wait
+  /// after resuming, before the primitive may be destroyed.
+  void register_timed_wait(ThreadCtl* t, std::int64_t wake_ns, Spinlock* guard,
+                           std::vector<ThreadCtl*>* waiters);
+  /// Remove t's entry; spins out a concurrent expiry scan touching it.
+  void unregister_timed_wait(ThreadCtl* t);
+
+  /// Expire due timed waits and deadlines: wake timed-out waiters (setting
+  /// ThreadCtl::wait_timed_out) and turn expired deadlines into cancel
+  /// requests plus a directed preemption tick. Cheap when nothing is due.
+  void expire_timers(std::int64_t now);
+  /// Fast-path wrapper for idle workers: one relaxed load when no timed wait
+  /// or deadline is armed, so timed waits keep ~1 ms granularity even with
+  /// TimerKind::None.
+  void maybe_expire_timers();
+  /// Make the registry due now: the next expiry scan (idle worker, monitor
+  /// tick, or watchdog poll) wakes any timed wait whose thread has a pending
+  /// cancel request, regardless of its nominal wake time. Called after
+  /// setting ThreadCtl::cancel_requested on a possibly-blocked thread.
+  void kick_timers() { lower_next_due(0); }
+
+  /// Watchdog remediation (options().remediation): replace worker w's wedged
+  /// host KLT with a pool spare / fresh KLT. The old KLT is orphaned via the
+  /// host_token protocol (worker.hpp) and exits at the stranded ULT's next
+  /// runtime entry. False when no replacement KLT could be found (graceful
+  /// degradation) or ownership could not be claimed this period.
+  bool force_replace_worker_klt(Worker& w);
+
+  /// Count + trace one remediation action (watchdog.hpp). With `report`,
+  /// also route a synthesized WatchdogReport through watchdog_callback (or a
+  /// rate-limited stderr line) — used by actions taken outside a watchdog
+  /// poll (deadline-driven cancels), whose flag report nobody else emits.
+  void note_remediation(RemediationKind kind, int worker_rank,
+                        WatchdogReport::Kind cause, bool report = false);
+
  private:
   friend struct Worker;
   static void* klt_entry(void* arg);
@@ -226,6 +286,13 @@ class Runtime {
   /// Shared tail of finalize_thread/finalize_failed_thread: publish done,
   /// wake joiners, free detached control blocks.
   void publish_done_and_wake(ThreadCtl* t);
+  /// Deadline registry maintenance (self-healing). arm_ is called from
+  /// spawn_ctl for threads with an effective deadline; disarm_ from the
+  /// finalize paths, before the control block may be deleted.
+  void arm_deadline(ThreadCtl* t, std::int64_t deadline_abs_ns);
+  void disarm_deadline(ThreadCtl* t);
+  /// Fold a new wake/deadline instant into next_due_ (CAS-min).
+  void lower_next_due(std::int64_t when);
 
   RuntimeOptions opts_;
   trace::TraceConfig trace_cfg_;  ///< options.trace resolved against env
@@ -259,6 +326,30 @@ class Runtime {
   std::atomic<std::uint64_t> n_stack_near_overflow_{0};
   std::atomic<std::uint64_t> stack_watermark_max_{0};  ///< CAS-max on release
 
+  // -- self-healing: timed waits, deadlines, remediation --
+  struct TimedWait {
+    ThreadCtl* t;
+    std::int64_t wake_ns;
+    Spinlock* guard;                   ///< protects *waiters
+    std::vector<ThreadCtl*>* waiters;  ///< nullptr = sleep (expiry always wins)
+    bool busy;                         ///< expiry scan holds it outside the lock
+  };
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+  Spinlock timed_lock_;
+  std::vector<TimedWait> timed_waits_;
+  /// Threads with an armed deadline. Entries pin liveness: removed in
+  /// finalize_* (disarm_deadline) before the control block can be deleted.
+  std::vector<ThreadCtl*> deadline_armed_;
+  /// Expired deadlines currently being processed outside timed_lock_; they
+  /// pin liveness the same way (disarm_deadline spins until the scan drops
+  /// its entry, so the control block cannot die under the scan's hands).
+  std::vector<ThreadCtl*> deadline_busy_;
+  /// Earliest pending wake/deadline; kNoDeadline when neither list has one.
+  std::atomic<std::int64_t> next_due_{kNoDeadline};
+  metrics::AtomicCounter n_remediations_[3];  ///< indexed RemediationKind - 1
+  std::atomic<std::int64_t> last_remediation_stderr_ns_{0};
+
   /// Watchdog + metrics publisher (runtime/watchdog.hpp). Declared after
   /// workers_/sched_ and stopped before them in the destructor.
   Watchdog watchdog_;
@@ -277,12 +368,17 @@ int spawn_errno();
 
 namespace this_thread {
 
-/// Cooperative yield; no-op when called outside a ULT.
+/// Cooperative yield (and a cancellation point); no-op when called outside a
+/// ULT.
 void yield();
 /// True when the calling code runs inside a ULT.
 bool in_ult();
 /// Worker rank hosting the calling ULT, or -1 outside ULT context.
 int worker_rank();
+/// Timed sleep and cancellation point. Inside a ULT the worker is released
+/// for the duration (timed-wait registry, ~1 ms granularity); outside it
+/// falls back to nanosleep.
+void sleep_for(std::chrono::nanoseconds d);
 
 }  // namespace this_thread
 

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/cpu.hpp"
+#include "common/time.hpp"
 #include "runtime/internal.hpp"
 
 namespace lpt {
@@ -30,6 +31,7 @@ void make_ready(ThreadCtl* t) {
 
 void Mutex::lock() {
   ThreadCtl* self = require_ult("lpt::Mutex::lock outside ULT context");
+  detail::cancel_point(self);  // before acquisition: nothing held yet
   detail::begin_no_preempt(self);
   guard_.lock();
   if (!locked_) {
@@ -53,6 +55,36 @@ bool Mutex::try_lock() {
   guard_.unlock();
   detail::end_no_preempt(self);
   return got;
+}
+
+bool Mutex::try_lock_for(std::chrono::nanoseconds timeout) {
+  ThreadCtl* self =
+      require_ult("lpt::Mutex::try_lock_for outside ULT context");
+  detail::cancel_point(self);
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  if (!locked_) {
+    locked_ = true;
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return true;
+  }
+  if (timeout.count() <= 0) {
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return false;
+  }
+  const std::int64_t deadline = now_ns() + timeout.count();
+  waiters_.push_back(self);
+  self->wait_timed_out = false;
+  // Expiry races unlock() for the wakeup under guard_; whoever removes us
+  // from waiters_ wins. Losing to unlock() means we were handed the lock —
+  // a timed waiter that wakes as owner reports success even if late.
+  self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  detail::suspend_block(self, &guard_, nullptr);
+  self->rt->unregister_timed_wait(self);
+  detail::end_no_preempt(self);  // cancellation point
+  return !self->wait_timed_out;
 }
 
 void Mutex::unlock() {
@@ -88,6 +120,24 @@ void CondVar::wait(Mutex& m) {
   detail::suspend_block(self, &guard_, &m);
   detail::end_no_preempt(self);
   m.lock();
+}
+
+bool CondVar::wait_for(Mutex& m, std::chrono::nanoseconds timeout) {
+  ThreadCtl* self = require_ult("lpt::CondVar::wait_for outside ULT context");
+  if (timeout.count() <= 0) return false;  // immediate timeout, m stays held
+  const std::int64_t deadline = now_ns() + timeout.count();
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  waiters_.push_back(self);
+  self->wait_timed_out = false;
+  self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  detail::suspend_block(self, &guard_, &m);
+  self->rt->unregister_timed_wait(self);
+  // Cancellation point — fires while m is NOT held, so a cancelled waiter
+  // never strands the user mutex.
+  detail::end_no_preempt(self);
+  m.lock();
+  return !self->wait_timed_out;
 }
 
 void CondVar::notify_one() {

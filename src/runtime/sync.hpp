@@ -8,6 +8,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -22,6 +23,10 @@ class Mutex {
  public:
   void lock();
   bool try_lock();
+  /// Blocking try_lock with a timeout (~1 ms granularity, timed-wait
+  /// registry) and a cancellation point. False on timeout; on true the
+  /// caller owns the mutex (direct handoff applies to timed waiters too).
+  bool try_lock_for(std::chrono::nanoseconds timeout);
   void unlock();
 
  private:
@@ -36,6 +41,13 @@ class CondVar {
  public:
   /// Atomically release `m` and block; re-acquires `m` before returning.
   void wait(Mutex& m);
+  /// wait() with a timeout (~1 ms granularity) and a cancellation point.
+  /// Returns false when the wait timed out before a notify; `m` is held on
+  /// either return. A nonpositive timeout returns false without releasing
+  /// `m`. Spurious-wakeup-free (direct handoff), so no predicate loop is
+  /// required just for this primitive — callers still need one when the
+  /// predicate can be consumed by another woken waiter.
+  bool wait_for(Mutex& m, std::chrono::nanoseconds timeout);
   void notify_one();
   void notify_all();
 

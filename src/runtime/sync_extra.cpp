@@ -3,6 +3,7 @@
 #include <climits>
 
 #include "common/assert.hpp"
+#include "common/time.hpp"
 #include "runtime/internal.hpp"
 
 namespace lpt {
@@ -133,6 +134,36 @@ bool Semaphore::try_acquire() {
   guard_.unlock();
   detail::end_no_preempt(self);
   return got;
+}
+
+bool Semaphore::try_acquire_for(std::chrono::nanoseconds timeout) {
+  ThreadCtl* self =
+      require_ult("Semaphore::try_acquire_for outside ULT context");
+  detail::cancel_point(self);
+  detail::begin_no_preempt(self);
+  guard_.lock();
+  if (count_ > 0) {
+    --count_;
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return true;
+  }
+  if (timeout.count() <= 0) {
+    guard_.unlock();
+    detail::end_no_preempt(self);
+    return false;
+  }
+  const std::int64_t deadline = now_ns() + timeout.count();
+  waiters_.push_back(self);
+  self->wait_timed_out = false;
+  // Expiry races release() under guard_; a waiter release() removed was
+  // handed a unit (direct handoff), so a timed-out flag can never coexist
+  // with an owed unit.
+  self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  detail::suspend_block(self, &guard_, nullptr);
+  self->rt->unregister_timed_wait(self);
+  detail::end_no_preempt(self);  // cancellation point
+  return !self->wait_timed_out;
 }
 
 void Semaphore::release(int n) {

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,10 @@ class Semaphore {
   void acquire();
   /// Try to decrement without blocking.
   bool try_acquire();
+  /// Blocking try_acquire with a timeout (~1 ms granularity, timed-wait
+  /// registry) and a cancellation point. False on timeout, true when a unit
+  /// was consumed (possibly handed off directly by release()).
+  bool try_acquire_for(std::chrono::nanoseconds timeout);
   /// Increment and release one waiter if any.
   void release(int n = 1);
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -32,6 +33,7 @@ enum class FaultKind : std::uint8_t {
   kSegv,            ///< other SIGSEGV, contained under isolate_faults
   kBus,             ///< SIGBUS, contained under isolate_faults
   kException,       ///< C++ exception escaped the thread function
+  kCancelled,       ///< terminated by request_cancel() / deadline expiry
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -101,6 +103,24 @@ struct ThreadCtl {
   /// to joiners by the `done` store.
   FaultInfo fault;
 
+  // ----- cancellation & deadlines (docs/robustness.md "Self-healing") -----
+
+  /// Set by Thread::request_cancel(), deadline expiry, or the watchdog
+  /// remediation ladder; consumed at cancellation points (yield, sync waits,
+  /// sleep_for, timed waits) and by the preemption handler for a directed
+  /// cancel tick. Never cleared once set.
+  std::atomic<bool> cancel_requested{false};
+  /// Absolute CLOCK_MONOTONIC deadline in ns; 0 = none. Armed at spawn from
+  /// ThreadAttrs::deadline / RuntimeOptions::default_ult_deadline and scanned
+  /// by the watchdog tick, expiring into request_cancel().
+  std::int64_t deadline_ns = 0;
+  /// Timed-wait handshake (Runtime::register_timed_wait): the expiry scan
+  /// and the normal notify path both remove the waiter from the primitive's
+  /// list under its guard, so exactly one side requeues it; whichever wins
+  /// sets (or leaves) this flag for the resumed waiter. Only written under
+  /// the primitive's guard or while solely owned.
+  bool wait_timed_out = false;
+
   ThreadState load_state() const {
     return static_cast<ThreadState>(state.load(std::memory_order_acquire));
   }
@@ -138,6 +158,20 @@ class Thread {
 
   /// Times the thread was implicitly preempted so far.
   std::uint64_t preemptions() const;
+
+  /// Request asynchronous cancellation. The target observes it at its next
+  /// cancellation point (yield, sync wait, sleep_for, timed wait) and ends as
+  /// Failed(kCancelled); a target that never reaches one is unwound by a
+  /// directed preemption tick through the fault-isolation path (its stack is
+  /// quarantined; destructors on the abandoned stack do NOT run — same caveat
+  /// as SEGV containment). No-op on an empty handle or a finished thread;
+  /// returns false in those cases.
+  bool request_cancel();
+
+  /// join() bounded by a relative timeout. Returns true when the thread
+  /// completed and was joined (handle becomes empty); false on timeout (the
+  /// handle stays joinable). Callable from a ULT or an external thread.
+  bool join_for(std::chrono::nanoseconds timeout);
 
  private:
   ThreadCtl* ctl_ = nullptr;

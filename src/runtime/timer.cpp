@@ -127,9 +127,10 @@ class MonitorTimer final : public PreemptionTimer {
           break;
       }
       // The watchdog piggybacks on this thread (no extra wakeups): every
-      // monitor tick accrues time-in-state and, at the watchdog's own period,
-      // runs the starvation checks. Multiple drivers (fallback + main timer)
-      // are safe — Watchdog::tick is try-locked.
+      // monitor tick expires due timed waits / ULT deadlines, accrues
+      // time-in-state and, at the watchdog's own period, runs the starvation
+      // checks. Multiple drivers (fallback + main timer) are safe —
+      // Watchdog::tick is try-locked and the expiry scan takes its own lock.
       rt_->watchdog_tick(now_ns());
       ++tick;
     }

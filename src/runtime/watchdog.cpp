@@ -25,6 +25,16 @@ const char* watchdog_kind_name(WatchdogReport::Kind k) {
   return "?";
 }
 
+const char* remediation_kind_name(RemediationKind k) {
+  switch (k) {
+    case RemediationKind::kNone: return "none";
+    case RemediationKind::kRetick: return "retick";
+    case RemediationKind::kCancel: return "cancel";
+    case RemediationKind::kKltReplace: return "klt_replace";
+  }
+  return "?";
+}
+
 namespace watchdog_detail {
 
 unsigned evaluate_worker(const WorkerObs& obs, const WatchdogLimits& limits,
@@ -152,7 +162,9 @@ void Watchdog::start(Runtime& rt, bool own_thread) {
   for (auto& f : flags_) f.store(0, std::memory_order_relaxed);
   last_accrue_ns_ = now_ns();
   next_poll_ns_ = last_accrue_ns_ + period_ns_;
-  last_stderr_ns_ = 0;
+  for (auto& t : last_stderr_ns_) t = 0;
+  remediate_ = o.remediation;
+  remediate_budget_ = 0;
   enabled_.store(true, std::memory_order_release);
   if (own_thread) {
     thread_stop_.store(false, std::memory_order_release);
@@ -200,6 +212,10 @@ void Watchdog::tick(std::int64_t now) {
 
 void Watchdog::poll(std::int64_t now) {
   using namespace watchdog_detail;
+  // Remediation ladder budget (docs/robustness.md): at most
+  // remediate_max_per_period actions per poll, bounding the blast radius of
+  // a misconfigured ladder.
+  remediate_budget_ = remediate_ ? rt_->options().remediate_max_per_period : 0;
   const int n = rt_->num_workers();
   for (int r = 0; r < n; ++r) {
     Worker& w = rt_->worker(r);
@@ -238,6 +254,20 @@ void Watchdog::poll(std::int64_t now) {
       rep.age_ns = frozen_ns;
       rep.queue_depth = obs.queue_depth;
       rep.ticks_without_handler = obs.ticks_sent - watch.ticks_at_entry_change;
+      // Ladder rung 2: the handler is unreachable (blocked mask / lost
+      // timer), so signals cannot help — force the worker onto a fresh host
+      // KLT; the wedged tenant is orphaned and cancelled at its next runtime
+      // entry. On failure the episode latch is cleared so the next poll
+      // retries instead of waiting for progress that cannot happen.
+      if (remediate_budget_ > 0) {
+        --remediate_budget_;
+        if (rt_->force_replace_worker_klt(w)) {
+          rep.remediation = RemediationKind::kKltReplace;
+          rt_->note_remediation(RemediationKind::kKltReplace, r, rep.kind);
+        } else {
+          watch.stall_flagged = false;
+        }
+      }
       report(rep);
     }
     if (flags & kFlagQuantumOverrun) {
@@ -246,6 +276,17 @@ void Watchdog::poll(std::int64_t now) {
       rep.worker = r;
       rep.age_ns = frozen_ns;
       rep.queue_depth = obs.queue_depth;
+      // Ladder rung 1: the tick that should have bounded this quantum was
+      // lost or coalesced — send a directed re-tick. The latch is cleared so
+      // a still-frozen worker re-arms the check next period (budget-capped)
+      // rather than overrunning silently forever.
+      if (remediate_budget_ > 0) {
+        --remediate_budget_;
+        signals::send_preempt(w, -1);
+        rep.remediation = RemediationKind::kRetick;
+        rt_->note_remediation(RemediationKind::kRetick, r, rep.kind);
+        watch.overrun_flagged = false;
+      }
       report(rep);
     }
     if (flags & kFlagFaultStorm) {
@@ -269,17 +310,23 @@ void Watchdog::report(const WatchdogReport& r) {
     rt_->options().watchdog_callback(r);
     return;
   }
-  // Default sink: one stderr line per second at most — a starving runtime
-  // flags every period and must not flood the application's logs.
+  // Default sink: one stderr line per second at most, rate-limited per flag
+  // kind — a starving runtime flags every period and must not flood the
+  // application's logs, but one noisy kind must not silence the others.
   const std::int64_t now = now_ns();
-  if (now - last_stderr_ns_ < 1'000'000'000) return;
-  last_stderr_ns_ = now;
+  std::int64_t& last = last_stderr_ns_[static_cast<int>(r.kind)];
+  if (now - last < 1'000'000'000) return;
+  last = now;
   std::fprintf(stderr,
                "[lpt watchdog] %s: worker %d stuck for %.0f ms "
-               "(queue depth %" PRId64 ", %" PRIu64 " unanswered ticks)\n",
+               "(queue depth %" PRId64 ", %" PRIu64 " unanswered ticks%s%s)\n",
                watchdog_kind_name(r.kind), r.worker,
                static_cast<double>(r.age_ns) / 1e6, r.queue_depth,
-               r.ticks_without_handler);
+               r.ticks_without_handler,
+               r.remediation != RemediationKind::kNone ? ", remediated: " : "",
+               r.remediation != RemediationKind::kNone
+                   ? remediation_kind_name(r.remediation)
+                   : "");
 }
 
 void Watchdog::thread_loop() {
@@ -289,7 +336,9 @@ void Watchdog::thread_loop() {
   for (;;) {
     gate_.wait_for(period_ns_);
     if (thread_stop_.load(std::memory_order_acquire)) return;
-    tick(now_ns());
+    // Via the runtime wrapper so timed-wait/deadline expiry runs even when
+    // no monitor timer thread exists to drive it.
+    rt_->watchdog_tick(now_ns());
   }
 }
 

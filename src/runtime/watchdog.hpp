@@ -46,6 +46,16 @@ namespace lpt {
 
 class Runtime;
 
+/// Remediation action the self-healing ladder took (docs/robustness.md,
+/// RuntimeOptions::remediation). Ordered by escalation severity.
+enum class RemediationKind : std::uint8_t {
+  kNone = 0,        ///< detection only (remediation off, or budget exhausted)
+  kRetick = 1,      ///< directed preemption re-tick at an overrunning worker
+  kCancel = 2,      ///< deadline expiry → cancel request + directed tick
+  kKltReplace = 3,  ///< stalled worker's host KLT force-replaced
+};
+const char* remediation_kind_name(RemediationKind k);
+
 /// What the watchdog observed when it flagged. Carries only values (never a
 /// ThreadCtl pointer: control blocks die concurrently with the watchdog).
 struct WatchdogReport {
@@ -60,6 +70,9 @@ struct WatchdogReport {
   std::int64_t age_ns = 0;  ///< how long the pathology has persisted
   std::int64_t queue_depth = 0;
   std::uint64_t ticks_without_handler = 0;  ///< kWorkerStall only
+  /// Action the remediation ladder took for this episode (kNone when
+  /// remediation is off, the budget ran out, or the action failed).
+  RemediationKind remediation = RemediationKind::kNone;
 };
 const char* watchdog_kind_name(WatchdogReport::Kind k);
 
@@ -155,7 +168,14 @@ class Watchdog {
   std::vector<watchdog_detail::WorkerWatch> watch_;
   std::int64_t last_accrue_ns_ = 0;
   std::int64_t next_poll_ns_ = 0;
-  std::int64_t last_stderr_ns_ = 0;
+  /// Default-sink rate limit, per flag kind: a starving runtime flags every
+  /// period, but one noisy kind must not silence reports of the others.
+  std::int64_t last_stderr_ns_[4] = {};
+  /// Remediation ladder state: actions taken in the current poll period
+  /// (capped at options().remediate_max_per_period) and the master switch,
+  /// resolved at start().
+  bool remediate_ = false;
+  int remediate_budget_ = 0;
 
   std::atomic<std::uint64_t> checks_{0};
   std::atomic<std::uint64_t> flags_[4] = {};

@@ -33,8 +33,62 @@ namespace detail {
 ThreadCtl* current_ult_or_null() {
   WorkerTls* tls = worker_tls();
   if (tls->worker == nullptr || !tls->in_ult) return nullptr;
-  return tls->worker->current_ult.load(std::memory_order_relaxed);
+  // Identity comes from the hosting KLT, not the worker: after a forced KLT
+  // replacement (watchdog remediation) the worker's current_ult moves on
+  // with the new host while this KLT still runs its old ULT.
+  return tls->hosted_ult;
 }
+
+namespace {
+
+/// Claim the worker's scheduler-context ownership token for this KLT.
+/// Returns false when the watchdog force-replaced this worker's host in the
+/// meantime — the caller is orphaned and must not touch the worker again.
+bool claim_host_token(WorkerTls* tls) {
+  KltCtl* expect = tls->klt;
+  return tls->worker->host_token.compare_exchange_strong(
+      expect, nullptr, std::memory_order_acq_rel, std::memory_order_acquire);
+}
+
+/// Terminal landing for a ULT whose host KLT was orphaned by a forced
+/// replacement: the scheduler context now runs elsewhere, so the thread is
+/// finalized via klt_main's deferred hook (never before this stack is
+/// abandoned) and the kernel thread exits through its native context —
+/// the same retirement shape as a poisoned-KLT fault.
+[[noreturn]] void orphan_terminate(ThreadCtl* self, bool finished) {
+  WorkerTls* tls = worker_tls();
+  Worker* w = tls->worker;
+  KltCtl* k = tls->klt;
+  LPT_CHECK(w != nullptr && k != nullptr && self != nullptr);
+  tls->in_ult = false;
+  if (finished) {
+    self->store_state(ThreadState::kFinished);
+  } else {
+    // An unfinished ULT stranded on an orphaned KLT is cancelled — it was
+    // the wedged tenant the watchdog replaced the KLT to get away from
+    // (docs/robustness.md "Self-healing").
+    if (self->fault.kind == FaultKind::kNone)
+      self->fault.kind = FaultKind::kCancelled;
+    self->store_state(ThreadState::kFailed);
+    w->metrics.ult_faults.add(1);
+    if (self->fault.kind == FaultKind::kCancelled) {
+      w->metrics.ult_cancels.add(1);
+      LPT_TRACE_EVENT(trace::EventType::kUltCancel, self->trace_id, 2);
+    } else {
+      LPT_TRACE_EVENT(trace::EventType::kUltFault, self->trace_id,
+                      static_cast<std::uint64_t>(self->fault.kind),
+                      self->fault.fault_addr);
+    }
+  }
+  k->orphan_finalize = self;
+  k->orphan_finished = finished;
+  k->pending_wake = nullptr;
+  k->pending_wake_in_handler = false;
+  k->native_op = KltNativeOp::kExit;
+  context_jump(k->native_ctx);
+}
+
+}  // namespace
 
 void begin_no_preempt(ThreadCtl* self) {
   if (self != nullptr) self->no_preempt_depth = self->no_preempt_depth + 1;
@@ -44,10 +98,15 @@ void end_no_preempt(ThreadCtl* self) {
   if (self == nullptr) return;
   int d = self->no_preempt_depth - 1;
   self->no_preempt_depth = d;
-  if (d == 0 && self->preempt_pending) {
-    self->preempt_pending = false;
-    // Turn the deferred preemption into a voluntary yield at this safe point.
-    suspend_yield(self);
+  if (d == 0) {
+    // Guard exit is a safe point: a cancel deferred by the guard (the
+    // handler refuses to unwind a guard holder) lands here first.
+    cancel_point(self);
+    if (self->preempt_pending) {
+      self->preempt_pending = false;
+      // Turn the deferred preemption into a voluntary yield at this safe point.
+      suspend_yield(self);
+    }
   }
 }
 
@@ -57,6 +116,7 @@ __attribute__((noinline)) void suspend_yield(ThreadCtl* self) {
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
   LPT_CHECK(w != nullptr && self != nullptr);
+  if (!claim_host_token(tls)) orphan_terminate(self, /*finished=*/false);
   // Order matters: clear in_ult before writing the post action so a signal
   // in between is a harmless no-op instead of a post-action clobber.
   tls->in_ult = false;
@@ -70,6 +130,24 @@ __attribute__((noinline)) void suspend_block(ThreadCtl* self, Spinlock* sl,
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
   LPT_CHECK(w != nullptr && self != nullptr);
+  if (!claim_host_token(tls)) {
+    // Orphaned mid-block: the block itself stays valid — the thread is in a
+    // waiter list others will wake through make_ready. Save the context,
+    // hand the guard releases to klt_main (they may only drop once the save
+    // is complete — the usual enqueue-before-save race), and retire this
+    // KLT. The thread resumes right here on whichever worker wakes it.
+    KltCtl* k = tls->klt;
+    tls->in_ult = false;
+    self->store_state(ThreadState::kBlocked);
+    k->orphan_release_lock = sl;
+    k->orphan_release_mutex = m;
+    k->pending_wake = nullptr;
+    k->pending_wake_in_handler = false;
+    k->native_op = KltNativeOp::kExit;
+    context_switch(self->ctx, k->native_ctx);
+    mark_in_ult();
+    return;
+  }
   tls->in_ult = false;
   w->post = PostAction{PostKind::kBlock, self, sl, m};
   context_switch(self->ctx, w->sched_ctx);
@@ -80,6 +158,7 @@ __attribute__((noinline)) void suspend_exit(ThreadCtl* self) {
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
   LPT_CHECK(w != nullptr && self != nullptr);
+  if (!claim_host_token(tls)) orphan_terminate(self, /*finished=*/true);
   tls->in_ult = false;
   self->store_state(ThreadState::kFinished);
   w->post = PostAction{PostKind::kExit, self, nullptr, nullptr};
@@ -95,6 +174,7 @@ __attribute__((noinline)) void suspend_fail(ThreadCtl* self) {
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
   LPT_CHECK(w != nullptr && self != nullptr);
+  if (!claim_host_token(tls)) orphan_terminate(self, /*finished=*/false);
   tls->in_ult = false;
   self->store_state(ThreadState::kFailed);
   w->metrics.ult_faults.add(1);
@@ -104,6 +184,32 @@ __attribute__((noinline)) void suspend_fail(ThreadCtl* self) {
                   self->fault.fault_addr);
   w->post = PostAction{PostKind::kFault, self, nullptr, nullptr};
   context_jump(w->sched_ctx);
+}
+
+__attribute__((noinline)) void suspend_cancel(ThreadCtl* self) {
+  // Cooperative cancellation landing: same shape as suspend_fail, but the
+  // failure record says kCancelled and the action is counted separately.
+  // Like every containment path, the abandoned stack's destructors are
+  // skipped; the stack itself goes through quarantine.
+  WorkerTls* tls = worker_tls();
+  Worker* w = tls->worker;
+  LPT_CHECK(w != nullptr && self != nullptr);
+  if (!claim_host_token(tls)) orphan_terminate(self, /*finished=*/false);
+  tls->in_ult = false;
+  self->fault.kind = FaultKind::kCancelled;
+  self->store_state(ThreadState::kFailed);
+  w->metrics.ult_faults.add(1);
+  w->metrics.ult_cancels.add(1);
+  LPT_TRACE_EVENT(trace::EventType::kUltCancel, self->trace_id);
+  w->post = PostAction{PostKind::kFault, self, nullptr, nullptr};
+  context_jump(w->sched_ctx);
+}
+
+void cancel_point(ThreadCtl* self) {
+  if (self == nullptr) return;
+  if (!self->cancel_requested.load(std::memory_order_relaxed)) return;
+  if (self->no_preempt_depth > 0) return;  // guard exit will re-check
+  suspend_cancel(self);
 }
 
 __attribute__((noinline)) void handler_signal_yield(Worker* w, ThreadCtl* t) {
@@ -135,6 +241,9 @@ __attribute__((noinline)) void handler_klt_switch(Runtime* rt, Worker* w,
     if (rt->klt_creator().saturated() || rt->klt_cap_reached()) {
       w->metrics.klt_degraded_ticks.add(1);
       LPT_TRACE_EVENT(trace::EventType::kKltDegradedTick, t->trace_id);
+      // The handler claimed the host token; the ULT keeps running here, so
+      // hand ownership back.
+      w->host_token.store(self, std::memory_order_release);
       return;
     }
     // No spare KLT: request one and return; this thread keeps running and
@@ -143,6 +252,7 @@ __attribute__((noinline)) void handler_klt_switch(Runtime* rt, Worker* w,
     // the interrupted thread owns).
     LPT_TRACE_EVENT(trace::EventType::kKltPoolMiss, t->trace_id);
     rt->klt_creator().request();
+    w->host_token.store(self, std::memory_order_release);
     return;
   }
   LPT_TRACE_EVENT(trace::EventType::kKltPoolHit, t->trace_id,
@@ -183,6 +293,7 @@ __attribute__((noinline)) void handler_klt_switch(Runtime* rt, Worker* w,
   WorkerTls* tls2 = worker_tls();
   Worker* w2 = self->assign_worker;
   tls2->worker = w2;
+  tls2->hosted_ult = t;
   tls2->in_ult = true;
   t->bound_klt = nullptr;
   if (LPT_TRACE_ON() && suspend_ns != 0) {
@@ -247,6 +358,12 @@ void Worker::run(ThreadCtl* t) {
   current_preempt.store(static_cast<std::uint8_t>(t->preempt),
                         std::memory_order_release);
   metrics.set_state(metrics::WorkerState::kRunningUlt);
+  WorkerTls* tls = worker_tls();
+  tls->hosted_ult = t;
+  // Publish scheduler-context ownership to the hosting KLT; whoever next
+  // re-enters sched_ctx (suspension, handler, or the watchdog's forced
+  // replacement) claims it back by CAS.
+  host_token.store(tls->klt, std::memory_order_release);
   context_switch(sched_ctx, t->ctx);
   // Back in scheduler context; the post action says why. process_post_action
   // re-marks the state (it must anyway, for the fresh-KLT handoff resume).
@@ -277,6 +394,8 @@ void Worker::run_resume_bound(ThreadCtl* t) {
 
   x->action = KltAction::kResumeUlt;
   x->assign_worker = this;
+  // t resumes on x: x owns the scheduler context from here (see run()).
+  host_token.store(x, std::memory_order_release);
 
   me->pending_wake = x;
   me->pending_wake_in_handler = true;
@@ -379,6 +498,10 @@ void Worker::process_post_action() {
 
 void Worker::idle_backoff(int& failures) {
   metrics.set_state(metrics::WorkerState::kIdle);
+  // Idle workers double as the timed-wait clock: with TimerKind::None there
+  // is no monitor tick, so this (plus the 1 ms bound on idle_wait) is what
+  // keeps sleep_for / try_lock_for at ~1 ms granularity.
+  rt->maybe_expire_timers();
   ++failures;
   if (failures < 64) {
     for (int i = 0; i < 32; ++i) cpu_pause();

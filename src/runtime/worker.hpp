@@ -65,6 +65,17 @@ struct alignas(kCacheLineSize) Worker {
   std::atomic<KltCtl*> current_klt{nullptr};
   std::atomic<pid_t> current_tid{0};
 
+  /// Ownership token for the scheduler context (docs/robustness.md
+  /// "Self-healing"). While a ULT runs, holds the hosting KltCtl*; nullptr
+  /// while the scheduler owns the context or a claim is in flight. Every
+  /// path that re-enters sched_ctx from ULT context must claim the token
+  /// with compare_exchange(my_klt -> nullptr); the watchdog's forced KLT
+  /// replacement claims it the same way. A failed claim on the ULT side
+  /// means this KLT was orphaned by a forced replacement — it must not touch
+  /// the worker again (suspension primitives exit via orphan path, handlers
+  /// return / chain).
+  std::atomic<KltCtl*> host_token{nullptr};
+
   PostAction post;
 
   /// Futex word for idle sleep and thread-packing parking.
@@ -128,6 +139,11 @@ struct alignas(kCacheLineSize) Worker {
 struct WorkerTls {
   Worker* worker = nullptr;
   KltCtl* klt = nullptr;
+  /// The ULT physically hosted on *this* KLT. Usually equal to
+  /// worker->current_ult, but after a forced KLT replacement the worker's
+  /// current_ult moves on with the new host while the orphaned KLT still
+  /// carries its old ULT — identity must come from here, not the worker.
+  ThreadCtl* hosted_ult = nullptr;
   /// True only while ULT code is running on this KLT (or a handler is about
   /// to return into it). The handler preempts nothing when false, which
   /// makes the scheduler's pre-switch window safe by construction.

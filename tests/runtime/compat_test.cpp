@@ -227,5 +227,46 @@ TEST(Compat, RwlockReadersAndWriters) {
   EXPECT_EQ(value, 200);
 }
 
+TEST(Compat, CancelUnknownOrFinishedThreadIsEsrch) {
+  Runtime rt{RuntimeOptions{}};
+  EXPECT_EQ(thread_cancel(thread_t{}), ESRCH);
+
+  thread_t t;
+  ASSERT_EQ(thread_create(
+                &t, nullptr, [](void*) -> void* { return nullptr; }, nullptr),
+            0);
+  ASSERT_EQ(thread_join(t, nullptr), 0);
+  // The handle is consumed by join; a stale copy names no live thread.
+  EXPECT_EQ(thread_cancel(thread_t{}), ESRCH);
+}
+
+TEST(Compat, CancelledThreadJoinsAsEintr) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 2'000;
+  Runtime rt(o);
+
+  static std::atomic<bool> entered{false};
+  entered.store(false);
+  thread_t t;
+  // Default compat attrs use KLT-switching preemption, so the directed
+  // cancel tick can unwind even this pointless spin.
+  ASSERT_EQ(thread_create(
+                &t, nullptr,
+                [](void*) -> void* {
+                  entered.store(true, std::memory_order_release);
+                  for (;;) busy_spin_ns(100'000);
+                },
+                nullptr),
+            0);
+  while (!entered.load(std::memory_order_acquire)) cpu_pause();
+  EXPECT_EQ(thread_cancel(t), 0);
+  void* retval = reinterpret_cast<void*>(0x1234);
+  EXPECT_EQ(thread_join(t, &retval), EINTR);
+  // A cancelled start routine never returned: retval is left untouched.
+  EXPECT_EQ(retval, reinterpret_cast<void*>(0x1234));
+}
+
 }  // namespace
 }  // namespace lpt::compat

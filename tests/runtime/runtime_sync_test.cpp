@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <vector>
 
+#include "common/time.hpp"
 #include "runtime/lpt.hpp"
 
 namespace lpt {
@@ -214,6 +216,156 @@ TEST(BusyFlag, PureSpinWaitNeedsPreemption) {
   waiter.join();
   setter.join();
   EXPECT_GT(rt.total_preemptions(), 0u);
+}
+
+
+// ---------------------------------------------------------------------------
+// Timed waits (self-healing PR: timed-wait registry, ~1 ms granularity)
+// ---------------------------------------------------------------------------
+
+TEST(TimedSync, TryLockForTimesOutThenSucceeds) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  Mutex m;
+  std::atomic<bool> held{false};
+  std::atomic<bool> release{false};
+  Thread holder = rt.spawn([&] {
+    m.lock();
+    held.store(true, std::memory_order_release);
+    while (!release.load(std::memory_order_acquire)) this_thread::yield();
+    m.unlock();
+  });
+  Thread contender = rt.spawn([&] {
+    while (!held.load(std::memory_order_acquire)) this_thread::yield();
+    const std::int64_t start = now_ns();
+    EXPECT_FALSE(m.try_lock_for(std::chrono::milliseconds(20)));
+    EXPECT_GE(now_ns() - start, 15'000'000) << "returned before the timeout";
+    release.store(true, std::memory_order_release);
+    EXPECT_TRUE(m.try_lock_for(std::chrono::seconds(10)));
+    m.unlock();
+  });
+  holder.join();
+  contender.join();
+}
+
+TEST(TimedSync, TryLockForZeroTimeoutIsTryLock) {
+  Runtime rt{RuntimeOptions{}};
+  Mutex m;
+  Thread t = rt.spawn([&] {
+    EXPECT_TRUE(m.try_lock_for(std::chrono::nanoseconds(0)));
+    EXPECT_FALSE(m.try_lock_for(std::chrono::nanoseconds(0)));
+    m.unlock();
+  });
+  t.join();
+}
+
+TEST(TimedSync, CondVarWaitForTimesOutHoldingMutex) {
+  Runtime rt{RuntimeOptions{}};
+  Mutex m;
+  CondVar cv;
+  Thread t = rt.spawn([&] {
+    m.lock();
+    const std::int64_t start = now_ns();
+    EXPECT_FALSE(cv.wait_for(m, std::chrono::milliseconds(20)));
+    EXPECT_GE(now_ns() - start, 15'000'000);
+    // m is re-held after a timed-out wait: mutating shared state is legal.
+    m.unlock();
+  });
+  t.join();
+}
+
+TEST(TimedSync, CondVarWaitForWinsWhenNotified) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  Mutex m;
+  CondVar cv;
+  std::atomic<bool> waiting{false};
+  bool ready = false;
+  Thread waiter = rt.spawn([&] {
+    m.lock();
+    waiting.store(true, std::memory_order_release);
+    bool ok = true;
+    while (!ready && ok) ok = cv.wait_for(m, std::chrono::seconds(10));
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(ready);
+    m.unlock();
+  });
+  Thread notifier = rt.spawn([&] {
+    while (!waiting.load(std::memory_order_acquire)) this_thread::yield();
+    m.lock();
+    ready = true;
+    m.unlock();
+    cv.notify_one();
+  });
+  waiter.join();
+  notifier.join();
+}
+
+TEST(TimedSync, SleepForReleasesWorkerAndWakes) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  Runtime rt(o);
+  std::atomic<std::uint64_t> other_work{0};
+  std::atomic<bool> stop{false};
+  // On the single worker, a sleeping ULT must not block its sibling.
+  Thread bg = rt.spawn([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      other_work.fetch_add(1, std::memory_order_relaxed);
+      this_thread::yield();
+    }
+  });
+  Thread sleeper = rt.spawn([&] {
+    const std::int64_t start = now_ns();
+    this_thread::sleep_for(std::chrono::milliseconds(30));
+    EXPECT_GE(now_ns() - start, 25'000'000);
+  });
+  sleeper.join();
+  EXPECT_GT(other_work.load(std::memory_order_relaxed), 0u);
+  stop.store(true, std::memory_order_release);
+  bg.join();
+}
+
+TEST(TimedSync, SleepForOutsideUltFallsBackToNanosleep) {
+  const std::int64_t start = now_ns();
+  this_thread::sleep_for(std::chrono::milliseconds(15));
+  EXPECT_GE(now_ns() - start, 10'000'000);
+}
+
+TEST(TimedSync, JoinForTimesOutThenJoins) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  std::atomic<bool> release{false};
+  Thread worker = rt.spawn([&] {
+    while (!release.load(std::memory_order_acquire)) this_thread::yield();
+  });
+  // ULT-context join_for.
+  Thread joiner = rt.spawn([&] {
+    EXPECT_FALSE(worker.join_for(std::chrono::milliseconds(20)));
+    EXPECT_TRUE(worker.joinable()) << "timed-out join must keep the handle";
+    release.store(true, std::memory_order_release);
+    EXPECT_TRUE(worker.join_for(std::chrono::seconds(30)));
+    EXPECT_FALSE(worker.joinable());
+  });
+  joiner.join();
+}
+
+TEST(TimedSync, JoinForFromExternalThread) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  Runtime rt(o);
+  std::atomic<bool> release{false};
+  Thread worker = rt.spawn([&] {
+    while (!release.load(std::memory_order_acquire)) this_thread::yield();
+  });
+  // The test body runs on an external (non-ULT) kernel thread.
+  EXPECT_FALSE(worker.join_for(std::chrono::milliseconds(20)));
+  EXPECT_TRUE(worker.joinable());
+  release.store(true, std::memory_order_release);
+  EXPECT_TRUE(worker.join_for(std::chrono::seconds(30)));
+  EXPECT_FALSE(worker.joinable());
 }
 
 TEST(Sync, MutexUnderPreemption) {

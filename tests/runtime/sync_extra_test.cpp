@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
@@ -162,6 +163,36 @@ TEST(Semaphore, BatchReleaseWakesMultipleWaiters) {
 // ---------------------------------------------------------------------------
 // Latch
 // ---------------------------------------------------------------------------
+
+TEST(Semaphore, TryAcquireForTimesOutOnEmpty) {
+  Runtime rt{RuntimeOptions{}};
+  Semaphore sem(0);
+  Thread t = rt.spawn([&] {
+    const std::int64_t start = now_ns();
+    EXPECT_FALSE(sem.try_acquire_for(std::chrono::milliseconds(20)));
+    EXPECT_GE(now_ns() - start, 15'000'000);
+    EXPECT_FALSE(sem.try_acquire_for(std::chrono::nanoseconds(0)));
+  });
+  t.join();
+}
+
+TEST(Semaphore, TryAcquireForWinsWhenReleased) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  Runtime rt(o);
+  Semaphore sem(0);
+  std::atomic<bool> waiting{false};
+  Thread waiter = rt.spawn([&] {
+    waiting.store(true, std::memory_order_release);
+    EXPECT_TRUE(sem.try_acquire_for(std::chrono::seconds(10)));
+  });
+  Thread releaser = rt.spawn([&] {
+    while (!waiting.load(std::memory_order_acquire)) this_thread::yield();
+    sem.release();
+  });
+  waiter.join();
+  releaser.join();
+}
 
 TEST(Latch, ReleasesUltAndExternalWaiters) {
   RuntimeOptions o;

@@ -1,0 +1,152 @@
+// Self-healing soak driver (scripts/soak.sh): a sustained mixed workload —
+// cooperative cancels, directed-tick cancels under both preemption
+// techniques, per-spawn deadlines, timed waits — with the remediation
+// ladder on, followed by leak checks no unit test can make: after Runtime
+// destruction the process is back to its baseline kernel-thread count
+// (no orphaned/pooled KLT survives shutdown) and a second Runtime in the
+// same process starts healthy and completes work. Exit 0 on success.
+//
+//   soak [seconds]   (default 60)
+#include <dirent.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/time.hpp"
+#include "runtime/lpt.hpp"
+
+namespace {
+
+using namespace lpt;
+
+int fail(const char* msg) {
+  std::fprintf(stderr, "soak: FAIL: %s\n", msg);
+  return 1;
+}
+
+/// Kernel threads in this process right now (/proc/self/task entries).
+int task_count() {
+  DIR* d = opendir("/proc/self/task");
+  if (d == nullptr) return -1;
+  int n = 0;
+  while (dirent* e = readdir(d))
+    if (e->d_name[0] != '.') ++n;
+  closedir(d);
+  return n;
+}
+
+/// One batch of mixed work; returns false on any contract violation.
+bool run_batch(Runtime& rt, std::uint64_t round) {
+  std::vector<Thread> joiners;
+
+  // Plain compute under both techniques — must finish untouched.
+  for (Preempt p : {Preempt::SignalYield, Preempt::KltSwitch}) {
+    ThreadAttrs a;
+    a.preempt = p;
+    joiners.push_back(rt.spawn([] { busy_spin_ns(200'000); }, a));
+  }
+
+  // A runaway with a tight deadline: the runtime must cancel it.
+  ThreadAttrs dl;
+  dl.preempt = round % 2 == 0 ? Preempt::SignalYield : Preempt::KltSwitch;
+  dl.deadline_ns = 10'000'000;  // 10 ms
+  Thread runaway = rt.spawn([] { for (;;) busy_spin_ns(100'000); }, dl);
+
+  // A spinner cancelled by hand mid-flight.
+  ThreadAttrs sy;
+  sy.preempt = Preempt::SignalYield;
+  std::atomic<bool> spinning{false};
+  Thread victim = rt.spawn(
+      [&] {
+        spinning.store(true, std::memory_order_release);
+        for (;;) busy_spin_ns(100'000);
+      },
+      sy);
+  while (!spinning.load(std::memory_order_acquire)) busy_spin_ns(10'000);
+  victim.request_cancel();
+
+  // Timed waits: a sleeper, and a pair racing a mutex with try_lock_for.
+  joiners.push_back(
+      rt.spawn([] { this_thread::sleep_for(std::chrono::milliseconds(2)); }));
+  auto mu = std::make_shared<Mutex>();
+  for (int i = 0; i < 2; ++i) {
+    joiners.push_back(rt.spawn([mu] {
+      if (mu->try_lock_for(std::chrono::milliseconds(50))) {
+        busy_spin_ns(100'000);
+        mu->unlock();
+      }
+    }));
+  }
+
+  for (Thread& t : joiners) {
+    if (!t.join_for(std::chrono::seconds(30))) return false;
+  }
+  if (runaway.join_status().fault.kind != FaultKind::kCancelled) return false;
+  if (victim.join_status().fault.kind != FaultKind::kCancelled) return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const long seconds = argc > 1 ? std::strtol(argv[1], nullptr, 10) : 60;
+  const int baseline = task_count();
+
+  std::uint64_t rounds = 0;
+  {
+    RuntimeOptions o;
+    o.num_workers = 4;
+    o.timer = TimerKind::PerWorkerAligned;
+    o.interval_us = 2'000;
+    o.watchdog_period_ms = 20;
+    o.remediation = true;
+    Runtime rt(o);
+
+    const std::int64_t end = now_ns() + seconds * 1'000'000'000LL;
+    while (now_ns() < end) {
+      if (!run_batch(rt, rounds)) {
+        return fail("batch violated a join/cancel contract");
+      }
+      ++rounds;
+    }
+
+    const Runtime::Stats s = rt.stats();
+    std::printf(
+        "soak: %llu rounds in %lds: ult_cancels=%llu retick=%llu "
+        "cancel=%llu klt_replace=%llu klts_retired=%llu "
+        "stacks_quarantined=%llu\n",
+        static_cast<unsigned long long>(rounds), seconds,
+        static_cast<unsigned long long>(s.ult_cancels),
+        static_cast<unsigned long long>(s.remediations_retick),
+        static_cast<unsigned long long>(s.remediations_cancel),
+        static_cast<unsigned long long>(s.remediations_klt_replace),
+        static_cast<unsigned long long>(s.klts_retired),
+        static_cast<unsigned long long>(s.stacks_quarantined));
+    if (s.ult_cancels < 2 * rounds) return fail("cancels did not keep up");
+    if (s.remediations_cancel < rounds) return fail("deadline rung never ran");
+  }  // Runtime destructor: the clean-shutdown half of the check.
+
+  // Every KLT — workers, pool spares, retired orphans, helper threads —
+  // must be gone. Give exiting threads a moment to be reaped.
+  for (int i = 0; i < 100 && task_count() > baseline; ++i) usleep(10'000);
+  if (task_count() > baseline) return fail("kernel threads leaked shutdown");
+
+  // A fresh runtime in the same process starts healthy.
+  {
+    Runtime rt{RuntimeOptions{}};
+    std::atomic<int> n{0};
+    std::vector<Thread> ts;
+    for (int i = 0; i < 32; ++i)
+      ts.push_back(rt.spawn([&] { n.fetch_add(1, std::memory_order_relaxed); }));
+    for (Thread& t : ts) t.join();
+    if (n.load() != 32) return fail("post-soak runtime lost work");
+  }
+
+  std::printf("soak: PASS\n");
+  return 0;
+}
