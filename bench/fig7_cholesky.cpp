@@ -8,10 +8,21 @@
 // reverse-engineered nonpreemptive BOLT is on par with preemptive BOLT;
 // IOMP (flat) is clearly worst at small tile counts; naive nonpreemptive
 // BOLT (no yield hack) deadlocks.
+// Alongside the simulated figure, a real-runtime section factors an actual
+// SPD matrix with apps::tiled_cholesky on this host — the workload the
+// continuous profiler (docs/observability.md, "Profiling") is demonstrated
+// on: run with LPT_PROF=1 (+ LPT_PROF_FILE/LPT_METRICS_FILE) and the
+// shutdown profile reconciles with the dispatch metrics, which the check.sh
+// prof smoke gates through tests/tools/prof_check.cpp.
 #include <cstdio>
 
+#include <vector>
+
+#include "apps/cholesky/cholesky.hpp"
+#include "apps/linalg/blas.hpp"
 #include "bench_util.hpp"
 #include "common/table.hpp"
+#include "common/time.hpp"
 #include "sim/workloads/cholesky_dag.hpp"
 
 using namespace lpt;
@@ -103,6 +114,69 @@ int main(int argc, char** argv) {
               sum_pre10 / 5 > 500 ? "OK" : "MISMATCH", sum_pre10 / 5);
   json.set("deadlock.nonpreemptive", static_cast<std::uint64_t>(naive_dl));
   json.set("deadlock.preemptive", static_cast<std::uint64_t>(preempt_dl));
+
+  // --- Real runtime: actual tiled Cholesky on this host --------------------
+  // Small enough to finish in well under a second, big enough for the
+  // preemption timer (and, when armed, the piggyback sampler) to observe the
+  // tile tasks. LPT_PROF / LPT_PROF_FILE / LPT_METRICS_FILE resolve from the
+  // environment, so `LPT_PROF=1 fig7_cholesky` leaves a validated profile.
+  std::printf("\n=== Real runtime: tiled Cholesky (SignalYield tasks) ===\n");
+  {
+    RuntimeOptions o = resolve_env_options(RuntimeOptions{});
+    o.num_workers = 4;
+    o.timer = TimerKind::PerWorkerAligned;
+    o.interval_us = 1000;
+    Runtime rt(o);
+
+    apps::TiledCholeskyOptions copts;
+    copts.tiles = 8;
+    copts.tile_n = 64;
+    copts.inner_width = 2;  // inner teams add the busy-wait sync the paper
+    copts.inner_wait = apps::TeamWait::kSpinYield;  // profiles as kBusyFlag
+    copts.preempt = Preempt::SignalYield;
+    const int n = copts.tiles * copts.tile_n;
+    std::vector<double> a(static_cast<std::size_t>(n) * n);
+    apps::make_spd(n, a.data(), n, /*seed=*/7);
+
+    const std::int64_t t0 = now_ns();
+    const bool ok = apps::tiled_cholesky(rt, copts, a.data(), n);
+    const double secs = static_cast<double>(now_ns() - t0) / 1e9;
+    const double gflops =
+        static_cast<double>(n) * n * n / 3.0 / 1e9 / (secs > 0 ? secs : 1);
+    std::printf("  n=%d (%dx%d tiles of %d): %s in %.3f s (%.2f GFLOPS)\n", n,
+                copts.tiles, copts.tiles, copts.tile_n,
+                ok ? "factored" : "FAILED", secs, gflops);
+    json.set("real.ok", static_cast<std::uint64_t>(ok));
+    json.set("real.gflops", gflops);
+
+    const metrics::Snapshot ms = rt.metrics_snapshot();
+    json.set("real.dispatches", ms.dispatches);
+    if (rt.prof_enabled()) {
+      // The reconciliation the profiler guarantees (and prof_check enforces
+      // on the exported file): every sampler invocation is recorded or a
+      // counted drop, and piggyback invocations ride exactly the preemption
+      // handler entries the dispatch metrics already count.
+      const bool reconciles =
+          ms.prof_sample_invocations ==
+              ms.prof_samples_recorded + ms.prof_samples_dropped &&
+          (rt.prof_config().sample_hz > 0 ||
+           ms.prof_sample_invocations == ms.handler_entries);
+      std::printf("  profiler: %llu samples (%llu dropped), %llu off-CPU "
+                  "waits, %llu lock acquires — reconciliation %s\n",
+                  static_cast<unsigned long long>(ms.prof_samples_recorded),
+                  static_cast<unsigned long long>(ms.prof_samples_dropped),
+                  static_cast<unsigned long long>(ms.prof_offcpu_waits),
+                  static_cast<unsigned long long>(ms.prof_lock_acquires),
+                  reconciles ? "OK" : "MISMATCH");
+      json.set("real.prof_samples", ms.prof_samples_recorded);
+      json.set("real.prof_offcpu_waits", ms.prof_offcpu_waits);
+      json.set("real.prof_reconciles", static_cast<std::uint64_t>(reconciles));
+    } else {
+      std::printf("  profiler off (set LPT_PROF=1 for a folded profile of "
+                  "this section)\n");
+    }
+  }
+
   json.write(bench::json_path_from_args(argc, argv));
   return 0;
 }

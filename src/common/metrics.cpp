@@ -263,6 +263,37 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
   prom_family(out, "lpt_trace_dropped_total", "counter",
               "Events dropped by full trace rings.");
   prom_u64(out, "lpt_trace_dropped_total", s.trace_dropped);
+
+  prom_family(out, "lpt_prof_enabled", "gauge",
+              "1 when the continuous profiler is armed.");
+  prom_i64(out, "lpt_prof_enabled", s.prof_enabled ? 1 : 0);
+  prom_family(out, "lpt_prof_sample_invocations_total", "counter",
+              "On-CPU sampling hook firings (0 when profiling is off).");
+  prom_u64(out, "lpt_prof_sample_invocations_total",
+           s.prof_sample_invocations);
+  prom_family(out, "lpt_prof_samples_recorded_total", "counter",
+              "On-CPU samples committed to the sample rings.");
+  prom_u64(out, "lpt_prof_samples_recorded_total", s.prof_samples_recorded);
+  prom_family(out, "lpt_prof_samples_dropped_total", "counter",
+              "On-CPU samples dropped (ring full or no ring).");
+  prom_u64(out, "lpt_prof_samples_dropped_total", s.prof_samples_dropped);
+  prom_family(out, "lpt_prof_offcpu_waits_total", "counter",
+              "Off-CPU wait intervals attributed to a wait site.");
+  prom_u64(out, "lpt_prof_offcpu_waits_total", s.prof_offcpu_waits);
+  prom_family(out, "lpt_prof_offcpu_seconds_total", "counter",
+              "Total attributed off-CPU blocked time.");
+  std::fprintf(out, "lpt_prof_offcpu_seconds_total %.6f\n",
+               static_cast<double>(s.prof_offcpu_ns) / 1e9);
+  prom_family(out, "lpt_prof_lock_acquires_total", "counter",
+              "Acquire attempts on profiled mutexes.");
+  prom_u64(out, "lpt_prof_lock_acquires_total", s.prof_lock_acquires);
+  prom_family(out, "lpt_prof_lock_contended_total", "counter",
+              "Profiled mutex acquires that had to park.");
+  prom_u64(out, "lpt_prof_lock_contended_total", s.prof_lock_contended);
+  prom_family(out, "lpt_prof_contention_chains_total", "counter",
+              "Waiters parked behind a holder that was itself off-CPU.");
+  prom_u64(out, "lpt_prof_contention_chains_total",
+           s.prof_contention_chains);
 }
 
 void write_json(std::FILE* out, const Snapshot& s) {
@@ -342,6 +373,18 @@ void write_json(std::FILE* out, const Snapshot& s) {
                ", \"dropped\": %" PRIu64 "},\n",
                s.trace_enabled ? "true" : "false", s.trace_events,
                s.trace_dropped);
+  std::fprintf(out,
+               "  \"prof\": {\"enabled\": %s, \"sample_invocations\": %" PRIu64
+               ", \"samples_recorded\": %" PRIu64
+               ", \"samples_dropped\": %" PRIu64
+               ", \"offcpu_waits\": %" PRIu64 ", \"offcpu_ns\": %" PRIu64
+               ", \"lock_acquires\": %" PRIu64
+               ", \"lock_contended\": %" PRIu64
+               ", \"contention_chains\": %" PRIu64 "},\n",
+               s.prof_enabled ? "true" : "false", s.prof_sample_invocations,
+               s.prof_samples_recorded, s.prof_samples_dropped,
+               s.prof_offcpu_waits, s.prof_offcpu_ns, s.prof_lock_acquires,
+               s.prof_lock_contended, s.prof_contention_chains);
   std::fprintf(out, "  \"workers\": [\n");
   for (std::size_t i = 0; i < s.workers.size(); ++i) {
     const WorkerSample& w = s.workers[i];

@@ -221,6 +221,18 @@ struct Snapshot {
   std::uint64_t trace_events = 0;
   std::uint64_t trace_dropped = 0;
 
+  // -- profiler pass-through (docs/observability.md "Profiling"; all zero
+  //    when profiling is off) --
+  bool prof_enabled = false;
+  std::uint64_t prof_sample_invocations = 0;  ///< sampling hook firings
+  std::uint64_t prof_samples_recorded = 0;    ///< committed to sample rings
+  std::uint64_t prof_samples_dropped = 0;     ///< lost (ring full / no ring)
+  std::uint64_t prof_offcpu_waits = 0;        ///< blocked intervals recorded
+  std::uint64_t prof_offcpu_ns = 0;           ///< total blocked time, ns
+  std::uint64_t prof_lock_acquires = 0;       ///< profiled Mutex acquisitions
+  std::uint64_t prof_lock_contended = 0;      ///< ... that had to park
+  std::uint64_t prof_contention_chains = 0;   ///< ... behind a preempted holder
+
   /// Fill the totals from `workers`.
   void finalize();
 

@@ -38,6 +38,9 @@ const char* event_name(EventType t) {
     case EventType::kStackNearOverflow: return "stack_near_overflow";
     case EventType::kUltCancel: return "ult_cancel";
     case EventType::kRemediation: return "remediation";
+    case EventType::kProfSample: return "prof_sample";
+    case EventType::kOffcpuWait: return "offcpu_wait";
+    case EventType::kLockContended: return "lock_contended";
     case EventType::kCount: break;
   }
   return "unknown";

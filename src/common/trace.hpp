@@ -69,6 +69,9 @@ enum class EventType : std::uint16_t {
   kStackNearOverflow,  ///< released stack's watermark within a page of the guard; arg0=watermark bytes
   kUltCancel,          ///< ULT cancelled; arg0: 0=cancellation point, 1=directed tick, 2=orphan landing
   kRemediation,        ///< watchdog remediation acted; arg0=RemediationKind, arg1=rank
+  kProfSample,         ///< profiler captured an on-CPU sample; arg0=PC, arg1=frames
+  kOffcpuWait,         ///< profiler attributed an off-CPU wait; arg0=blocked ns, arg1=prof::WaitKind
+  kLockContended,      ///< profiled Mutex acquire had to park; arg0=wait ns, arg1=callsite
   kCount,
 };
 

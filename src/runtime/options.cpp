@@ -101,6 +101,40 @@ RuntimeOptions resolve_env_options(RuntimeOptions o) {
   if (max_per_period > 0) o.remediate_max_per_period = static_cast<int>(max_per_period);
   if (o.remediate_max_per_period < 1) o.remediate_max_per_period = 1;
   if (o.default_ult_deadline_ns < 0) o.default_ult_deadline_ns = 0;
+
+  // ----- continuous profiler (options.hpp lists every LPT_PROF* knob) -----
+  if (const char* v = std::getenv("LPT_PROF"); v != nullptr)
+    o.prof.enabled = env_flag("LPT_PROF", o.prof.enabled);
+  if (const char* v = std::getenv("LPT_PROF_FILE"); v != nullptr && v[0] != '\0') {
+    o.prof.file = v;
+    o.prof.enabled = true;  // a requested output implies profiling, like LPT_TRACE_FILE
+  }
+  if (const char* v = std::getenv("LPT_PROF_HZ"); v != nullptr && v[0] != '\0') {
+    long long hz = 0;
+    if (!parse_count(v, prof::kMaxHz, &hz) || hz < prof::kMinHz) {
+      std::fprintf(stderr, "lpt: ignoring nonsense LPT_PROF_HZ='%s' (want %d..%d)\n",
+                   v, prof::kMinHz, prof::kMaxHz);
+    } else {
+      o.prof.sample_hz = static_cast<int>(hz);
+    }
+  }
+  o.prof.offcpu = env_flag("LPT_PROF_OFFCPU", o.prof.offcpu);
+  o.prof.locks = env_flag("LPT_PROF_LOCKS", o.prof.locks);
+  long long depth = 0;
+  env_count("LPT_PROF_DEPTH", 1'000'000, &depth);
+  if (depth > 0) o.prof.max_stack_depth = static_cast<std::uint32_t>(depth);
+  // Clamp rather than reject: a too-deep request still profiles, bounded.
+  if (o.prof.max_stack_depth < 1) o.prof.max_stack_depth = 1;
+  if (o.prof.max_stack_depth > prof::kMaxFrames)
+    o.prof.max_stack_depth = prof::kMaxFrames;
+  long long ring_cap = 0;
+  env_count("LPT_PROF_RING_CAP", 1ll << 24, &ring_cap);
+  if (ring_cap > 0) o.prof.ring_capacity = static_cast<std::uint32_t>(ring_cap);
+  if (o.prof.sample_hz < 0 || o.prof.sample_hz > prof::kMaxHz)
+    o.prof.sample_hz = 0;  // programmatic nonsense falls back to piggyback
+  if (o.prof.enabled && o.prof.file.empty() &&
+      std::getenv("LPT_PROF") != nullptr)
+    o.prof.file = "lpt_profile.folded";  // plain LPT_PROF=1 leaves a profile
   return o;
 }
 

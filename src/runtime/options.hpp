@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/trace.hpp"
+#include "prof/prof.hpp"
 
 namespace lpt {
 
@@ -88,6 +89,15 @@ struct RuntimeOptions {
   /// there at shutdown. Off by default: the hot path only pays one relaxed
   /// flag load per instrumented site.
   trace::TraceConfig trace;
+
+  /// Continuous profiler (docs/observability.md, "Profiling"): on-CPU
+  /// sampling piggybacked on preemption ticks, off-CPU wait attribution, and
+  /// the lock-contention profiler. Overridable via LPT_PROF / LPT_PROF_HZ /
+  /// LPT_PROF_OFFCPU / LPT_PROF_LOCKS / LPT_PROF_FILE / LPT_PROF_DEPTH /
+  /// LPT_PROF_RING_CAP; when `prof.file` is set the runtime writes a
+  /// folded-stack (or ".json") profile there at shutdown. Off by default:
+  /// instrumented sites pay one relaxed flag load each.
+  prof::ProfConfig prof;
 
   // ----- always-on metrics & watchdog (docs/observability.md) -----
 
@@ -175,6 +185,19 @@ struct RuntimeOptions {
 /// LPT_ISOLATE_FAULTS, LPT_STACK_SCRUB, LPT_REMEDIATE, and the integer knobs
 /// LPT_WATCHDOG_STARVATION_PERIODS / LPT_WATCHDOG_STALL_PERIODS /
 /// LPT_REMEDIATE_MAX_PER_PERIOD (validated like LPT_STACK_SIZE).
+///
+/// Profiler knobs (docs/observability.md, "Profiling"):
+///  * LPT_PROF=1 arms all three collectors (0/off force-disables);
+///  * LPT_PROF_HZ=<n> switches the on-CPU sampler from tick-piggybacking to
+///    an independent n-Hz-per-worker sampling signal; n outside
+///    [prof::kMinHz, prof::kMaxHz] is rejected as nonsense;
+///  * LPT_PROF_OFFCPU=0 / LPT_PROF_LOCKS=0 turn single collectors off;
+///  * LPT_PROF_FILE=<path> sets the shutdown profile path and implies
+///    LPT_PROF=1 (".json" = JSON report, anything else folded stacks);
+///    plain LPT_PROF=1 with no file defaults to "lpt_profile.folded";
+///  * LPT_PROF_DEPTH=<frames> bounds the stack walk (clamped to
+///    [1, prof::kMaxFrames]);
+///  * LPT_PROF_RING_CAP=<samples> sizes the per-OS-thread sample rings.
 RuntimeOptions resolve_env_options(RuntimeOptions o);
 
 /// Smallest stack resolve_env_options will accept (LPT_STACK_SIZE below this

@@ -14,9 +14,11 @@
 #include "common/cpu.hpp"
 #include "common/sys.hpp"
 #include "common/time.hpp"
+#include "prof/prof.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
+#include "runtime/prof_glue.hpp"
 #include "runtime/signals.hpp"
 #include "runtime/timer.hpp"
 
@@ -93,6 +95,12 @@ Runtime::Runtime(RuntimeOptions opts)
   trace_cfg_ = trace::resolve_config(opts_.trace);
   if (trace_cfg_.enabled) trace::Collector::instance().configure(trace_cfg_);
 
+  // Arm the profiler the same way: configure() (re)allocates every collector
+  // structure and re-arms the recording gates before any worker KLT exists,
+  // so the hot paths never allocate. A disabled config disarms the gates,
+  // making a fresh runtime immune to a previous runtime's profile state.
+  prof::Collector::instance().configure(opts_.prof);
+
   n_active_.store(opts_.num_workers, std::memory_order_release);
 
   for (int r = 0; r < opts_.num_workers; ++r) {
@@ -166,9 +174,13 @@ Runtime::Runtime(RuntimeOptions opts)
   const metrics::PublishConfig pub = metrics::resolve_publish_config(
       {opts_.metrics_file, opts_.metrics_period_ms});
   if (!pub.file.empty()) publisher_.start(*this, pub);
+
+  if (opts_.prof.enabled && opts_.prof.sample_hz > 0)
+    prof_ticker_.start(*this, opts_.prof.sample_hz);
 }
 
 Runtime::~Runtime() {
+  prof_ticker_.stop();
   if (timer_) timer_->stop();
   // The watchdog reads worker metrics and scheduler queues; stop it while
   // both still exist and before the fallback timer (a late driver) goes.
@@ -218,6 +230,15 @@ Runtime::~Runtime() {
     trace::Collector::instance().disable();
   }
 
+  // Same for the profile: everything is quiesced, flush the configured file
+  // and disarm the gates. The collector keeps the data for late explicit
+  // write_profile() calls on the Collector singleton (this Runtime is gone).
+  if (opts_.prof.enabled) {
+    if (!opts_.prof.file.empty())
+      prof::Collector::instance().write_file(opts_.prof.file);
+    prof::Collector::instance().disable();
+  }
+
   fault::restore();
   detail::runtime_slot().store(nullptr, std::memory_order_release);
 }
@@ -255,6 +276,9 @@ void Runtime::klt_main(KltCtl* self) {
   tls->trace_ring =
       trace::Collector::instance().acquire_ring(trace::TrackKind::kWorkerKlt, -1);
   if (tls->trace_ring != nullptr) self->trace_id = tls->trace_ring->id();
+  // Sample ring for the on-CPU profiler (null when profiling is off). Like
+  // the trace ring, acquired once per KLT before any signal can sample here.
+  tls->prof_ring = prof::Collector::instance().acquire_ring();
   fault::register_alt_stack(self);
   signals::block_runtime_signals();
   signals::unblock_preempt();
@@ -479,6 +503,19 @@ metrics::Snapshot Runtime::metrics_snapshot() const {
     s.trace_events = trace::Collector::instance().total_events();
     s.trace_dropped = trace::Collector::instance().total_dropped();
   }
+
+  s.prof_enabled = opts_.prof.enabled;
+  if (opts_.prof.enabled) {
+    const prof::Totals pt = prof::Collector::instance().totals();
+    s.prof_sample_invocations = pt.invocations;
+    s.prof_samples_recorded = pt.recorded;
+    s.prof_samples_dropped = pt.dropped;
+    s.prof_offcpu_waits = pt.offcpu_waits;
+    s.prof_offcpu_ns = pt.offcpu_total_ns;
+    s.prof_lock_acquires = pt.lock_acquires;
+    s.prof_lock_contended = pt.lock_contended;
+    s.prof_contention_chains = pt.contention_chains;
+  }
   return s;
 }
 
@@ -542,7 +579,20 @@ Runtime::Stats Runtime::stats() const {
   s.trace_enabled = m.trace_enabled;
   s.trace_events = m.trace_events;
   s.trace_dropped = m.trace_dropped;
+  s.prof_enabled = m.prof_enabled;
+  s.prof_sample_invocations = m.prof_sample_invocations;
+  s.prof_samples_recorded = m.prof_samples_recorded;
+  s.prof_samples_dropped = m.prof_samples_dropped;
+  s.prof_offcpu_waits = m.prof_offcpu_waits;
+  s.prof_lock_acquires = m.prof_lock_acquires;
+  s.prof_lock_contended = m.prof_lock_contended;
+  s.prof_contention_chains = m.prof_contention_chains;
   return s;
+}
+
+bool Runtime::write_profile(const std::string& path) const {
+  if (!opts_.prof.enabled) return false;
+  return prof::Collector::instance().write_file(path);
 }
 
 bool Runtime::write_chrome_trace(const std::string& path) const {
@@ -607,6 +657,35 @@ void Runtime::enable_posix_timer_fallback() {
   if (fallback_timer_ == nullptr) {
     fallback_timer_ = PreemptionTimer::make_fallback();
     fallback_timer_->start(*this);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LPT_PROF_HZ sampling pacer (docs/observability.md "Profiling")
+// ---------------------------------------------------------------------------
+
+void Runtime::ProfTicker::start(Runtime& rt, int hz) {
+  rt_ = &rt;
+  period_ns_ = 1'000'000'000 / std::max(hz, 1);
+  stop_.store(false, std::memory_order_release);
+  thread_ = std::thread([this] { thread_loop(); });
+}
+
+void Runtime::ProfTicker::stop() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  gate_.post();
+  thread_.join();
+}
+
+void Runtime::ProfTicker::thread_loop() {
+  // Like every helper thread: never take a runtime signal on this stack.
+  signals::block_runtime_signals();
+  while (!stop_.load(std::memory_order_acquire)) {
+    gate_.wait_for(period_ns_);
+    if (stop_.load(std::memory_order_acquire)) return;
+    for (int r = 0; r < rt_->num_workers(); ++r)
+      signals::send_prof_tick(rt_->worker(r));
   }
 }
 
@@ -1053,6 +1132,7 @@ bool Thread::request_cancel() {
 }
 
 bool Thread::join_for(std::chrono::nanoseconds timeout) {
+  void* const wait_site = __builtin_return_address(0);
   if (ctl_ == nullptr) return true;  // empty handle: trivially joined
   ThreadCtl* t = ctl_;
   const std::int64_t deadline =
@@ -1075,7 +1155,9 @@ bool Thread::join_for(std::chrono::nanoseconds timeout) {
       self->wait_timed_out = false;
       t->rt->register_timed_wait(self, deadline, &t->waiters_lock,
                                  &t->waiters);
+      prof::offcpu_begin(self, prof::WaitKind::kJoin, wait_site);
       detail::suspend_block(self, &t->waiters_lock, nullptr);
+      prof::offcpu_end(self);
       t->rt->unregister_timed_wait(self);
       detail::end_no_preempt(self);  // cancellation point
       if (self->wait_timed_out && t->done.load(std::memory_order_acquire) == 0)
@@ -1096,6 +1178,7 @@ bool Thread::join_for(std::chrono::nanoseconds timeout) {
 }
 
 ThreadStatus Thread::join_status() {
+  void* const wait_site = __builtin_return_address(0);
   // Joining an empty or already-joined handle is a benign no-op (status
   // reads completed == false): spawn failure hands out empty handles, and
   // fault-handling code paths may join defensively.
@@ -1115,7 +1198,9 @@ ThreadStatus Thread::join_status() {
         break;
       }
       t->waiters.push_back(self);
+      prof::offcpu_begin(self, prof::WaitKind::kJoin, wait_site);
       detail::suspend_block(self, &t->waiters_lock, nullptr);
+      prof::offcpu_end(self);
       detail::end_no_preempt(self);
     }
   } else {
@@ -1146,6 +1231,7 @@ void yield() {
 }
 
 void sleep_for(std::chrono::nanoseconds d) {
+  void* const wait_site = __builtin_return_address(0);
   ThreadCtl* self = detail::current_ult_or_null();
   if (self == nullptr) {
     if (d.count() <= 0) return;
@@ -1170,7 +1256,9 @@ void sleep_for(std::chrono::nanoseconds d) {
   self->waiters_lock.lock();
   self->wait_timed_out = false;
   self->rt->register_timed_wait(self, deadline, &self->waiters_lock, nullptr);
+  prof::offcpu_begin(self, prof::WaitKind::kSleep, wait_site);
   detail::suspend_block(self, &self->waiters_lock, nullptr);
+  prof::offcpu_end(self);
   self->rt->unregister_timed_wait(self);
   detail::end_no_preempt(self);  // cancellation point
 }

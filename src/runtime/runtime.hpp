@@ -16,6 +16,7 @@
 #include <chrono>
 #include <limits>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "common/futex.hpp"
@@ -128,6 +129,17 @@ class Runtime {
     std::uint64_t remediations_cancel = 0;       ///< deadline-driven cancels
     std::uint64_t remediations_klt_replace = 0;  ///< forced KLT replacements
 
+    // -- profiler results (docs/observability.md "Profiling"; all zero when
+    //    profiling is off) --
+    bool prof_enabled = false;
+    std::uint64_t prof_sample_invocations = 0;
+    std::uint64_t prof_samples_recorded = 0;
+    std::uint64_t prof_samples_dropped = 0;
+    std::uint64_t prof_offcpu_waits = 0;
+    std::uint64_t prof_lock_acquires = 0;
+    std::uint64_t prof_lock_contended = 0;
+    std::uint64_t prof_contention_chains = 0;
+
     // -- tracer results (all zero when tracing is off) --
     bool trace_enabled = false;
     std::uint64_t trace_events = 0;   ///< committed across all rings
@@ -181,6 +193,19 @@ class Runtime {
   bool write_chrome_trace(const std::string& path) const;
   /// Compact text summary (event counts, drops, histogram percentiles).
   void print_trace_summary(std::FILE* out) const;
+
+  // ----- continuous profiling (docs/observability.md, "Profiling") -----
+
+  /// True when this runtime was constructed with profiling armed (options or
+  /// LPT_PROF environment).
+  bool prof_enabled() const { return opts_.prof.enabled; }
+  /// Effective profiler configuration after env overrides.
+  const prof::ProfConfig& prof_config() const { return opts_.prof; }
+  /// Export everything profiled so far to `path`: folded stacks
+  /// (flamegraph-ready), or JSON when the path ends in ".json". Callable any
+  /// time; quiesce the workers first for a coherent picture. False when
+  /// profiling is disabled or the write fails.
+  bool write_profile(const std::string& path) const;
 
   // ----- internal API (runtime components; not for applications) -----
 
@@ -354,6 +379,29 @@ class Runtime {
   /// workers_/sched_ and stopped before them in the destructor.
   Watchdog watchdog_;
   MetricsPublisher publisher_;
+
+  /// LPT_PROF_HZ sampling pacer: a dedicated thread that delivers one
+  /// profiler signal per worker at the configured rate, decoupling sampling
+  /// density from the preemption interval. Not started in piggyback mode
+  /// (sample_hz == 0, the default) — there the preemption ticks themselves
+  /// drive the sampler for free. Stopped first in the destructor, alongside
+  /// the preemption timer.
+  class ProfTicker {
+   public:
+    ~ProfTicker() { stop(); }
+    void start(Runtime& rt, int hz);
+    void stop();
+
+   private:
+    void thread_loop();
+
+    Runtime* rt_ = nullptr;
+    std::int64_t period_ns_ = 0;
+    std::atomic<bool> stop_{false};
+    FutexGate gate_;
+    std::thread thread_;
+  };
+  ProfTicker prof_ticker_;
 
   std::atomic<int> n_active_{0};
   std::atomic<bool> shutdown_{false};

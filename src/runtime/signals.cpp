@@ -1,6 +1,7 @@
 #include "runtime/signals.hpp"
 
 #include <pthread.h>
+#include <ucontext.h>
 
 #include <cerrno>
 #include <csignal>
@@ -8,6 +9,7 @@
 
 #include "common/assert.hpp"
 #include "common/sys.hpp"
+#include "prof/prof.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
 #include "runtime/klt_pool.hpp"
@@ -16,8 +18,39 @@ namespace lpt::signals {
 
 int preempt_signo() { return SIGRTMIN; }
 int resume_signo() { return SIGRTMIN + 1; }
+int prof_signo() { return SIGRTMIN + 2; }
 
 namespace {
+
+#if !defined(LPT_PROF_DISABLED)
+/// Capture an on-CPU sample of the interrupted ULT: PC + frame-pointer chain
+/// out of the signal ucontext, bounded to the ULT's own stack. Runs inside
+/// both the preemption handler (piggyback mode) and the dedicated sampling
+/// handler (LPT_PROF_HZ mode); async-signal-safe throughout (prof::sample
+/// only touches the caller-validated ring and bounds-checked stack memory).
+void prof_sample_interrupted(WorkerTls* tls, ThreadCtl* t, void* uctx) {
+  std::uintptr_t pc = 0;
+  std::uintptr_t fp = 0;
+#if defined(__x86_64__)
+  if (uctx != nullptr) {
+    const ucontext_t* uc = static_cast<const ucontext_t*>(uctx);
+    pc = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RIP]);
+    fp = static_cast<std::uintptr_t>(uc->uc_mcontext.gregs[REG_RBP]);
+  }
+#endif
+  const std::uintptr_t lo = reinterpret_cast<std::uintptr_t>(t->stack.base());
+  const std::uintptr_t hi = lo + t->stack.size();
+  const std::int16_t rank =
+      tls->worker != nullptr ? static_cast<std::int16_t>(tls->worker->rank)
+                             : static_cast<std::int16_t>(-1);
+  prof::sample(tls->prof_ring, t->trace_id, rank,
+               static_cast<std::uint8_t>(t->home_pool), pc, fp, lo, hi);
+  LPT_TRACE_EVENT(trace::EventType::kProfSample, t->trace_id,
+                  static_cast<std::uint64_t>(pc));
+}
+#else
+void prof_sample_interrupted(WorkerTls*, ThreadCtl*, void*) {}
+#endif
 
 /// One eligible check used by forwarding: the worker is running a thread
 /// that wants implicit preemption. Benign races: a stale positive costs one
@@ -54,7 +87,7 @@ void forward(Runtime* rt, int my_rank, int initiator) {
   }
 }
 
-void preempt_handler(int /*signo*/, siginfo_t* si, void* /*uctx*/) {
+void preempt_handler(int /*signo*/, siginfo_t* si, void* uctx) {
   const int saved_errno = errno;
   Runtime* rt = detail::runtime_instance();
   if (rt == nullptr) {
@@ -83,6 +116,12 @@ void preempt_handler(int /*signo*/, siginfo_t* si, void* /*uctx*/) {
   // ULT. handler_entries <= ticks_sent (coalesced signals, ticks landing in
   // scheduler context); the watchdog's stall check rides on the gap.
   w->metrics.handler_entries.add(1);
+  // On-CPU sampler, piggyback mode: every tick that found a preemptible ULT
+  // yields exactly one sample — before the guard-defer and cancel branches,
+  // so deferred/cancelled entries still report where the ULT was running.
+  // In piggyback mode the sampler's invocation count therefore reconciles
+  // with handler_entries (prof_check and prof_test assert it).
+  if (prof::piggyback_on()) prof_sample_interrupted(tls, t, uctx);
   if (t->no_preempt_depth > 0) {
     t->preempt_pending = true;
     w->metrics.handler_deferred.add(1);
@@ -181,6 +220,18 @@ void preempt_handler(int /*signo*/, siginfo_t* si, void* /*uctx*/) {
 /// the KltCtl::sig_resume flag set by the waker.
 void resume_handler(int /*signo*/) {}
 
+/// LPT_PROF_HZ sampling handler: records a sample and returns — it never
+/// switches contexts, so unlike the preemption path it also profiles
+/// Preempt::None ULTs. Ticks landing outside ULT code (scheduler/idle) are
+/// simply not counted; the reconciliation contract only covers ULT samples.
+void prof_handler(int /*signo*/, siginfo_t* /*si*/, void* uctx) {
+  const int saved_errno = errno;
+  WorkerTls* tls = worker_tls();
+  if (tls->worker != nullptr && tls->in_ult && tls->hosted_ult != nullptr)
+    prof_sample_interrupted(tls, tls->hosted_ult, uctx);
+  errno = saved_errno;
+}
+
 }  // namespace
 
 void install_handlers() {
@@ -200,6 +251,16 @@ void install_handlers() {
     sigemptyset(&sr.sa_mask);
     sr.sa_flags = SA_RESTART;
     LPT_CHECK(sigaction(resume_signo(), &sr, nullptr) == 0);
+
+    struct sigaction sp;
+    std::memset(&sp, 0, sizeof(sp));
+    sp.sa_sigaction = &prof_handler;
+    sigemptyset(&sp.sa_mask);
+    // Keep the preempt signal blocked while sampling so a preemption cannot
+    // context-switch away mid-sample on the same KLT.
+    sigaddset(&sp.sa_mask, preempt_signo());
+    sp.sa_flags = SA_SIGINFO | SA_RESTART;
+    LPT_CHECK(sigaction(prof_signo(), &sp, nullptr) == 0);
     return true;
   }();
   (void)installed;
@@ -210,6 +271,7 @@ void block_runtime_signals() {
   sigemptyset(&set);
   sigaddset(&set, preempt_signo());
   sigaddset(&set, resume_signo());
+  sigaddset(&set, prof_signo());
   pthread_sigmask(SIG_BLOCK, &set, nullptr);
 }
 
@@ -217,6 +279,7 @@ void unblock_preempt() {
   sigset_t set;
   sigemptyset(&set);
   sigaddset(&set, preempt_signo());
+  sigaddset(&set, prof_signo());
   pthread_sigmask(SIG_UNBLOCK, &set, nullptr);
 }
 
@@ -241,6 +304,15 @@ void send_preempt(Worker& w, int initiator_rank) {
   // for a full RT-signal queue, or a target mid-exit) just skips this tick —
   // preemption is periodic, the next interval retries.
   sys::pthread_sigqueue(k->pthread, preempt_signo(), v);
+}
+
+void send_prof_tick(Worker& w) {
+  // Same stale-KltCtl shutdown gate as send_preempt.
+  KltCtl* k = w.current_klt.load(std::memory_order_acquire);
+  if (k == nullptr || w.rt == nullptr || w.rt->shutting_down()) return;
+  sigval v;
+  v.sival_int = -1;
+  sys::pthread_sigqueue(k->pthread, prof_signo(), v);
 }
 
 }  // namespace lpt::signals

@@ -15,6 +15,9 @@ namespace signals {
 int preempt_signo();
 /// Resume signal for the Sigsuspend KLT-parking variant (SIGRTMIN + 1).
 int resume_signo();
+/// Independent on-CPU sampling signal (SIGRTMIN + 2), used only when
+/// LPT_PROF_HZ decouples the profiler from the preemption ticks.
+int prof_signo();
 
 /// Install both handlers process-wide (idempotent). SA_RESTART is set as the
 /// paper recommends (§3.5.1); SA_ONSTACK is deliberately NOT set so the
@@ -32,6 +35,11 @@ void unblock_preempt();
 /// otherwise it identifies the chain/fan-out initiator (§3.2.2).
 /// Async-signal-safe.
 void send_preempt(Worker& w, int initiator_rank);
+
+/// Deliver one profiler sampling signal to worker w's current host KLT
+/// (LPT_PROF_HZ mode; the runtime's sampler thread calls this). Same
+/// shutdown gating as send_preempt.
+void send_prof_tick(Worker& w);
 
 }  // namespace signals
 }  // namespace lpt

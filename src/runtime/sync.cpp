@@ -4,6 +4,7 @@
 #include "common/cpu.hpp"
 #include "common/time.hpp"
 #include "runtime/internal.hpp"
+#include "runtime/prof_glue.hpp"
 
 namespace lpt {
 
@@ -23,6 +24,97 @@ void make_ready(ThreadCtl* t) {
   rt->notify_work();
 }
 
+// ---- lock-contention profiling helpers (all called under the Mutex's
+// guard_ unless noted; every one is a no-op with a null `ls`, and the whole
+// block compiles away under LPT_PROF_DISABLED) ----
+#if !defined(LPT_PROF_DISABLED)
+
+/// Lazily attach the Mutex's LockStats slot. Caller holds guard_, so the
+/// plain member is race-free; slab exhaustion leaves the mutex unprofiled.
+prof::LockStats* lock_stats(prof::LockStats*& slot) {
+  if (slot == nullptr) slot = prof::Collector::instance().acquire_lock_stats();
+  return slot;
+}
+
+void lock_note_acquire(prof::LockStats* ls) {
+  if (ls != nullptr) ls->acquires.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// The caller just became the owner without waiting (fast path / try_lock).
+void lock_note_owned(prof::LockStats* ls, const ThreadCtl* self) {
+  if (ls == nullptr) return;
+  ls->owner.store(self, std::memory_order_relaxed);
+  ls->hold_start_ns = trace::now_ns();
+}
+
+/// The caller is about to park behind the current owner. The contention
+/// chain check (the pathology ULT-aware locks target: waiting behind a
+/// holder that is itself off-CPU) compares the opaque owner pointer against
+/// every worker's current ULT — pointer compares only, the holder may be
+/// finalizing concurrently.
+void lock_note_contended(prof::LockStats* ls, Runtime* rt, void* site) {
+  if (ls == nullptr) return;
+  ls->contended.fetch_add(1, std::memory_order_relaxed);
+  std::uintptr_t none = 0;
+  ls->site.compare_exchange_strong(
+      none, reinterpret_cast<std::uintptr_t>(site), std::memory_order_relaxed);
+  const void* owner = ls->owner.load(std::memory_order_relaxed);
+  if (owner == nullptr || rt == nullptr) return;
+  for (int r = 0; r < rt->num_workers(); ++r) {
+    if (rt->worker(r).current_ult.load(std::memory_order_acquire) == owner)
+      return;  // the holder is on a core; normal contention
+  }
+  ls->chains.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// A parked waiter woke as the new owner (direct handoff already stamped
+/// hold_start_ns/owner under guard_ in unlock); record its wait time.
+/// Called WITHOUT guard_ — touches only atomics/histograms.
+void lock_note_waited(prof::LockStats* ls, const ThreadCtl* self,
+                      std::int64_t wait_start, void* site) {
+  if (ls == nullptr || wait_start == 0) return;
+  const std::int64_t ns = trace::now_ns() - wait_start;
+  ls->wait_ns.record(ns);
+  LPT_TRACE_EVENT(trace::EventType::kLockContended, self->trace_id,
+                  static_cast<std::uint64_t>(ns < 0 ? 0 : ns),
+                  static_cast<std::uint64_t>(
+                      reinterpret_cast<std::uintptr_t>(site)));
+}
+
+/// The owner is releasing: close its hold interval.
+void lock_note_release(prof::LockStats* ls) {
+  if (ls == nullptr || ls->hold_start_ns == 0) return;
+  ls->hold_ns.record(trace::now_ns() - ls->hold_start_ns);
+  ls->hold_start_ns = 0;
+}
+
+/// Direct handoff: `next` owns the lock from this instant (its hold time
+/// includes the wakeup latency — it *is* holding the lock while it waits to
+/// run, which is exactly what a contention profile should show).
+void lock_note_handoff(prof::LockStats* ls, const ThreadCtl* next) {
+  if (ls == nullptr) return;
+  ls->owner.store(next, std::memory_order_relaxed);
+  ls->hold_start_ns = trace::now_ns();
+}
+
+void lock_note_released_idle(prof::LockStats* ls) {
+  if (ls != nullptr) ls->owner.store(nullptr, std::memory_order_relaxed);
+}
+
+#else  // LPT_PROF_DISABLED
+
+inline prof::LockStats* lock_stats(prof::LockStats*&) { return nullptr; }
+inline void lock_note_acquire(prof::LockStats*) {}
+inline void lock_note_owned(prof::LockStats*, const ThreadCtl*) {}
+inline void lock_note_contended(prof::LockStats*, Runtime*, void*) {}
+inline void lock_note_waited(prof::LockStats*, const ThreadCtl*, std::int64_t,
+                             void*) {}
+inline void lock_note_release(prof::LockStats*) {}
+inline void lock_note_handoff(prof::LockStats*, const ThreadCtl*) {}
+inline void lock_note_released_idle(prof::LockStats*) {}
+
+#endif  // LPT_PROF_DISABLED
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -30,19 +122,28 @@ void make_ready(ThreadCtl* t) {
 // ---------------------------------------------------------------------------
 
 void Mutex::lock() {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("lpt::Mutex::lock outside ULT context");
   detail::cancel_point(self);  // before acquisition: nothing held yet
   detail::begin_no_preempt(self);
   guard_.lock();
+  prof::LockStats* ls = prof::locks_on() ? lock_stats(prof_) : nullptr;
+  lock_note_acquire(ls);
   if (!locked_) {
     locked_ = true;
+    lock_note_owned(ls, self);
     guard_.unlock();
     detail::end_no_preempt(self);
     return;
   }
+  lock_note_contended(ls, self->rt, site);
   waiters_.push_back(self);
+  const std::int64_t wait_start = ls != nullptr ? trace::now_ns() : 0;
+  prof::offcpu_begin(self, prof::WaitKind::kMutex, site);
   // Direct handoff: unlock() keeps `locked_` set and wakes us as the owner.
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
+  lock_note_waited(ls, self, wait_start, site);
   detail::end_no_preempt(self);
 }
 
@@ -51,20 +152,29 @@ bool Mutex::try_lock() {
   detail::begin_no_preempt(self);
   guard_.lock();
   const bool got = !locked_;
-  if (got) locked_ = true;
+  if (got) {
+    locked_ = true;
+    prof::LockStats* ls = prof::locks_on() ? lock_stats(prof_) : nullptr;
+    lock_note_acquire(ls);
+    lock_note_owned(ls, self);
+  }
   guard_.unlock();
   detail::end_no_preempt(self);
   return got;
 }
 
 bool Mutex::try_lock_for(std::chrono::nanoseconds timeout) {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self =
       require_ult("lpt::Mutex::try_lock_for outside ULT context");
   detail::cancel_point(self);
   detail::begin_no_preempt(self);
   guard_.lock();
+  prof::LockStats* ls = prof::locks_on() ? lock_stats(prof_) : nullptr;
   if (!locked_) {
     locked_ = true;
+    lock_note_acquire(ls);
+    lock_note_owned(ls, self);
     guard_.unlock();
     detail::end_no_preempt(self);
     return true;
@@ -74,15 +184,21 @@ bool Mutex::try_lock_for(std::chrono::nanoseconds timeout) {
     detail::end_no_preempt(self);
     return false;
   }
+  lock_note_acquire(ls);
+  lock_note_contended(ls, self->rt, site);
   const std::int64_t deadline = now_ns() + timeout.count();
   waiters_.push_back(self);
   self->wait_timed_out = false;
+  const std::int64_t wait_start = ls != nullptr ? trace::now_ns() : 0;
   // Expiry races unlock() for the wakeup under guard_; whoever removes us
   // from waiters_ wins. Losing to unlock() means we were handed the lock —
   // a timed waiter that wakes as owner reports success even if late.
   self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  prof::offcpu_begin(self, prof::WaitKind::kMutex, site);
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
   self->rt->unregister_timed_wait(self);
+  if (!self->wait_timed_out) lock_note_waited(ls, self, wait_start, site);
   detail::end_no_preempt(self);  // cancellation point
   return !self->wait_timed_out;
 }
@@ -93,14 +209,18 @@ void Mutex::unlock() {
   detail::begin_no_preempt(self);
   guard_.lock();
   LPT_CHECK_MSG(locked_, "unlock of unowned lpt::Mutex");
+  prof::LockStats* ls = prof::locks_on() ? prof_ : nullptr;
+  lock_note_release(ls);
   if (waiters_.empty()) {
     locked_ = false;
+    lock_note_released_idle(ls);
     guard_.unlock();
     detail::end_no_preempt(self);
     return;
   }
   ThreadCtl* next = waiters_.front();
   waiters_.erase(waiters_.begin());
+  lock_note_handoff(ls, next);
   guard_.unlock();  // `locked_` stays true: ownership passes to `next`
   make_ready(next);
   detail::end_no_preempt(self);
@@ -111,18 +231,22 @@ void Mutex::unlock() {
 // ---------------------------------------------------------------------------
 
 void CondVar::wait(Mutex& m) {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("lpt::CondVar::wait outside ULT context");
   detail::begin_no_preempt(self);
   guard_.lock();
   waiters_.push_back(self);
+  prof::offcpu_begin(self, prof::WaitKind::kCondVar, site);
   // The scheduler releases guard_ and *then* m after our context is saved,
   // so a signaler can neither miss us nor wake us before we are suspended.
   detail::suspend_block(self, &guard_, &m);
+  prof::offcpu_end(self);
   detail::end_no_preempt(self);
   m.lock();
 }
 
 bool CondVar::wait_for(Mutex& m, std::chrono::nanoseconds timeout) {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("lpt::CondVar::wait_for outside ULT context");
   if (timeout.count() <= 0) return false;  // immediate timeout, m stays held
   const std::int64_t deadline = now_ns() + timeout.count();
@@ -131,7 +255,9 @@ bool CondVar::wait_for(Mutex& m, std::chrono::nanoseconds timeout) {
   waiters_.push_back(self);
   self->wait_timed_out = false;
   self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  prof::offcpu_begin(self, prof::WaitKind::kCondVar, site);
   detail::suspend_block(self, &guard_, &m);
+  prof::offcpu_end(self);
   self->rt->unregister_timed_wait(self);
   // Cancellation point — fires while m is NOT held, so a cancelled waiter
   // never strands the user mutex.
@@ -177,6 +303,7 @@ Barrier::Barrier(int parties) : parties_(parties) {
 }
 
 void Barrier::arrive_and_wait() {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("lpt::Barrier outside ULT context");
   detail::begin_no_preempt(self);
   guard_.lock();
@@ -191,7 +318,9 @@ void Barrier::arrive_and_wait() {
     return;
   }
   waiters_.push_back(self);
+  prof::offcpu_begin(self, prof::WaitKind::kBarrier, site);
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
   detail::end_no_preempt(self);
 }
 
@@ -200,6 +329,13 @@ void Barrier::arrive_and_wait() {
 // ---------------------------------------------------------------------------
 
 void BusyFlag::wait(WaitMode mode) const {
+  void* const site = __builtin_return_address(0);
+  if (is_set()) return;
+  // BusyFlag never parks — the wait burns a core by design (§4.1). It is
+  // still wait time, so the profiler attributes the spin interval to the
+  // callsite like a blocking primitive would (kBusyFlag entries in the wait
+  // table are on-CPU spins, not suspensions).
+  const std::int64_t t0 = prof::offcpu_on() ? trace::now_ns() : 0;
   while (!is_set()) {
     if (mode == WaitMode::kSpinWithYield) {
       this_thread::yield();
@@ -207,6 +343,10 @@ void BusyFlag::wait(WaitMode mode) const {
       for (int i = 0; i < 64; ++i) cpu_pause();
     }
   }
+  if (t0 != 0)
+    prof::record_wait(prof::WaitKind::kBusyFlag,
+                      reinterpret_cast<std::uintptr_t>(site),
+                      trace::now_ns() - t0);
 }
 
 }  // namespace lpt

@@ -18,6 +18,10 @@ namespace lpt {
 
 struct ThreadCtl;
 
+namespace prof {
+struct LockStats;
+}
+
 /// Mutual exclusion with cooperative blocking and direct handoff.
 class Mutex {
  public:
@@ -34,6 +38,12 @@ class Mutex {
   Spinlock guard_;
   bool locked_ = false;
   std::vector<ThreadCtl*> waiters_;
+  /// Contention-profile slot (docs/observability.md "Profiling"): lazily
+  /// attached under guard_ on the first lock() while the lock profiler is
+  /// armed; null forever otherwise. Points into the collector's never-freed
+  /// slab, so the pointer stays valid even when this Mutex outlives the
+  /// Runtime that profiled it.
+  prof::LockStats* prof_ = nullptr;
 };
 
 /// Condition variable over lpt::Mutex.

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/time.hpp"
 #include "runtime/internal.hpp"
+#include "runtime/prof_glue.hpp"
 
 namespace lpt {
 
@@ -35,6 +36,7 @@ void make_ready_all(std::vector<ThreadCtl*>& ts) {
 // ---------------------------------------------------------------------------
 
 void RwLock::lock_shared() {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("RwLock::lock_shared outside ULT context");
   detail::begin_no_preempt(self);
   guard_.lock();
@@ -46,7 +48,9 @@ void RwLock::lock_shared() {
     return;
   }
   waiting_readers_.push_back(self);
+  prof::offcpu_begin(self, prof::WaitKind::kRwLock, site);
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
   detail::end_no_preempt(self);
   // The releaser incremented readers_ on our behalf (direct handoff).
 }
@@ -69,6 +73,7 @@ void RwLock::unlock_shared() {
 }
 
 void RwLock::lock() {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("RwLock::lock outside ULT context");
   detail::begin_no_preempt(self);
   guard_.lock();
@@ -79,7 +84,9 @@ void RwLock::lock() {
     return;
   }
   waiting_writers_.push_back(self);
+  prof::offcpu_begin(self, prof::WaitKind::kRwLock, site);
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
   detail::end_no_preempt(self);
 }
 
@@ -110,6 +117,7 @@ void RwLock::unlock() {
 // ---------------------------------------------------------------------------
 
 void Semaphore::acquire() {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("Semaphore::acquire outside ULT context");
   detail::begin_no_preempt(self);
   guard_.lock();
@@ -120,7 +128,9 @@ void Semaphore::acquire() {
     return;
   }
   waiters_.push_back(self);
+  prof::offcpu_begin(self, prof::WaitKind::kSemaphore, site);
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
   detail::end_no_preempt(self);
   // Direct handoff: release() consumed a unit on our behalf.
 }
@@ -137,6 +147,7 @@ bool Semaphore::try_acquire() {
 }
 
 bool Semaphore::try_acquire_for(std::chrono::nanoseconds timeout) {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self =
       require_ult("Semaphore::try_acquire_for outside ULT context");
   detail::cancel_point(self);
@@ -160,7 +171,9 @@ bool Semaphore::try_acquire_for(std::chrono::nanoseconds timeout) {
   // handed a unit (direct handoff), so a timed-out flag can never coexist
   // with an owed unit.
   self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  prof::offcpu_begin(self, prof::WaitKind::kSemaphore, site);
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
   self->rt->unregister_timed_wait(self);
   detail::end_no_preempt(self);  // cancellation point
   return !self->wait_timed_out;
@@ -210,6 +223,7 @@ void Latch::count_down(int n) {
 }
 
 void Latch::wait() {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = detail::current_ult_or_null();
   if (self == nullptr) {
     // External kernel thread: futex on the done word.
@@ -224,7 +238,9 @@ void Latch::wait() {
     return;
   }
   waiters_.push_back(self);
+  prof::offcpu_begin(self, prof::WaitKind::kLatch, site);
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
   detail::end_no_preempt(self);
 }
 
@@ -258,6 +274,7 @@ void WaitGroup::done() {
 }
 
 void WaitGroup::wait() {
+  void* const site = __builtin_return_address(0);
   ThreadCtl* self = detail::current_ult_or_null();
   if (self == nullptr) {
     for (;;) {
@@ -277,7 +294,9 @@ void WaitGroup::wait() {
     return;
   }
   waiters_.push_back(self);
+  prof::offcpu_begin(self, prof::WaitKind::kWaitGroup, site);
   detail::suspend_block(self, &guard_, nullptr);
+  prof::offcpu_end(self);
   detail::end_no_preempt(self);
 }
 

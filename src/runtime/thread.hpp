@@ -121,6 +121,15 @@ struct ThreadCtl {
   /// the primitive's guard or while solely owned.
   bool wait_timed_out = false;
 
+  // ----- off-CPU wait attribution (docs/observability.md "Profiling") -----
+
+  /// What this thread is about to block on, tagged by the parking site just
+  /// before suspend_block() and consumed (block→resume time recorded) right
+  /// after it returns. Owner-written only, so unsynchronized.
+  prof::WaitKind prof_wait_kind = prof::WaitKind::kNone;
+  std::uintptr_t prof_wait_site = 0;   ///< caller PC of the blocking primitive
+  std::int64_t prof_wait_start_ns = 0;
+
   ThreadState load_state() const {
     return static_cast<ThreadState>(state.load(std::memory_order_acquire));
   }

@@ -373,6 +373,12 @@ void MetricsPublisher::publish_once() {
   rt_->write_metrics(f, format_);
   std::fclose(f);
   std::rename(tmp.c_str(), cfg_.file.c_str());
+
+  // Continuous profiling: when the profiler is armed with an output file,
+  // refresh it on the same cadence (write_profile is atomic the same way),
+  // so a long-running process exposes a live profile next to its metrics.
+  if (rt_->prof_enabled() && !rt_->prof_config().file.empty())
+    rt_->write_profile(rt_->prof_config().file);
 }
 
 void MetricsPublisher::thread_loop() {

@@ -154,6 +154,9 @@ struct WorkerTls {
   /// This OS thread's trace ring (nullptr when tracing is off). Set once at
   /// thread startup; read from the signal handler via worker_tls().
   trace::Ring* trace_ring = nullptr;
+  /// This OS thread's on-CPU sample ring (nullptr when the profiler is off).
+  /// Same lifecycle and signal-safety rules as trace_ring.
+  prof::SampleRing* prof_ring = nullptr;
 };
 
 /// Never inlined: re-derives the TLS address every call.

@@ -1,0 +1,209 @@
+// TSan-clean unit tests of the profiler's lock-free primitives on plain
+// std::threads (no fiber switches, so the ThreadSanitizer stage of
+// scripts/check.sh can run them): the SampleRing reserve/commit protocol
+// under concurrent writers, the CAS-keyed wait-site table, the LockStats
+// slab, and the folded/JSON writers over synthetic data (round-tripped
+// through tests/support/prof_parser.hpp).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "prof/prof.hpp"
+#include "support/prof_parser.hpp"
+
+namespace lpt::prof {
+namespace {
+
+std::string tmp_path(const char* tag) {
+  return "/tmp/lpt_prof_unit_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+ProfConfig armed(std::uint32_t ring_cap = 1u << 12) {
+  ProfConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = ring_cap;
+  return cfg;
+}
+
+TEST(ProfConfig, DefaultsAreOff) {
+  const ProfConfig cfg;
+  EXPECT_FALSE(cfg.enabled);
+  EXPECT_EQ(cfg.sample_hz, 0);
+  EXPECT_TRUE(cfg.offcpu);
+  EXPECT_TRUE(cfg.locks);
+}
+
+#if !defined(LPT_PROF_DISABLED)
+
+TEST(ProfUnit, RingReconcilesUnderConcurrentWriters) {
+  // Small rings force drops; the contract must hold regardless.
+  Collector::instance().configure(armed(/*ring_cap=*/128));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      SampleRing* ring = Collector::instance().acquire_ring();
+      ASSERT_NE(ring, nullptr);
+      for (int i = 0; i < kPerThread; ++i)
+        // fp/stack bounds of 0: the frame walk rejects immediately, leaving
+        // a depth-1 sample of just the synthetic pc.
+        sample(ring, /*ult=*/static_cast<std::uint32_t>(t), /*worker=*/
+               static_cast<std::int16_t>(t), /*pool=*/0,
+               /*pc=*/0x400000u + static_cast<std::uintptr_t>(t), /*fp=*/0,
+               /*stack_lo=*/0, /*stack_hi=*/0);
+    });
+  for (auto& th : threads) th.join();
+
+  const Totals t = Collector::instance().totals();
+  EXPECT_EQ(t.invocations, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(t.invocations, t.recorded + t.dropped);
+  EXPECT_GT(t.dropped, 0u);  // 500 > 128 per ring guarantees drops
+  EXPECT_LE(t.recorded, static_cast<std::uint64_t>(kThreads) * 128u);
+
+  // Every committed sample is visible to the writer, once.
+  const std::string path = tmp_path("ring.folded");
+  ASSERT_TRUE(Collector::instance().write_file(path));
+  const proftest::FoldedParsed p = proftest::parse_folded(slurp(path));
+  std::remove(path.c_str());
+  for (const std::string& e : p.errors) ADD_FAILURE() << e;
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.folded_sum(), t.recorded);
+  for (int u = 0; u < kThreads; ++u)
+    EXPECT_LE(p.ult_samples(static_cast<std::uint32_t>(u)), 128u);
+  Collector::instance().disable();
+}
+
+TEST(ProfUnit, NullRingCountsNoRingDrops) {
+  Collector::instance().configure(armed());
+  sample(nullptr, 0, 0, 0, 0x1234, 0, 0, 0);
+  const Totals t = Collector::instance().totals();
+  EXPECT_EQ(t.invocations, 1u);
+  EXPECT_EQ(t.recorded, 0u);
+  EXPECT_EQ(t.dropped, 1u);
+  Collector::instance().disable();
+}
+
+TEST(ProfUnit, WaitSiteTableCasUnderConcurrency) {
+  Collector::instance().configure(armed());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // 16 distinct callsites x 3 kinds: all racing threads funnel into
+        // the same handful of CAS-claimed slots.
+        const auto site = static_cast<std::uintptr_t>(0x1000 + (i % 16) * 8);
+        const auto kind = static_cast<WaitKind>(1 + (t % 3));
+        record_wait(kind, site, /*ns=*/1000);
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  const Totals t = Collector::instance().totals();
+  EXPECT_EQ(t.offcpu_waits, static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(t.offcpu_dropped, 0u);  // 48 distinct keys << 256 slots
+  EXPECT_EQ(t.offcpu_total_ns,
+            static_cast<std::uint64_t>(kThreads * kPerThread) * 1000u);
+
+  std::uint64_t site_sum = 0;
+  for (const WaitSiteProfile& s : Collector::instance().offcpu_sites()) {
+    EXPECT_NE(s.kind, WaitKind::kNone);
+    site_sum += s.count;
+  }
+  EXPECT_EQ(site_sum, t.offcpu_waits);
+  Collector::instance().disable();
+}
+
+TEST(ProfUnit, LockSlabExhaustsGracefully) {
+  Collector::instance().configure(armed());
+  std::vector<LockStats*> slots;
+  for (std::uint32_t i = 0; i < Collector::kMaxLocks; ++i) {
+    LockStats* ls = Collector::instance().acquire_lock_stats();
+    ASSERT_NE(ls, nullptr) << "slot " << i;
+    slots.push_back(ls);
+  }
+  // Distinct slots, then graceful exhaustion (unprofiled, not crashed).
+  EXPECT_NE(slots[0], slots[1]);
+  EXPECT_EQ(Collector::instance().acquire_lock_stats(), nullptr);
+
+  // Reconfigure recycles the slab from zero.
+  Collector::instance().configure(armed());
+  LockStats* fresh = Collector::instance().acquire_lock_stats();
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh, slots[0]);
+  EXPECT_EQ(fresh->acquires.load(), 0u);
+  Collector::instance().disable();
+}
+
+TEST(ProfUnit, JsonWriterValidOverSyntheticData) {
+  Collector::instance().configure(armed());
+  SampleRing* ring = Collector::instance().acquire_ring();
+  ASSERT_NE(ring, nullptr);
+  for (int i = 0; i < 10; ++i) sample(ring, 7, 0, 1, 0x5000, 0, 0, 0);
+  record_wait(WaitKind::kMutex, 0x2000, 5000);
+  record_wait(WaitKind::kSleep, 0x3000, 1'000'000);
+  LockStats* ls = Collector::instance().acquire_lock_stats();
+  ASSERT_NE(ls, nullptr);
+  ls->acquires.store(10);
+  ls->contended.store(3);
+  ls->chains.store(1);
+  ls->site.store(0x2000);
+  ls->hold_ns.record(10'000);
+  ls->wait_ns.record(5'000);
+
+  const std::string path = tmp_path("synthetic.json");
+  ASSERT_TRUE(Collector::instance().write_file(path));
+  const proftest::JsonParsed j = proftest::parse_json(slurp(path));
+  std::remove(path.c_str());
+  for (const std::string& e : j.errors) ADD_FAILURE() << e;
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.root.get("oncpu")->num_or("recorded", -1), 10.0);
+  EXPECT_EQ(j.root.get("offcpu")->num_or("waits", -1), 2.0);
+  EXPECT_EQ(j.root.get("locks")->num_or("acquires", -1), 10.0);
+  EXPECT_EQ(j.root.get("locks")->num_or("contended", -1), 3.0);
+  Collector::instance().disable();
+}
+
+#else  // LPT_PROF_DISABLED
+
+TEST(ProfUnit, DisabledBuildStubsStayInert) {
+  ProfConfig cfg;
+  cfg.enabled = true;
+  Collector::instance().configure(cfg);
+  EXPECT_EQ(Collector::instance().acquire_ring(), nullptr);
+  EXPECT_EQ(Collector::instance().acquire_lock_stats(), nullptr);
+  sample(nullptr, 0, 0, 0, 0, 0, 0, 0);
+  record_wait(WaitKind::kMutex, 0x1, 1);
+  const Totals t = Collector::instance().totals();
+  EXPECT_EQ(t.invocations, 0u);
+  EXPECT_EQ(t.offcpu_waits, 0u);
+  // Exports still produce a parseable (empty) profile for tooling.
+  const std::string path = tmp_path("disabled.folded");
+  ASSERT_TRUE(Collector::instance().write_file(path));
+  const proftest::FoldedParsed p = proftest::parse_folded(slurp(path));
+  std::remove(path.c_str());
+  EXPECT_TRUE(p.ok());
+  EXPECT_EQ(p.folded_sum(), 0u);
+}
+
+#endif  // LPT_PROF_DISABLED
+
+}  // namespace
+}  // namespace lpt::prof

@@ -1,0 +1,384 @@
+// Tier-1 tests of the continuous profiler (docs/observability.md,
+// "Profiling"): on-CPU sampling in both piggyback and LPT_PROF_HZ modes,
+// the reconciliation contract (invocations == recorded + dropped, and ==
+// handler_entries in piggyback mode), off-CPU wait attribution, the
+// lock-contention profiler with chain detection, the folded/JSON exports
+// (round-tripped through tests/support/prof_parser.hpp), shutdown export +
+// publisher refresh, env-knob resolution, and the off-by-default guarantee.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+#include "runtime/lpt.hpp"
+#include "runtime/sync.hpp"
+#include "support/prof_parser.hpp"
+#include "support/prom_parser.hpp"
+
+namespace lpt {
+namespace {
+
+std::string tmp_path(const char* tag) {
+  return "/tmp/lpt_prof_" + std::to_string(::getpid()) + "_" + tag;
+}
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+/// Export + parse the folded profile of a still-live runtime.
+proftest::FoldedParsed export_folded(const Runtime& rt) {
+  const std::string path = tmp_path("export.folded");
+  EXPECT_TRUE(rt.write_profile(path));
+  proftest::FoldedParsed p = proftest::parse_folded(slurp(path));
+  std::remove(path.c_str());
+  return p;
+}
+
+TEST(Prof, OffByDefaultNothingRecorded) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 1000;
+  Runtime rt(o);
+  ASSERT_FALSE(rt.prof_enabled());
+
+  Mutex m;
+  ThreadAttrs sy;
+  sy.preempt = Preempt::SignalYield;
+  std::vector<Thread> ts;
+  for (int i = 0; i < 8; ++i)
+    ts.push_back(rt.spawn(
+        [&m] {
+          m.lock();
+          busy_spin_ns(1'000'000);
+          m.unlock();
+          this_thread::sleep_for(std::chrono::milliseconds(1));
+        },
+        sy));
+  for (auto& t : ts) t.join();
+
+  const metrics::Snapshot s = rt.metrics_snapshot();
+  EXPECT_FALSE(s.prof_enabled);
+  EXPECT_EQ(s.prof_sample_invocations, 0u);
+  EXPECT_EQ(s.prof_samples_recorded, 0u);
+  EXPECT_EQ(s.prof_offcpu_waits, 0u);
+  EXPECT_EQ(s.prof_lock_acquires, 0u);
+  EXPECT_EQ(s.prof_lock_contended, 0u);
+  EXPECT_EQ(s.prof_contention_chains, 0u);
+  // No profile without a profiler.
+  EXPECT_FALSE(rt.write_profile(tmp_path("never")));
+}
+
+#if !defined(LPT_PROF_DISABLED)
+
+TEST(Prof, PiggybackReconcilesWithHandlerEntries) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 500;
+  o.prof.enabled = true;
+  Runtime rt(o);
+  ASSERT_TRUE(rt.prof_enabled());
+
+  ThreadAttrs sy;
+  sy.preempt = Preempt::SignalYield;
+  rt.spawn([] { busy_spin_ns(30'000'000); }, sy).join();
+
+  const metrics::Snapshot s = rt.metrics_snapshot();
+  EXPECT_TRUE(s.prof_enabled);
+  EXPECT_GT(s.prof_sample_invocations, 0u);
+  // The reconciliation contract, both halves: every sampler entry is either
+  // recorded or a counted drop, and in piggyback mode the sampler runs on
+  // exactly the handler entries.
+  EXPECT_EQ(s.prof_sample_invocations,
+            s.prof_samples_recorded + s.prof_samples_dropped);
+  EXPECT_EQ(s.prof_sample_invocations, s.handler_entries);
+
+  const proftest::FoldedParsed p = export_folded(rt);
+  for (const std::string& e : p.errors) ADD_FAILURE() << e;
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.mode(), "piggyback");
+  ASSERT_FALSE(p.stacks.empty());
+  // Quiesced: every reserved slot is committed, so the folded counts account
+  // for every recorded sample exactly.
+  EXPECT_EQ(p.folded_sum(), s.prof_samples_recorded);
+}
+
+TEST(Prof, KltSwitchPreemptionAlsoSampled) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 500;
+  o.prof.enabled = true;
+  Runtime rt(o);
+
+  ThreadAttrs ks;
+  ks.preempt = Preempt::KltSwitch;
+  rt.spawn([] { busy_spin_ns(30'000'000); }, ks).join();
+
+  const metrics::Snapshot s = rt.metrics_snapshot();
+  EXPECT_GT(s.prof_samples_recorded, 0u);
+  EXPECT_EQ(s.prof_sample_invocations,
+            s.prof_samples_recorded + s.prof_samples_dropped);
+
+  const proftest::FoldedParsed p = export_folded(rt);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.folded_sum(), s.prof_samples_recorded);
+}
+
+TEST(Prof, HzModeSamplesWithoutPreemptionTimer) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.timer = TimerKind::None;  // no implicit preemption at all
+  o.prof.enabled = true;
+  o.prof.sample_hz = 500;
+  Runtime rt(o);
+
+  // Preempt::None ULT: only the dedicated sampling signal can observe it.
+  rt.spawn([] { busy_spin_ns(50'000'000); }).join();
+
+  const metrics::Snapshot s = rt.metrics_snapshot();
+  EXPECT_GT(s.prof_samples_recorded, 0u);
+  EXPECT_EQ(s.prof_sample_invocations,
+            s.prof_samples_recorded + s.prof_samples_dropped);
+
+  const proftest::FoldedParsed p = export_folded(rt);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p.mode(), "hz");
+  EXPECT_EQ(p.header_u64("sample_hz"), 500u);
+}
+
+TEST(Prof, OffCpuWaitsAttributedByKind) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.prof.enabled = true;
+  Runtime rt(o);
+
+  Mutex m;
+  std::vector<Thread> ts;
+  ts.push_back(rt.spawn([&m] {
+    m.lock();
+    this_thread::sleep_for(std::chrono::milliseconds(10));  // kSleep, holding
+    m.unlock();
+  }));
+  for (int i = 0; i < 4; ++i)
+    ts.push_back(rt.spawn([&m] {
+      this_thread::sleep_for(std::chrono::milliseconds(2));  // let the holder win
+      m.lock();  // kMutex wait while the holder sleeps
+      m.unlock();
+    }));
+  for (auto& t : ts) t.join();  // kJoin waits from this external thread don't count (not a ULT)
+
+  const metrics::Snapshot s = rt.metrics_snapshot();
+  EXPECT_GT(s.prof_offcpu_waits, 0u);
+
+  const std::string path = tmp_path("offcpu.json");
+  ASSERT_TRUE(rt.write_profile(path));
+  const proftest::JsonParsed j = proftest::parse_json(slurp(path));
+  std::remove(path.c_str());
+  for (const std::string& e : j.errors) ADD_FAILURE() << e;
+  ASSERT_TRUE(j.ok());
+
+  const proftest::Json* sites = j.root.get("offcpu")->get("sites");
+  ASSERT_NE(sites, nullptr);
+  bool saw_sleep = false, saw_mutex = false;
+  for (const proftest::Json& site : sites->array) {
+    const proftest::Json* kind = site.get("kind");
+    ASSERT_NE(kind, nullptr);
+    if (kind->str == "sleep") saw_sleep = true;
+    if (kind->str == "mutex") saw_mutex = true;
+    EXPECT_GT(site.num_or("count", 0), 0.0);
+  }
+  EXPECT_TRUE(saw_sleep);
+  EXPECT_TRUE(saw_mutex);
+}
+
+TEST(Prof, LockContentionAndChainDetection) {
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.prof.enabled = true;
+  Runtime rt(o);
+
+  Mutex m;
+  std::atomic<bool> held{false};
+  std::vector<Thread> ts;
+  ts.push_back(rt.spawn([&] {
+    m.lock();
+    held.store(true, std::memory_order_release);
+    // Sleep while holding: waiters that park now are behind an off-CPU
+    // holder — the contention-chain signature.
+    this_thread::sleep_for(std::chrono::milliseconds(30));
+    m.unlock();
+  }));
+  for (int i = 0; i < 4; ++i)
+    ts.push_back(rt.spawn([&] {
+      while (!held.load(std::memory_order_acquire)) this_thread::yield();
+      m.lock();
+      m.unlock();
+    }));
+  for (auto& t : ts) t.join();
+
+  const metrics::Snapshot s = rt.metrics_snapshot();
+  EXPECT_GE(s.prof_lock_acquires, 5u);
+  EXPECT_GE(s.prof_lock_contended, 1u);
+  EXPECT_GE(s.prof_contention_chains, 1u);
+  EXPECT_LE(s.prof_lock_contended, s.prof_lock_acquires);
+  EXPECT_LE(s.prof_contention_chains, s.prof_lock_contended);
+
+  const std::string path = tmp_path("locks.json");
+  ASSERT_TRUE(rt.write_profile(path));
+  const proftest::JsonParsed j = proftest::parse_json(slurp(path));
+  std::remove(path.c_str());
+  ASSERT_TRUE(j.ok());
+  const proftest::Json* table = j.root.get("locks")->get("table");
+  ASSERT_NE(table, nullptr);
+  ASSERT_FALSE(table->array.empty());
+  // Our mutex is in the table with contention and a nonzero hold percentile.
+  bool found = false;
+  for (const proftest::Json& row : table->array)
+    if (row.num_or("contended", 0) >= 1 && row.num_or("acquires", 0) >= 5)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(Prof, ShutdownExportAndPublisherRefresh) {
+  const std::string prof_path = tmp_path("shutdown.folded");
+  const std::string prom_path = tmp_path("shutdown.prom");
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 1000;
+  o.prof.enabled = true;
+  o.prof.file = prof_path;
+  o.metrics_file = prom_path;
+  o.metrics_period_ms = 50;
+  {
+    Runtime rt(o);
+    ThreadAttrs sy;
+    sy.preempt = Preempt::SignalYield;
+    std::vector<Thread> ts;
+    for (int i = 0; i < 4; ++i)
+      ts.push_back(rt.spawn([] { busy_spin_ns(10'000'000); }, sy));
+    for (auto& t : ts) t.join();
+    usleep(120'000);  // at least one periodic publish refreshes the profile
+    const proftest::FoldedParsed mid = proftest::parse_folded(slurp(prof_path));
+    for (const std::string& e : mid.errors) ADD_FAILURE() << "mid-run: " << e;
+    EXPECT_TRUE(mid.ok());
+  }
+  // Final export at shutdown: quiesced totals, cross-checkable against the
+  // final metrics publish (exactly what tools/prof_check.cpp gates in CI).
+  const proftest::FoldedParsed fin = proftest::parse_folded(slurp(prof_path));
+  for (const std::string& e : fin.errors) ADD_FAILURE() << e;
+  ASSERT_TRUE(fin.ok());
+  EXPECT_GT(fin.header_u64("invocations"), 0u);
+  EXPECT_EQ(fin.folded_sum(), fin.header_u64("recorded"));
+
+  const promtest::Parsed prom = promtest::parse(slurp(prom_path));
+  ASSERT_TRUE(prom.ok());
+  EXPECT_EQ(prom.sum("lpt_prof_enabled"), 1.0);
+  EXPECT_EQ(prom.sum("lpt_prof_sample_invocations_total"),
+            static_cast<double>(fin.header_u64("invocations")));
+  EXPECT_EQ(prom.sum("lpt_prof_samples_recorded_total"),
+            static_cast<double>(fin.header_u64("recorded")));
+  EXPECT_EQ(prom.sum("lpt_prof_offcpu_waits_total"),
+            static_cast<double>(fin.header_u64("offcpu_waits")));
+  EXPECT_EQ(prom.sum("lpt_prof_lock_acquires_total"),
+            static_cast<double>(fin.header_u64("lock_acquires")));
+  std::remove(prof_path.c_str());
+  std::remove(prom_path.c_str());
+}
+
+TEST(Prof, FreshRuntimeResetsCollector) {
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.timer = TimerKind::PerWorkerAligned;
+  o.interval_us = 500;
+  o.prof.enabled = true;
+  {
+    Runtime rt(o);
+    ThreadAttrs sy;
+    sy.preempt = Preempt::SignalYield;
+    rt.spawn([] { busy_spin_ns(10'000'000); }, sy).join();
+    EXPECT_GT(rt.metrics_snapshot().prof_sample_invocations, 0u);
+  }
+  // A second profiled runtime starts from zero — no leakage across runs.
+  Runtime rt2(o);
+  const metrics::Snapshot s = rt2.metrics_snapshot();
+  EXPECT_EQ(s.prof_sample_invocations, 0u);
+  EXPECT_EQ(s.prof_offcpu_waits, 0u);
+  EXPECT_EQ(s.prof_lock_acquires, 0u);
+}
+
+#endif  // !LPT_PROF_DISABLED
+
+TEST(Prof, EnvKnobsResolve) {
+  auto clear = [] {
+    for (const char* k : {"LPT_PROF", "LPT_PROF_HZ", "LPT_PROF_OFFCPU",
+                          "LPT_PROF_LOCKS", "LPT_PROF_FILE", "LPT_PROF_DEPTH",
+                          "LPT_PROF_RING_CAP"})
+      unsetenv(k);
+  };
+  clear();
+
+  // Plain LPT_PROF=1: everything armed, piggyback mode, default file.
+  setenv("LPT_PROF", "1", 1);
+  RuntimeOptions o = resolve_env_options(RuntimeOptions{});
+  EXPECT_TRUE(o.prof.enabled);
+  EXPECT_TRUE(o.prof.offcpu);
+  EXPECT_TRUE(o.prof.locks);
+  EXPECT_EQ(o.prof.sample_hz, 0);
+  EXPECT_EQ(o.prof.file, "lpt_profile.folded");
+
+  // A file request implies profiling even without LPT_PROF.
+  clear();
+  setenv("LPT_PROF_FILE", "/tmp/p.json", 1);
+  o = resolve_env_options(RuntimeOptions{});
+  EXPECT_TRUE(o.prof.enabled);
+  EXPECT_EQ(o.prof.file, "/tmp/p.json");
+
+  // Valid HZ arms the independent sampler; nonsense is rejected, not clamped.
+  setenv("LPT_PROF_HZ", "250", 1);
+  o = resolve_env_options(RuntimeOptions{});
+  EXPECT_EQ(o.prof.sample_hz, 250);
+  setenv("LPT_PROF_HZ", "99999999", 1);
+  o = resolve_env_options(RuntimeOptions{});
+  EXPECT_EQ(o.prof.sample_hz, 0);
+  setenv("LPT_PROF_HZ", "bogus", 1);
+  o = resolve_env_options(RuntimeOptions{});
+  EXPECT_EQ(o.prof.sample_hz, 0);
+
+  // Collector opt-outs and the depth clamp.
+  setenv("LPT_PROF", "1", 1);
+  setenv("LPT_PROF_OFFCPU", "0", 1);
+  setenv("LPT_PROF_LOCKS", "0", 1);
+  setenv("LPT_PROF_DEPTH", "1000", 1);
+  o = resolve_env_options(RuntimeOptions{});
+  EXPECT_TRUE(o.prof.enabled);
+  EXPECT_FALSE(o.prof.offcpu);
+  EXPECT_FALSE(o.prof.locks);
+  EXPECT_EQ(o.prof.max_stack_depth, prof::kMaxFrames);
+
+  // LPT_PROF=0 force-disables.
+  clear();
+  setenv("LPT_PROF", "0", 1);
+  o = resolve_env_options(RuntimeOptions{});
+  EXPECT_FALSE(o.prof.enabled);
+  clear();
+}
+
+}  // namespace
+}  // namespace lpt

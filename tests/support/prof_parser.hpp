@@ -1,0 +1,538 @@
+// Strict parser/validator for the profiler's two export formats
+// (src/prof/prof.cpp): the folded-stack text format and the JSON report.
+// Used by prof_test and the check.sh smoke (tests/tools/prof_check.cpp), in
+// the same spirit as prom_parser.hpp: a formatting or accounting regression
+// in the exporter fails a test instead of silently corrupting a flamegraph.
+//
+// Folded format:
+//   # lpt profile v1
+//   # mode: off|hz|piggyback
+//   # sample_hz: <int>
+//   # max_depth: <uint>
+//   # invocations: <u64>         | reconciliation contract:
+//   # recorded: <u64>             |   invocations == recorded + dropped
+//   # dropped: <u64>              | and sum(stack counts) <= recorded
+//   # offcpu_waits: <u64>         | (equality once the runtime quiesced;
+//   # offcpu_dropped: <u64>       |  mid-run a reserved-but-uncommitted
+//   # lock_acquires: <u64>        |  slot is skipped by the writer)
+//   # lock_contended: <u64>
+//   # contention_chains: <u64>
+//   ult<id>;p<pool>[;frame]... <count>
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lpt::proftest {
+
+// ---------------------------------------------------------------------------
+// Folded-stack format
+// ---------------------------------------------------------------------------
+
+struct StackLine {
+  std::uint32_t ult = 0;
+  std::uint32_t pool = 0;
+  std::vector<std::string> frames;  ///< outermost-first, may be empty
+  std::uint64_t count = 0;
+};
+
+struct FoldedParsed {
+  std::map<std::string, std::string> headers;  ///< key -> raw value
+  std::vector<StackLine> stacks;
+  std::vector<std::string> errors;
+
+  bool ok() const { return errors.empty(); }
+
+  std::uint64_t header_u64(const std::string& key) const {
+    auto it = headers.find(key);
+    if (it == headers.end()) return 0;
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  std::string mode() const {
+    auto it = headers.find("mode");
+    return it == headers.end() ? std::string() : it->second;
+  }
+  /// Sum of every stack line's count — must reconcile with `recorded`.
+  std::uint64_t folded_sum() const {
+    std::uint64_t total = 0;
+    for (const StackLine& s : stacks) total += s.count;
+    return total;
+  }
+  /// Samples attributed to one ULT id across all its stacks.
+  std::uint64_t ult_samples(std::uint32_t ult) const {
+    std::uint64_t total = 0;
+    for (const StackLine& s : stacks)
+      if (s.ult == ult) total += s.count;
+    return total;
+  }
+};
+
+namespace detail {
+
+inline bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty()) return false;
+  for (char c : s)
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  *out = std::strtoull(s.c_str(), nullptr, 10);
+  return true;
+}
+
+/// "ult<digits>" / "p<digits>" pseudo-frame -> id. Returns false on any
+/// other shape so a malformed root fails loudly.
+inline bool parse_prefixed_u32(const std::string& s, const std::string& prefix,
+                               std::uint32_t* out) {
+  if (s.size() <= prefix.size() || s.compare(0, prefix.size(), prefix) != 0)
+    return false;
+  std::uint64_t v = 0;
+  if (!parse_u64(s.substr(prefix.size()), &v) || v > 0xffffffffULL)
+    return false;
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+}  // namespace detail
+
+/// Parse a folded export. Structural problems are collected into `errors`
+/// (with line numbers); the cross-header reconciliation checks run only when
+/// every required header parsed.
+inline FoldedParsed parse_folded(const std::string& text) {
+  FoldedParsed out;
+  static const char* const kRequired[] = {
+      "mode",          "sample_hz",      "max_depth",
+      "invocations",   "recorded",       "dropped",
+      "offcpu_waits",  "offcpu_dropped", "lock_acquires",
+      "lock_contended", "contention_chains"};
+
+  std::size_t pos = 0;
+  int lineno = 0;
+  bool saw_magic = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lineno;
+    auto err = [&](const std::string& msg) {
+      out.errors.push_back("line " + std::to_string(lineno) + ": " + msg);
+    };
+
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      if (lineno == 1) {
+        if (line != "# lpt profile v1")
+          err("bad magic '" + line + "' (want '# lpt profile v1')");
+        else
+          saw_magic = true;
+        continue;
+      }
+      // "# key: value"
+      const std::size_t colon = line.find(": ");
+      if (line.size() < 4 || line[1] != ' ' || colon == std::string::npos ||
+          colon < 3) {
+        err("malformed header '" + line + "'");
+        continue;
+      }
+      const std::string key = line.substr(2, colon - 2);
+      const std::string val = line.substr(colon + 2);
+      if (out.headers.count(key)) err("duplicate header '" + key + "'");
+      if (!out.stacks.empty()) err("header '" + key + "' after stack lines");
+      out.headers[key] = val;
+      continue;
+    }
+
+    // Stack line: root;frames... count  (count after the last space).
+    const std::size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp == 0 || sp + 1 >= line.size()) {
+      err("stack line without count");
+      continue;
+    }
+    StackLine s;
+    if (!detail::parse_u64(line.substr(sp + 1), &s.count) || s.count == 0) {
+      err("bad stack count '" + line.substr(sp + 1) + "'");
+      continue;
+    }
+    // Split the stack on ';'.
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    const std::string stack = line.substr(0, sp);
+    while (start <= stack.size()) {
+      std::size_t semi = stack.find(';', start);
+      if (semi == std::string::npos) semi = stack.size();
+      parts.push_back(stack.substr(start, semi - start));
+      start = semi + 1;
+    }
+    if (parts.size() < 2 ||
+        !detail::parse_prefixed_u32(parts[0], "ult", &s.ult) ||
+        !detail::parse_prefixed_u32(parts[1], "p", &s.pool)) {
+      err("stack root is not 'ult<id>;p<pool>': '" + stack + "'");
+      continue;
+    }
+    bool frames_ok = true;
+    for (std::size_t i = 2; i < parts.size(); ++i) {
+      if (parts[i].empty()) {
+        err("empty frame in stack '" + stack + "'");
+        frames_ok = false;
+        break;
+      }
+      s.frames.push_back(parts[i]);
+    }
+    if (!frames_ok) continue;
+    out.stacks.push_back(std::move(s));
+  }
+
+  if (!saw_magic && out.errors.empty())
+    out.errors.push_back("missing '# lpt profile v1' magic line");
+
+  // Header presence + numeric validity.
+  bool headers_ok = saw_magic;
+  for (const char* key : kRequired) {
+    auto it = out.headers.find(key);
+    if (it == out.headers.end()) {
+      out.errors.push_back(std::string("missing header '") + key + "'");
+      headers_ok = false;
+      continue;
+    }
+    if (std::string(key) == "mode") {
+      if (it->second != "off" && it->second != "hz" &&
+          it->second != "piggyback") {
+        out.errors.push_back("bad mode '" + it->second + "'");
+        headers_ok = false;
+      }
+      continue;
+    }
+    std::uint64_t v = 0;
+    if (!detail::parse_u64(it->second, &v)) {
+      out.errors.push_back(std::string("header '") + key +
+                           "' is not a number: '" + it->second + "'");
+      headers_ok = false;
+    }
+  }
+  if (!headers_ok) return out;
+
+  // Cross-header reconciliation (the contract prof.hpp documents).
+  const std::uint64_t invocations = out.header_u64("invocations");
+  const std::uint64_t recorded = out.header_u64("recorded");
+  const std::uint64_t dropped = out.header_u64("dropped");
+  if (invocations != recorded + dropped)
+    out.errors.push_back(
+        "invocations (" + std::to_string(invocations) +
+        ") != recorded (" + std::to_string(recorded) + ") + dropped (" +
+        std::to_string(dropped) + ")");
+  const std::uint64_t sum = out.folded_sum();
+  if (sum > recorded)
+    out.errors.push_back("stack counts sum to " + std::to_string(sum) +
+                         " > recorded " + std::to_string(recorded));
+  if (out.header_u64("lock_contended") > out.header_u64("lock_acquires"))
+    out.errors.push_back("lock_contended > lock_acquires");
+  if (out.header_u64("contention_chains") > out.header_u64("lock_contended"))
+    out.errors.push_back("contention_chains > lock_contended");
+  const std::uint64_t hz = out.header_u64("sample_hz");
+  if (out.mode() == "hz" && hz == 0)
+    out.errors.push_back("mode 'hz' with sample_hz 0");
+  if (out.mode() == "piggyback" && hz != 0)
+    out.errors.push_back("mode 'piggyback' with sample_hz != 0");
+  const std::uint64_t depth = out.header_u64("max_depth");
+  for (const StackLine& s : out.stacks) {
+    if (s.frames.size() > depth) {
+      out.errors.push_back("stack for ult" + std::to_string(s.ult) + " has " +
+                           std::to_string(s.frames.size()) +
+                           " frames > max_depth " + std::to_string(depth));
+      break;  // one report is enough; they would all repeat it
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JSON format — a tiny recursive-descent parser (objects/arrays/strings/
+// numbers/bools/null) plus the same invariant checks over the tree.
+// ---------------------------------------------------------------------------
+
+struct Json {
+  enum Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<std::pair<std::string, Json>> object;
+  std::vector<Json> array;
+
+  const Json* get(const std::string& key) const {
+    for (const auto& kv : object)
+      if (kv.first == key) return &kv.second;
+    return nullptr;
+  }
+  double num_or(const std::string& key, double fallback) const {
+    const Json* j = get(key);
+    return (j != nullptr && j->kind == kNumber) ? j->number : fallback;
+  }
+};
+
+namespace detail {
+
+struct JsonParser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::vector<std::string>& errors;
+
+  void err(const std::string& msg) {
+    errors.push_back("json offset " + std::to_string(pos) + ": " + msg);
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    if (pos >= text.size()) {
+      err("unexpected end of input");
+      return {};
+    }
+    const char c = text[pos];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') {
+      if (text.compare(pos, 4, "null") == 0) {
+        pos += 4;
+        return {};
+      }
+      err("bad literal");
+      pos = text.size();
+      return {};
+    }
+    return parse_number();
+  }
+
+  Json parse_object() {
+    Json j;
+    j.kind = Json::kObject;
+    ++pos;  // '{'
+    skip_ws();
+    if (eat('}')) return j;
+    while (pos < text.size()) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"') {
+        err("object key must be a string");
+        pos = text.size();
+        return j;
+      }
+      Json key = parse_string();
+      if (!eat(':')) {
+        err("missing ':' after key '" + key.str + "'");
+        pos = text.size();
+        return j;
+      }
+      j.object.emplace_back(key.str, parse_value());
+      if (eat(',')) continue;
+      if (eat('}')) return j;
+      err("expected ',' or '}' in object");
+      pos = text.size();
+      return j;
+    }
+    err("unterminated object");
+    return j;
+  }
+
+  Json parse_array() {
+    Json j;
+    j.kind = Json::kArray;
+    ++pos;  // '['
+    if (eat(']')) return j;
+    while (pos < text.size()) {
+      j.array.push_back(parse_value());
+      if (eat(',')) continue;
+      if (eat(']')) return j;
+      err("expected ',' or ']' in array");
+      pos = text.size();
+      return j;
+    }
+    err("unterminated array");
+    return j;
+  }
+
+  Json parse_string() {
+    Json j;
+    j.kind = Json::kString;
+    ++pos;  // opening quote
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') {
+        ++pos;
+        if (pos >= text.size()) break;
+        switch (text[pos]) {
+          case '"': j.str += '"'; break;
+          case '\\': j.str += '\\'; break;
+          case '/': j.str += '/'; break;
+          case 'n': j.str += '\n'; break;
+          case 't': j.str += '\t'; break;
+          case 'r': j.str += '\r'; break;
+          case 'b': j.str += '\b'; break;
+          case 'f': j.str += '\f'; break;
+          case 'u':
+            // The exporter never emits \u escapes; accept and skip them.
+            pos += 4 < text.size() - pos ? 4 : text.size() - pos - 1;
+            break;
+          default: err("bad escape in string"); break;
+        }
+        ++pos;
+        continue;
+      }
+      j.str += text[pos++];
+    }
+    if (pos >= text.size()) {
+      err("unterminated string");
+      return j;
+    }
+    ++pos;  // closing quote
+    return j;
+  }
+
+  Json parse_bool() {
+    Json j;
+    j.kind = Json::kBool;
+    if (text.compare(pos, 4, "true") == 0) {
+      j.boolean = true;
+      pos += 4;
+    } else if (text.compare(pos, 5, "false") == 0) {
+      j.boolean = false;
+      pos += 5;
+    } else {
+      err("bad literal");
+      pos = text.size();
+    }
+    return j;
+  }
+
+  Json parse_number() {
+    Json j;
+    j.kind = Json::kNumber;
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    j.number = std::strtod(start, &end);
+    if (end == start) {
+      err("bad number");
+      pos = text.size();
+      return j;
+    }
+    pos += static_cast<std::size_t>(end - start);
+    return j;
+  }
+};
+
+}  // namespace detail
+
+struct JsonParsed {
+  Json root;
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse + validate a JSON profile export: well-formed JSON, the three
+/// top-level sections, and the same accounting invariants as the folded
+/// validator (invocations == recorded + dropped, per-ULT sample totals vs
+/// recorded, contended <= acquires on the totals and every table row).
+inline JsonParsed parse_json(const std::string& text) {
+  JsonParsed out;
+  detail::JsonParser p{text, 0, out.errors};
+  out.root = p.parse_value();
+  p.skip_ws();
+  if (out.errors.empty() && p.pos != text.size())
+    out.errors.push_back("trailing content after JSON document");
+  if (!out.errors.empty()) return out;
+
+  if (out.root.kind != Json::kObject) {
+    out.errors.push_back("top level is not an object");
+    return out;
+  }
+  const Json* prof = out.root.get("prof");
+  const Json* oncpu = out.root.get("oncpu");
+  const Json* offcpu = out.root.get("offcpu");
+  const Json* locks = out.root.get("locks");
+  for (const auto& section :
+       {std::make_pair("prof", prof), std::make_pair("oncpu", oncpu),
+        std::make_pair("offcpu", offcpu), std::make_pair("locks", locks)}) {
+    if (section.second == nullptr || section.second->kind != Json::kObject)
+      out.errors.push_back(std::string("missing section '") + section.first +
+                           "'");
+  }
+  if (!out.errors.empty()) return out;
+
+  const double invocations = oncpu->num_or("invocations", -1);
+  const double recorded = oncpu->num_or("recorded", -1);
+  const double dropped = oncpu->num_or("dropped", -1);
+  if (invocations < 0 || recorded < 0 || dropped < 0)
+    out.errors.push_back("oncpu counters missing");
+  else if (invocations != recorded + dropped)
+    out.errors.push_back("oncpu: invocations != recorded + dropped");
+
+  const Json* by_ult = oncpu->get("by_ult");
+  if (by_ult == nullptr || by_ult->kind != Json::kArray) {
+    out.errors.push_back("oncpu.by_ult missing");
+  } else {
+    double sum = 0;
+    for (const Json& u : by_ult->array) sum += u.num_or("samples", 0);
+    if (recorded >= 0 && sum > recorded)
+      out.errors.push_back("oncpu.by_ult samples sum exceeds recorded");
+  }
+
+  const double acquires = locks->num_or("acquires", -1);
+  const double contended = locks->num_or("contended", -1);
+  const double chains = locks->num_or("chains", -1);
+  if (acquires < 0 || contended < 0 || chains < 0)
+    out.errors.push_back("locks counters missing");
+  else if (contended > acquires || chains > contended)
+    out.errors.push_back("locks: contended/chains ordering violated");
+  const Json* table = locks->get("table");
+  if (table == nullptr || table->kind != Json::kArray) {
+    out.errors.push_back("locks.table missing");
+  } else {
+    for (const Json& row : table->array) {
+      if (row.num_or("contended", 0) > row.num_or("acquires", 0)) {
+        out.errors.push_back("locks.table row: contended > acquires");
+        break;
+      }
+    }
+  }
+
+  const double waits = offcpu->num_or("waits", -1);
+  const double offcpu_dropped = offcpu->num_or("dropped", -1);
+  if (waits < 0 || offcpu_dropped < 0)
+    out.errors.push_back("offcpu counters missing");
+  const Json* sites = offcpu->get("sites");
+  if (sites == nullptr || sites->kind != Json::kArray) {
+    out.errors.push_back("offcpu.sites missing");
+  } else {
+    double site_sum = 0;
+    for (const Json& s : sites->array) {
+      site_sum += s.num_or("count", 0);
+      const Json* kind = s.get("kind");
+      if (kind == nullptr || kind->kind != Json::kString || kind->str.empty()) {
+        out.errors.push_back("offcpu site without a kind");
+        break;
+      }
+    }
+    // `waits` counts every recorded wait including site-table-full drops,
+    // which never land in a slot — so the table accounts for waits - dropped.
+    if (waits >= 0 && offcpu_dropped >= 0 && site_sum != waits - offcpu_dropped)
+      out.errors.push_back("offcpu site counts do not sum to waits - dropped");
+  }
+  return out;
+}
+
+}  // namespace lpt::proftest

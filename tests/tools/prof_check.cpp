@@ -1,0 +1,131 @@
+// Standalone validator for a profiler export — the check.sh smoke runs a
+// workload with LPT_PROF=1 and LPT_PROF_FILE set, then feeds the result
+// through this binary so the end-to-end profiling path (env config ->
+// collectors -> atomic rewrite -> folded/JSON export) is gated in CI without
+// gtest. With an optional metrics file the profile's accounting headers are
+// also cross-checked against the Prometheus counters the same run published:
+// both views come from the same atomics after the runtime quiesced, so any
+// disagreement is an exporter bug. Exit 0 on a clean, reconciled profile.
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "support/prof_parser.hpp"
+#include "support/prom_parser.hpp"
+
+namespace {
+
+bool read_file(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) return false;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Compare one profile header against the matching published counter.
+int cross_check(const lpt::promtest::Parsed& prom, const char* family,
+                std::uint64_t profile_value) {
+  if (!prom.has_family(family)) {
+    std::fprintf(stderr, "prof_check: metrics family %s missing\n", family);
+    return 1;
+  }
+  const double metric = prom.sum(family);
+  if (metric != static_cast<double>(profile_value)) {
+    std::fprintf(stderr,
+                 "prof_check: %s = %.0f but profile header says %llu\n",
+                 family, metric,
+                 static_cast<unsigned long long>(profile_value));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2 && argc != 3) {
+    std::fprintf(stderr, "usage: %s <profile-file> [metrics-file]\n", argv[0]);
+    return 2;
+  }
+  std::string text;
+  if (!read_file(argv[1], &text)) {
+    std::fprintf(stderr, "prof_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  if (text.empty()) {
+    std::fprintf(stderr, "prof_check: %s is empty\n", argv[1]);
+    return 1;
+  }
+
+  int rc = 0;
+
+  // Same format dispatch as the exporter (prof.cpp pick_format).
+  if (ends_with(argv[1], ".json")) {
+    const lpt::proftest::JsonParsed p = lpt::proftest::parse_json(text);
+    for (const std::string& e : p.errors) {
+      std::fprintf(stderr, "prof_check: %s\n", e.c_str());
+      rc = 1;
+    }
+    if (rc == 0)
+      std::printf("prof_check: %s ok (json)\n", argv[1]);
+    if (argc == 3)
+      std::fprintf(stderr,
+                   "prof_check: note: metrics cross-check needs the folded "
+                   "format, skipping\n");
+    return rc;
+  }
+
+  const lpt::proftest::FoldedParsed p = lpt::proftest::parse_folded(text);
+  for (const std::string& e : p.errors) {
+    std::fprintf(stderr, "prof_check: %s\n", e.c_str());
+    rc = 1;
+  }
+
+  if (argc == 3 && rc == 0) {
+    std::string mtext;
+    if (!read_file(argv[2], &mtext)) {
+      std::fprintf(stderr, "prof_check: cannot open %s\n", argv[2]);
+      return 2;
+    }
+    const lpt::promtest::Parsed prom = lpt::promtest::parse(mtext);
+    for (const std::string& e : prom.errors) {
+      std::fprintf(stderr, "prof_check: metrics: %s\n", e.c_str());
+      rc = 1;
+    }
+    rc |= cross_check(prom, "lpt_prof_sample_invocations_total",
+                      p.header_u64("invocations"));
+    rc |= cross_check(prom, "lpt_prof_samples_recorded_total",
+                      p.header_u64("recorded"));
+    rc |= cross_check(prom, "lpt_prof_samples_dropped_total",
+                      p.header_u64("dropped"));
+    rc |= cross_check(prom, "lpt_prof_offcpu_waits_total",
+                      p.header_u64("offcpu_waits"));
+    rc |= cross_check(prom, "lpt_prof_lock_acquires_total",
+                      p.header_u64("lock_acquires"));
+    rc |= cross_check(prom, "lpt_prof_lock_contended_total",
+                      p.header_u64("lock_contended"));
+    rc |= cross_check(prom, "lpt_prof_contention_chains_total",
+                      p.header_u64("contention_chains"));
+    if (!prom.has_family("lpt_prof_enabled") ||
+        prom.sum("lpt_prof_enabled") != 1.0) {
+      std::fprintf(stderr, "prof_check: lpt_prof_enabled is not 1\n");
+      rc = 1;
+    }
+  }
+
+  if (rc == 0)
+    std::printf(
+        "prof_check: %s ok (mode %s, %zu stacks, %llu samples, %llu waits)\n",
+        argv[1], p.mode().c_str(), p.stacks.size(),
+        static_cast<unsigned long long>(p.header_u64("recorded")),
+        static_cast<unsigned long long>(p.header_u64("offcpu_waits")));
+  return rc;
+}
