@@ -7,8 +7,10 @@
 # publisher (bench run with LPT_METRICS_FILE set, output validated by the
 # strict Prometheus parser in tests/tools/prom_check.cpp), an end-to-end
 # smoke of the continuous profiler (LPT_PROF=1 run validated and
-# metrics-cross-checked by tests/tools/prof_check.cpp), and a short run of
-# the self-healing soak (scripts/soak.sh).
+# metrics-cross-checked by tests/tools/prof_check.cpp), the blocking-syscall
+# resilience suite (normal, plus its non-context-switching guard/detect
+# halves under TSan), and a short run of the self-healing soak
+# (scripts/soak.sh).
 #
 #   scripts/check.sh [build-dir]        (default: build)
 #
@@ -33,37 +35,37 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/10] normal build =="
+echo "== [1/11] normal build =="
 cmake -S . -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 
-echo "== [2/10] tier-1 tests =="
+echo "== [2/11] tier-1 tests =="
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure
 
-echo "== [3/10] tracer unit tests under TSan =="
+echo "== [3/11] tracer unit tests under TSan =="
 cmake -S . -B "$BUILD-tsan" -G Ninja -DLPT_SANITIZE=thread >/dev/null
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_trace_unit
 "$BUILD-tsan/tests/test_trace_unit"
 
-echo "== [4/10] metrics + watchdog + profiler unit tests under TSan =="
+echo "== [4/11] metrics + watchdog + profiler unit tests under TSan =="
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_metrics_unit test_prof_unit
 "$BUILD-tsan/tests/test_metrics_unit"
 # Profiler primitives (sample ring, wait-site CAS table, lock slab) never
 # context-switch, so they run TSan-clean like the tracer's structures.
 "$BUILD-tsan/tests/test_prof_unit"
 
-echo "== [5/10] fault-injection tests under ASan =="
+echo "== [5/11] fault-injection tests under ASan =="
 cmake -S . -B "$BUILD-asan" -G Ninja -DLPT_SANITIZE=address >/dev/null
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_sys test_fault
 "$BUILD-asan/tests/test_sys"
 "$BUILD-asan/tests/test_fault"
 
-echo "== [6/10] fault-isolation tests (normal + ASan self-skip) =="
+echo "== [6/11] fault-isolation tests (normal + ASan self-skip) =="
 "$BUILD/tests/test_fault_isolation"
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_fault_isolation
 "$BUILD-asan/tests/test_fault_isolation"
 
-echo "== [7/10] self-healing: remediation suite (LPT_REMEDIATE=1 + degraded) =="
+echo "== [7/11] self-healing: remediation suite (LPT_REMEDIATE=1 + degraded) =="
 # Env-path acceptance (docs/robustness.md, "Self-healing"): the wedged-worker
 # and runaway workloads recover with remediation enabled via the environment.
 # The off-by-default test is the one run that must NOT see the flag, so it is
@@ -81,7 +83,19 @@ LPT_FAULT='pthread_create:after=8,every=2' "$BUILD/tests/test_remediation" \
 LPT_FAULT='pthread_create:after=8,every=2' "$BUILD/tests/test_remediation" \
   --gtest_filter='Deadline.PerSpawnDeadlineCancelsRunaway'
 
-echo "== [8/10] metrics-publisher smoke (bench + prom_check) =="
+echo "== [8/11] blocking-syscall resilience (normal + TSan guard/detect) =="
+# Full suite normal (io::call retry/deadline semantics, the wedge sentinel's
+# detection rung, compensation + reabsorption accounting under both
+# preemption techniques). The IoCall.* and SyscallDetect.* suites never
+# context-switch, so they also run under TSan to guard the epoch-word and
+# rendezvous atomics (the Comp/Storm suites switch fibers — out of TSan
+# scope, same reason as the full-suite exclusion above).
+"$BUILD/tests/test_syscall_resilience"
+cmake --build "$BUILD-tsan" -j "$JOBS" --target test_syscall_resilience
+"$BUILD-tsan/tests/test_syscall_resilience" \
+  --gtest_filter='IoCall.*:SyscallDetect.*'
+
+echo "== [9/11] metrics-publisher smoke (bench + prom_check) =="
 cmake --build "$BUILD" -j "$JOBS" --target table1_preemption prom_check
 METRICS_OUT="$(mktemp /tmp/lpt_check_metrics.XXXXXX.prom)"
 LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \
@@ -89,7 +103,7 @@ LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \
 "$BUILD/tests/prom_check" "$METRICS_OUT"
 rm -f "$METRICS_OUT"
 
-echo "== [9/10] continuous-profiling smoke (fig7 real section + prof_check) =="
+echo "== [10/11] continuous-profiling smoke (fig7 real section + prof_check) =="
 # End-to-end LPT_PROF path: env config -> piggyback sampler + off-CPU/lock
 # collectors -> shutdown export, validated by the strict folded parser and
 # cross-checked against the same run's published metrics counters.
@@ -101,7 +115,7 @@ LPT_PROF=1 LPT_PROF_FILE="$PROF_OUT" LPT_METRICS_FILE="$PROF_METRICS" \
 "$BUILD/tests/prof_check" "$PROF_OUT" "$PROF_METRICS"
 rm -f "$PROF_OUT" "$PROF_METRICS"
 
-echo "== [10/10] self-healing soak (scripts/soak.sh, short) =="
+echo "== [11/11] self-healing soak (scripts/soak.sh, short) =="
 SOAK_SECONDS=5 scripts/soak.sh "$BUILD"
 
 echo "== all checks passed =="

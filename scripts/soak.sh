@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Self-healing soak (docs/robustness.md, "Self-healing"): run the mixed
-# cancel/deadline/timed-wait workload in tests/tools/soak.cpp for
-# SOAK_SECONDS (default 60) with the remediation ladder on, then verify the
-# two things only a long, whole-process run can: shutdown of a runtime that
-# has been cancelling and replacing KLTs for a minute is clean (kernel-thread
-# count returns to baseline — no leaked workers, pool spares, or orphaned
-# KLTs) and a fresh runtime in the same process still works.
+# Self-healing soak (docs/robustness.md, "Self-healing" and
+# "Blocking-syscall resilience"): run the mixed cancel/deadline/timed-wait/
+# blocking-pipe-reader workload in tests/tools/soak.cpp for SOAK_SECONDS
+# (default 60) with the remediation ladder on and a short syscall grace, so
+# every batch drives a full wedge-sentinel compensate/reabsorb cycle. Then
+# verify the things only a long, whole-process run can: the compensation
+# books reconcile exactly (activated == reabsorbed + saturated), shutdown of
+# a runtime that has been cancelling, replacing, and compensating KLTs for a
+# minute is clean (kernel-thread count returns to baseline — no leaked
+# workers, pool spares, orphaned or compensating KLTs), and a fresh runtime
+# in the same process still works.
 #
 #   scripts/soak.sh [build-dir]        (default: build)
-#   SOAK_SECONDS=5 scripts/soak.sh     (short run, used by check.sh stage 9)
+#   SOAK_SECONDS=5 scripts/soak.sh     (short run, used by check.sh stage 11)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -33,6 +33,7 @@ WorkerSample WorkerMetrics::sample() const {
   s.stack_overflows = stack_overflows.value();
   s.escaped_exceptions = escaped_exceptions.value();
   s.ult_cancels = ult_cancels.value();
+  s.syscall_blocks = syscall_blocks.value();
   for (int i = 0; i < kWorkerStateCount; ++i)
     s.time_in_state_ns[i] = time_in_state_ns[i].value();
   s.state = state.load(std::memory_order_relaxed);
@@ -44,6 +45,7 @@ void Snapshot::finalize() {
   preempt_signal_yield = preempt_klt_switch = preemptions = 0;
   ticks_sent = handler_entries = handler_deferred = klt_degraded_ticks = 0;
   ult_faults = stack_overflows = escaped_exceptions = ult_cancels = 0;
+  syscall_blocks = 0;
   run_queue_depth = 0;
   for (const WorkerSample& w : workers) {
     dispatches += w.dispatches;
@@ -61,6 +63,7 @@ void Snapshot::finalize() {
     stack_overflows += w.stack_overflows;
     escaped_exceptions += w.escaped_exceptions;
     ult_cancels += w.ult_cancels;
+    syscall_blocks += w.syscall_blocks;
     run_queue_depth += w.queue_depth;
   }
   preemptions = preempt_signal_yield + preempt_klt_switch;
@@ -140,6 +143,9 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
       {"lpt_ult_cancels_total",
        "ULTs terminated by request_cancel() or deadline expiry.",
        &WorkerSample::ult_cancels},
+      {"lpt_syscall_blocks_total",
+       "Annotated blocking-syscall regions entered (lpt::io).",
+       &WorkerSample::syscall_blocks},
   };
   for (const PerWorkerFamily& f : kFamilies) {
     prom_family(out, f.name, "counter", f.help);
@@ -247,6 +253,10 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
   std::fprintf(out,
                "lpt_watchdog_flags_total{kind=\"fault_storm\"} %" PRIu64 "\n",
                s.watchdog_fault_storm);
+  std::fprintf(out,
+               "lpt_watchdog_flags_total{kind=\"syscall_blocked\"} %" PRIu64
+               "\n",
+               s.watchdog_syscall_blocked);
   prom_family(out, "lpt_remediations_total", "counter",
               "Self-healing remediation actions taken, by kind.");
   std::fprintf(out, "lpt_remediations_total{kind=\"retick\"} %" PRIu64 "\n",
@@ -256,6 +266,21 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
   std::fprintf(out,
                "lpt_remediations_total{kind=\"klt_replace\"} %" PRIu64 "\n",
                s.remediations_klt_replace);
+  prom_family(out, "lpt_syscall_compensations_total", "counter",
+              "Wedge-sentinel compensation outcomes "
+              "(activated == reabsorbed + saturated after quiescing).");
+  std::fprintf(out,
+               "lpt_syscall_compensations_total{outcome=\"activated\"} %" PRIu64
+               "\n",
+               s.syscall_comp_activated);
+  std::fprintf(
+      out,
+      "lpt_syscall_compensations_total{outcome=\"reabsorbed\"} %" PRIu64 "\n",
+      s.syscall_comp_reabsorbed);
+  std::fprintf(
+      out,
+      "lpt_syscall_compensations_total{outcome=\"saturated\"} %" PRIu64 "\n",
+      s.syscall_comp_saturated);
 
   prom_family(out, "lpt_trace_events_total", "counter",
               "Events recorded by the tracer (0 when tracing is off).");
@@ -326,6 +351,8 @@ void write_json(std::FILE* out, const Snapshot& s) {
   std::fprintf(out, "    \"escaped_exceptions\": %" PRIu64 ",\n",
                s.escaped_exceptions);
   std::fprintf(out, "    \"ult_cancels\": %" PRIu64 ",\n", s.ult_cancels);
+  std::fprintf(out, "    \"syscall_blocks\": %" PRIu64 ",\n",
+               s.syscall_blocks);
   std::fprintf(out, "    \"tick_effectiveness\": %.6f,\n",
                s.tick_effectiveness());
   std::fprintf(out, "    \"switch_rate\": %.6f,\n", s.switch_rate());
@@ -359,15 +386,23 @@ void write_json(std::FILE* out, const Snapshot& s) {
                "  \"watchdog\": {\"checks\": %" PRIu64
                ", \"runnable_starvation\": %" PRIu64
                ", \"worker_stall\": %" PRIu64 ", \"quantum_overrun\": %" PRIu64
-               ", \"fault_storm\": %" PRIu64 "},\n",
+               ", \"fault_storm\": %" PRIu64
+               ", \"syscall_blocked\": %" PRIu64 "},\n",
                s.watchdog_checks, s.watchdog_runnable_starvation,
                s.watchdog_worker_stall, s.watchdog_quantum_overrun,
-               s.watchdog_fault_storm);
+               s.watchdog_fault_storm, s.watchdog_syscall_blocked);
   std::fprintf(out,
                "  \"remediations\": {\"retick\": %" PRIu64
                ", \"cancel\": %" PRIu64 ", \"klt_replace\": %" PRIu64 "},\n",
                s.remediations_retick, s.remediations_cancel,
                s.remediations_klt_replace);
+  std::fprintf(out,
+               "  \"syscall\": {\"blocks\": %" PRIu64
+               ", \"comp_activated\": %" PRIu64
+               ", \"comp_reabsorbed\": %" PRIu64
+               ", \"comp_saturated\": %" PRIu64 "},\n",
+               s.syscall_blocks, s.syscall_comp_activated,
+               s.syscall_comp_reabsorbed, s.syscall_comp_saturated);
   std::fprintf(out,
                "  \"trace\": {\"enabled\": %s, \"events\": %" PRIu64
                ", \"dropped\": %" PRIu64 "},\n",

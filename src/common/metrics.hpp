@@ -104,6 +104,7 @@ struct WorkerSample {
   std::uint64_t stack_overflows = 0;     ///< ... of which guard-page overflows
   std::uint64_t escaped_exceptions = 0;  ///< ... of which exception-firewall hits
   std::uint64_t ult_cancels = 0;         ///< ... of which cancel/deadline expiry
+  std::uint64_t syscall_blocks = 0;      ///< annotated blocking-syscall regions
   std::int64_t queue_depth = 0;        ///< this worker's run-queue(s), now
   std::uint64_t time_in_state_ns[kWorkerStateCount] = {};
   std::uint8_t state = 0;              ///< WorkerState, instantaneous
@@ -134,6 +135,10 @@ struct alignas(64) WorkerMetrics {
   AtomicCounter stack_overflows;    ///< guard-page overflows contained
   AtomicCounter escaped_exceptions; ///< exception-firewall terminations
   AtomicCounter ult_cancels;        ///< cancellation/deadline terminations
+  // -- blocking-syscall resilience (docs/robustness.md); a wedged ULT on an
+  //    old host and a fresh host's ULT can both enter regions for the same
+  //    worker concurrently, hence AtomicCounter --
+  AtomicCounter syscall_blocks;     ///< lpt::io::blocking_region entries
 
   /// Instantaneous state marker (relaxed store at transitions).
   std::atomic<std::uint8_t> state{
@@ -182,6 +187,7 @@ struct Snapshot {
   std::uint64_t stack_overflows = 0;
   std::uint64_t escaped_exceptions = 0;
   std::uint64_t ult_cancels = 0;
+  std::uint64_t syscall_blocks = 0;
   std::int64_t run_queue_depth = 0;
 
   // -- runtime-global --
@@ -210,11 +216,18 @@ struct Snapshot {
   std::uint64_t watchdog_worker_stall = 0;
   std::uint64_t watchdog_quantum_overrun = 0;
   std::uint64_t watchdog_fault_storm = 0;
+  std::uint64_t watchdog_syscall_blocked = 0;
 
   // -- self-healing remediation ladder (docs/robustness.md) --
   std::uint64_t remediations_retick = 0;
   std::uint64_t remediations_cancel = 0;
   std::uint64_t remediations_klt_replace = 0;
+
+  // -- blocking-syscall compensation (docs/robustness.md). Identity after
+  //    quiescing: activated == reabsorbed + saturated. --
+  std::uint64_t syscall_comp_activated = 0;   ///< sentinel committed to compensate
+  std::uint64_t syscall_comp_reabsorbed = 0;  ///< losing hosts parked back to pool
+  std::uint64_t syscall_comp_saturated = 0;   ///< commitments with no KLT available
 
   // -- tracer pass-through (zero when tracing is off) --
   bool trace_enabled = false;

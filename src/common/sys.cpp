@@ -1,5 +1,8 @@
 #include "common/sys.hpp"
 
+#include <sys/eventfd.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cerrno>
 #include <cstdio>
@@ -117,6 +120,7 @@ bool parse_errno(const std::string& v, int* out) {
   static const struct { const char* name; int value; } kNames[] = {
       {"EAGAIN", EAGAIN}, {"ENOMEM", ENOMEM}, {"EPERM", EPERM},
       {"EINVAL", EINVAL}, {"ENFILE", ENFILE}, {"ENOSPC", ENOSPC},
+      {"EINTR", EINTR},   {"ENOSYS", ENOSYS},
   };
   for (const auto& e : kNames)
     if (v == e.name) {
@@ -243,6 +247,13 @@ const char* site_name(Site s) {
     case Site::kMmap: return "mmap";
     case Site::kPthreadSigqueue: return "pthread_sigqueue";
     case Site::kMprotect: return "mprotect";
+    case Site::kRead: return "read";
+    case Site::kWrite: return "write";
+    case Site::kPipe2: return "pipe2";
+    case Site::kEventfd: return "eventfd";
+    case Site::kPoll: return "poll";
+    case Site::kAccept: return "accept";
+    case Site::kConnect: return "connect";
     case Site::kCount: break;
   }
   return "unknown";
@@ -372,6 +383,80 @@ int mprotect(void* addr, std::size_t len, int prot) {
   const int rc = ::mprotect(addr, len, prot);
   if (rc != 0)
     site(Site::kMprotect).failed.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+ssize_t read(int fd, void* buf, std::size_t count) {
+  if (const int e = maybe_fail(Site::kRead)) {
+    errno = e;
+    return -1;
+  }
+  const ssize_t rc = ::read(fd, buf, count);
+  if (rc < 0) site(Site::kRead).failed.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+ssize_t write(int fd, const void* buf, std::size_t count) {
+  if (const int e = maybe_fail(Site::kWrite)) {
+    errno = e;
+    return -1;
+  }
+  const ssize_t rc = ::write(fd, buf, count);
+  if (rc < 0) site(Site::kWrite).failed.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int pipe2(int pipefd[2], int flags) {
+  if (const int e = maybe_fail(Site::kPipe2)) {
+    errno = e;
+    return -1;
+  }
+  const int rc = ::pipe2(pipefd, flags);
+  if (rc != 0)
+    site(Site::kPipe2).failed.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int eventfd(unsigned int initval, int flags) {
+  if (const int e = maybe_fail(Site::kEventfd)) {
+    errno = e;
+    return -1;
+  }
+  const int rc = ::eventfd(initval, flags);
+  if (rc < 0)
+    site(Site::kEventfd).failed.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int poll(struct pollfd* fds, nfds_t nfds, int timeout) {
+  if (const int e = maybe_fail(Site::kPoll)) {
+    errno = e;
+    return -1;
+  }
+  const int rc = ::poll(fds, nfds, timeout);
+  if (rc < 0) site(Site::kPoll).failed.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen) {
+  if (const int e = maybe_fail(Site::kAccept)) {
+    errno = e;
+    return -1;
+  }
+  const int rc = ::accept(sockfd, addr, addrlen);
+  if (rc < 0)
+    site(Site::kAccept).failed.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+int connect(int sockfd, const struct sockaddr* addr, socklen_t addrlen) {
+  if (const int e = maybe_fail(Site::kConnect)) {
+    errno = e;
+    return -1;
+  }
+  const int rc = ::connect(sockfd, addr, addrlen);
+  if (rc != 0)
+    site(Site::kConnect).failed.fetch_add(1, std::memory_order_relaxed);
   return rc;
 }
 

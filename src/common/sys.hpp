@@ -3,11 +3,13 @@
 // Every kernel resource the runtime acquires under preemption pressure —
 // KLTs (pthread_create), POSIX timers (timer_create/timer_settime), ULT
 // stacks (mmap), and signal delivery (pthread_sigqueue) — goes through the
-// wrappers below instead of calling libc directly. In production builds the
-// wrappers are a single relaxed atomic increment on top of the raw call; with
-// a fault plan armed (LPT_FAULT environment variable or configure_faults())
-// they deterministically inject failures so every degraded path in the
-// runtime is testable in CI without exhausting real kernel resources.
+// wrappers below instead of calling libc directly, as do the blocking I/O
+// calls behind `lpt::io` (read/write/pipe2/eventfd/poll/accept/connect). In
+// production builds the wrappers are a single relaxed atomic increment on top
+// of the raw call; with a fault plan armed (LPT_FAULT environment variable or
+// configure_faults()) they deterministically inject failures so every
+// degraded path in the runtime is testable in CI without exhausting real
+// kernel resources.
 //
 // Signal-safety: the *check* path (maybe_fail) touches only atomics, so the
 // wrappers stay as async-signal-safe as the calls they wrap — in particular
@@ -16,8 +18,11 @@
 // signal-safe and must run in normal thread context.
 #pragma once
 
+#include <poll.h>
 #include <pthread.h>
 #include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/types.h>
 
 #include <csignal>
 #include <cstddef>
@@ -35,6 +40,13 @@ enum class Site : int {
   kMmap,
   kPthreadSigqueue,
   kMprotect,
+  kRead,
+  kWrite,
+  kPipe2,
+  kEventfd,
+  kPoll,
+  kAccept,
+  kConnect,
   kCount,
 };
 
@@ -72,6 +84,18 @@ int pthread_sigqueue(pthread_t thread, int sig, const union sigval value);
 /// (docs/robustness.md, fault isolation).
 int mprotect(void* addr, std::size_t len, int prot);
 
+// Blocking-I/O sites used by lpt::io::call() (docs/robustness.md,
+// "Blocking-syscall resilience"). All return -1 with errno set on failure
+// (injected or real), matching the wrapped calls.
+
+ssize_t read(int fd, void* buf, std::size_t count);
+ssize_t write(int fd, const void* buf, std::size_t count);
+int pipe2(int pipefd[2], int flags);
+int eventfd(unsigned int initval, int flags);
+int poll(struct pollfd* fds, nfds_t nfds, int timeout);
+int accept(int sockfd, struct sockaddr* addr, socklen_t* addrlen);
+int connect(int sockfd, const struct sockaddr* addr, socklen_t addrlen);
+
 // --- fault plan ------------------------------------------------------------
 //
 // Schedule syntax (the LPT_FAULT environment variable uses the same string):
@@ -79,7 +103,8 @@ int mprotect(void* addr, std::size_t len, int prot);
 //   spec    := clause (';' clause)*
 //   clause  := site ':' kv (',' kv)*
 //   site    := pthread_create | timer_create | timer_settime | mmap
-//            | pthread_sigqueue | mprotect
+//            | pthread_sigqueue | mprotect | read | write | pipe2
+//            | eventfd | poll | accept | connect
 //   kv      := nth=N      fail exactly the Nth eligible call (1-based)
 //            | first=N    fail eligible calls 1..N
 //            | every=N    fail every Nth eligible call
@@ -90,8 +115,8 @@ int mprotect(void* addr, std::size_t len, int prot);
 //                         (lets schedules spare runtime startup)
 //            | max=N      stop after N injected failures at this site
 //            | errno=E    failure code: EAGAIN|ENOMEM|EPERM|EINVAL|ENFILE
-//                         |ENOSPC or a number (default: ENOMEM for mmap,
-//                         EAGAIN elsewhere)
+//                         |ENOSPC|EINTR|ENOSYS or a number (default: ENOMEM
+//                         for mmap/mprotect, EAGAIN elsewhere)
 //
 // Example: fail every pthread_create after the 8th with EAGAIN, and the 3rd
 // mmap with ENOMEM:

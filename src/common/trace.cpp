@@ -41,6 +41,9 @@ const char* event_name(EventType t) {
     case EventType::kProfSample: return "prof_sample";
     case EventType::kOffcpuWait: return "offcpu_wait";
     case EventType::kLockContended: return "lock_contended";
+    case EventType::kSyscallBlock: return "syscall_block";
+    case EventType::kSyscallCompensate: return "syscall_compensate";
+    case EventType::kSyscallReturn: return "syscall_return";
     case EventType::kCount: break;
   }
   return "unknown";

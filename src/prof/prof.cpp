@@ -24,6 +24,7 @@ const char* wait_kind_name(WaitKind k) {
     case WaitKind::kJoin: return "join";
     case WaitKind::kSleep: return "sleep";
     case WaitKind::kBusyFlag: return "busyflag";
+    case WaitKind::kSyscall: return "syscall";
     case WaitKind::kCount: break;
   }
   return "?";

@@ -76,6 +76,7 @@ enum class WaitKind : std::uint8_t {
   kJoin,
   kSleep,
   kBusyFlag,
+  kSyscall,
   kCount,
 };
 

@@ -71,6 +71,11 @@ struct KltCtl : TreiberNode {
   bool orphan_finished = false;  ///< true: normal exit; false: failed/cancelled
   Spinlock* orphan_release_lock = nullptr;  ///< orphaned block: drop after save
   Mutex* orphan_release_mutex = nullptr;    ///< ditto (condvar wait path)
+  /// Syscall-compensation reabsorption (docs/robustness.md): the ULT whose
+  /// blocking region returned after the sentinel replaced its host. klt_main
+  /// re-enqueues it after the context switch (same save-before-publish
+  /// discipline as orphan_finalize) and this KLT parks back into the pool.
+  ThreadCtl* reabsorb_enqueue = nullptr;
 
   /// Preferred worker-local pool to return to (-1 = global only).
   int home_worker = -1;

@@ -8,8 +8,10 @@
 //   NoPreemptGuard                                   — defer preemption
 //   Runtime::metrics_snapshot / write_metrics        — always-on metrics
 //   WatchdogReport (RuntimeOptions::watchdog_*)      — starvation watchdog
+//   io::call / io::blocking_region / io::read ...    — blocking-syscall guards
 #pragma once
 
+#include "runtime/io_guard.hpp"      // IWYU pragma: export
 #include "runtime/options.hpp"       // IWYU pragma: export
 #include "runtime/parallel_for.hpp"  // IWYU pragma: export
 #include "runtime/runtime.hpp"       // IWYU pragma: export

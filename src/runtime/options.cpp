@@ -102,6 +102,17 @@ RuntimeOptions resolve_env_options(RuntimeOptions o) {
   if (o.remediate_max_per_period < 1) o.remediate_max_per_period = 1;
   if (o.default_ult_deadline_ns < 0) o.default_ult_deadline_ns = 0;
 
+  // ----- blocking-syscall resilience (docs/robustness.md) -----
+  o.syscall_compensate = env_flag("LPT_SYSCALL_COMPENSATE", o.syscall_compensate);
+  long long grace_ms = 0;
+  env_count("LPT_SYSCALL_GRACE_MS", 1'000'000, &grace_ms);
+  if (grace_ms > 0) o.syscall_grace_ns = grace_ms * 1'000'000;
+  if (o.syscall_grace_ns < 0) o.syscall_grace_ns = 0;
+  long long max_comp = 0;
+  env_count("LPT_SYSCALL_MAX_COMPENSATIONS", 1'000'000, &max_comp);
+  if (max_comp > 0) o.syscall_max_compensations = static_cast<int>(max_comp);
+  if (o.syscall_max_compensations < 1) o.syscall_max_compensations = 1;
+
   // ----- continuous profiler (options.hpp lists every LPT_PROF* knob) -----
   if (const char* v = std::getenv("LPT_PROF"); v != nullptr)
     o.prof.enabled = env_flag("LPT_PROF", o.prof.enabled);

@@ -154,6 +154,25 @@ struct RuntimeOptions {
   /// cancellation at the next watchdog tick.
   std::int64_t default_ult_deadline_ns = 0;
 
+  // ----- blocking-syscall resilience (docs/robustness.md) -----
+
+  /// Age past which a worker parked in an annotated blocking syscall
+  /// (lpt::io::blocking_region) is considered wedged: the watchdog flags it
+  /// kSyscallBlocked and — when syscall_compensate is on — activates a
+  /// compensating KLT so the worker's run queue keeps draining
+  /// (LPT_SYSCALL_GRACE_MS overrides; 0 disables the sentinel).
+  std::int64_t syscall_grace_ns = 50'000'000;
+  /// Activate compensating KLTs for syscall-wedged workers. On by default —
+  /// unlike the remediation ladder this path is loss-free: the wedged ULT
+  /// keeps running and its KLT is reabsorbed into the pool on return
+  /// (LPT_SYSCALL_COMPENSATE=0 disables; detection stays flag-only).
+  bool syscall_compensate = true;
+  /// Cap on concurrently outstanding compensations (activated KLTs whose
+  /// losers have not yet been reabsorbed). Bounds the extra kernel threads a
+  /// storm of wedged syscalls can create on top of max_klts
+  /// (LPT_SYSCALL_MAX_COMPENSATIONS overrides; must be >= 1).
+  int syscall_max_compensations = 4;
+
   // ----- fault isolation (docs/robustness.md) -----
 
   /// Master switch for the fault-isolation subsystem (LPT_FAULT_ISOLATION=0
@@ -182,9 +201,11 @@ struct RuntimeOptions {
 /// the Runtime constructor. LPT_STACK_SIZE (bytes, optional K/M suffix) is
 /// validated, page-rounded, and clamped to a sane minimum; malformed values
 /// are reported to stderr and ignored. Also applies LPT_FAULT_ISOLATION,
-/// LPT_ISOLATE_FAULTS, LPT_STACK_SCRUB, LPT_REMEDIATE, and the integer knobs
-/// LPT_WATCHDOG_STARVATION_PERIODS / LPT_WATCHDOG_STALL_PERIODS /
-/// LPT_REMEDIATE_MAX_PER_PERIOD (validated like LPT_STACK_SIZE).
+/// LPT_ISOLATE_FAULTS, LPT_STACK_SCRUB, LPT_REMEDIATE, LPT_SYSCALL_COMPENSATE,
+/// and the integer knobs LPT_WATCHDOG_STARVATION_PERIODS /
+/// LPT_WATCHDOG_STALL_PERIODS / LPT_REMEDIATE_MAX_PER_PERIOD /
+/// LPT_SYSCALL_GRACE_MS / LPT_SYSCALL_MAX_COMPENSATIONS (validated like
+/// LPT_STACK_SIZE).
 ///
 /// Profiler knobs (docs/observability.md, "Profiling"):
 ///  * LPT_PROF=1 arms all three collectors (0/off force-disables);

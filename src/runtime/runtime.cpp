@@ -342,6 +342,22 @@ void Runtime::klt_main(KltCtl* self) {
       self->orphan_finished = false;
     }
 
+    // Blocking-syscall reabsorption (docs/robustness.md): the blocking
+    // region on this KLT returned after the wedge sentinel gave its worker a
+    // fresh host. The ULT saved its context and handed itself here (same
+    // save-before-publish discipline as the orphan handoff); re-enqueue it —
+    // counting first, so a join-then-assert test sees the reconciliation —
+    // and fall through to the kPark tail: the KLT rejoins the pool and the
+    // kernel-thread population returns to baseline.
+    if (self->reabsorb_enqueue != nullptr) {
+      ThreadCtl* t = self->reabsorb_enqueue;
+      self->reabsorb_enqueue = nullptr;
+      note_syscall_reabsorbed();
+      t->store_state(ThreadState::kReady);
+      sched_->enqueue(t, nullptr, EnqueueKind::kUnblock);
+      notify_work();
+    }
+
     if (peer != nullptr) {
       // The wake happens here — off the scheduler stack — so the woken side
       // can safely resume or re-enter that scheduler context.
@@ -493,10 +509,16 @@ metrics::Snapshot Runtime::metrics_snapshot() const {
       watchdog_.flagged(WatchdogReport::Kind::kQuantumOverrun);
   s.watchdog_fault_storm =
       watchdog_.flagged(WatchdogReport::Kind::kFaultStorm);
+  s.watchdog_syscall_blocked =
+      watchdog_.flagged(WatchdogReport::Kind::kSyscallBlocked);
 
   s.remediations_retick = remediations(RemediationKind::kRetick);
   s.remediations_cancel = remediations(RemediationKind::kCancel);
   s.remediations_klt_replace = remediations(RemediationKind::kKltReplace);
+
+  s.syscall_comp_activated = n_syscall_comp_[0].value();
+  s.syscall_comp_reabsorbed = n_syscall_comp_[1].value();
+  s.syscall_comp_saturated = n_syscall_comp_[2].value();
 
   s.trace_enabled = trace_cfg_.enabled;
   if (trace_cfg_.enabled) {
@@ -572,6 +594,10 @@ Runtime::Stats Runtime::stats() const {
   s.remediations_retick = m.remediations_retick;
   s.remediations_cancel = m.remediations_cancel;
   s.remediations_klt_replace = m.remediations_klt_replace;
+  s.syscall_blocks = m.syscall_blocks;
+  s.syscall_comp_activated = m.syscall_comp_activated;
+  s.syscall_comp_reabsorbed = m.syscall_comp_reabsorbed;
+  s.syscall_comp_saturated = m.syscall_comp_saturated;
   s.klts_retired = m.klts_retired;
   s.stacks_quarantined = m.stacks_quarantined;
   s.stack_near_overflows = m.stack_near_overflows;
@@ -625,7 +651,8 @@ void Runtime::print_trace_summary(std::FILE* out) const {
       s.posix_timer_fallbacks > 0 || s.spawn_stack_failures > 0 ||
       s.stacks_shed > 0 || s.faults_injected > 0 || s.ult_faults > 0 ||
       s.klts_retired > 0 || s.ult_cancels > 0 || s.remediations_retick > 0 ||
-      s.remediations_cancel > 0 || s.remediations_klt_replace > 0) {
+      s.remediations_cancel > 0 || s.remediations_klt_replace > 0 ||
+      s.syscall_comp_activated > 0) {
     std::fprintf(out, "degradation:\n");
     auto count_line = [&](const char* name, std::uint64_t v) {
       if (v > 0)
@@ -647,6 +674,9 @@ void Runtime::print_trace_summary(std::FILE* out) const {
     count_line("remediations: retick", s.remediations_retick);
     count_line("remediations: cancel", s.remediations_cancel);
     count_line("remediations: klt replace", s.remediations_klt_replace);
+    count_line("syscall comp: activated", s.syscall_comp_activated);
+    count_line("syscall comp: reabsorbed", s.syscall_comp_reabsorbed);
+    count_line("syscall comp: saturated", s.syscall_comp_saturated);
   }
 }
 
@@ -944,6 +974,87 @@ bool Runtime::force_replace_worker_klt(Worker& w) {
   LPT_TRACE_EVENT(trace::EventType::kKltRetired, 0, 0,
                   static_cast<std::uint64_t>(
                       old_host->trace_id >= 0 ? old_host->trace_id : 0));
+
+  fresh->action = KltAction::kBecomeWorker;
+  fresh->assign_worker = &w;
+  w.current_klt.store(fresh, std::memory_order_release);
+  w.current_tid.store(fresh->tid.load(std::memory_order_relaxed),
+                      std::memory_order_release);
+  fresh->gate.post();
+  return true;
+}
+
+bool Runtime::compensate_syscall_blocked_worker(Worker& w,
+                                                std::uint64_t epoch) {
+  if (shutting_down() || !opts_.syscall_compensate) return false;
+  if ((epoch & 1) == 0) return false;  // only published regions compensate
+
+  // Budget: compensations in flight = activated - reabsorbed - saturated.
+  // Beyond the cap the worker stays wedged-but-declared until a prior
+  // compensation reconciles — bounded degradation, not an error. No
+  // counters move here: nothing was committed.
+  const std::uint64_t in_flight = n_syscall_comp_[0].value() -
+                                  n_syscall_comp_[1].value() -
+                                  n_syscall_comp_[2].value();
+  if (in_flight >=
+      static_cast<std::uint64_t>(opts_.syscall_max_compensations))
+    return false;
+
+  KltCtl* old_host = w.current_klt.load(std::memory_order_acquire);
+  if (old_host == nullptr) return false;
+
+  // Claim the scheduler context from the wedged host — the same CAS arbiter
+  // as a forced replacement. The region holder sits inside a no-preempt
+  // guard, so only its own exit can contest this claim; losing the race
+  // simply means the syscall already returned.
+  KltCtl* expect = old_host;
+  if (!w.host_token.compare_exchange_strong(expect, nullptr,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire))
+    return false;
+
+  // Re-validate the epoch *after* owning the token: if the region exited
+  // (or a newer one started) between the watchdog's read and now, this
+  // compensation would target a region that no longer exists — hand the
+  // token back untouched.
+  if (w.syscall_epoch.load(std::memory_order_acquire) != epoch) {
+    w.host_token.store(old_host, std::memory_order_release);
+    return false;
+  }
+
+  KltCtl* fresh = klt_pool_.try_pop(w.rank);
+  if (fresh == nullptr) fresh = create_klt();
+  if (fresh == nullptr) {
+    // Committed to compensate but no KLT exists to do it with: restore the
+    // token (the region exit must see itself still the owner and continue
+    // normally) and account the commitment as saturated degradation —
+    // activated and saturated move together so the reconciliation identity
+    // holds. Ask the creator to restock for the next poll's retry.
+    w.host_token.store(old_host, std::memory_order_release);
+    n_syscall_comp_[0].add(1);
+    n_syscall_comp_[2].add(1);
+    if (!klt_creator_.saturated() && !klt_cap_reached())
+      klt_creator_.request();
+    return false;
+  }
+
+  // Commit. Order is load-bearing: the region exit decides "was I
+  // compensated?" by compensated_epoch, and concludes "a replacement
+  // committed" from current_klt — so compensated_epoch must be visible
+  // before the new host is.
+  n_syscall_comp_[0].add(1);
+  w.syscall_compensated_epoch.store(epoch, std::memory_order_release);
+
+  // The wedged tenant must not be visible as this worker's current ULT —
+  // the fresh host's scheduler would otherwise report a thread it does not
+  // run. Unlike force replacement the old host is NOT retired: it reabsorbs
+  // into the KLT pool when its syscall returns.
+  w.current_ult.store(nullptr, std::memory_order_release);
+  w.current_preempt.store(static_cast<std::uint8_t>(Preempt::None),
+                          std::memory_order_release);
+
+  LPT_TRACE_EVENT(trace::EventType::kSyscallCompensate, 0,
+                  static_cast<std::uint64_t>(w.rank), epoch);
 
   fresh->action = KltAction::kBecomeWorker;
   fresh->assign_worker = &w;

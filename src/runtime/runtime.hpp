@@ -129,6 +129,13 @@ class Runtime {
     std::uint64_t remediations_cancel = 0;       ///< deadline-driven cancels
     std::uint64_t remediations_klt_replace = 0;  ///< forced KLT replacements
 
+    // -- blocking-syscall resilience (docs/robustness.md). After quiescing:
+    //    syscall_comp_activated == comp_reabsorbed + comp_saturated. --
+    std::uint64_t syscall_blocks = 0;          ///< annotated regions entered
+    std::uint64_t syscall_comp_activated = 0;  ///< sentinel compensations
+    std::uint64_t syscall_comp_reabsorbed = 0; ///< old hosts parked back
+    std::uint64_t syscall_comp_saturated = 0;  ///< compensations w/o a KLT
+
     // -- profiler results (docs/observability.md "Profiling"; all zero when
     //    profiling is off) --
     bool prof_enabled = false;
@@ -296,6 +303,22 @@ class Runtime {
   /// degradation) or ownership could not be claimed this period.
   bool force_replace_worker_klt(Worker& w);
 
+  /// Wedge sentinel action (docs/robustness.md "Blocking-syscall
+  /// resilience"): worker w's hosted ULT has sat inside an annotated
+  /// blocking syscall (epoch `epoch`, odd) past syscall_grace_ns — activate
+  /// a compensating KLT so w's runnable ULTs keep dispatching. Claims the
+  /// host token from the wedged KLT, re-validates the epoch, and commits by
+  /// publishing syscall_compensated_epoch before the new host; the losing
+  /// KLT reabsorbs (re-enqueues its ULT, parks) when the syscall returns.
+  /// Budgeted: at most options().syscall_max_compensations in flight; when
+  /// no KLT is available the attempt counts as saturated degradation.
+  /// False when nothing was activated (budget, raced exit, saturation).
+  bool compensate_syscall_blocked_worker(Worker& w, std::uint64_t epoch);
+
+  /// Count a reabsorbed compensation (klt_main, after re-enqueueing the ULT
+  /// that returned from its wedged syscall).
+  void note_syscall_reabsorbed() { n_syscall_comp_[1].add(1); }
+
   /// Count + trace one remediation action (watchdog.hpp). With `report`,
   /// also route a synthesized WatchdogReport through watchdog_callback (or a
   /// rate-limited stderr line) — used by actions taken outside a watchdog
@@ -373,6 +396,11 @@ class Runtime {
   /// Earliest pending wake/deadline; kNoDeadline when neither list has one.
   std::atomic<std::int64_t> next_due_{kNoDeadline};
   metrics::AtomicCounter n_remediations_[3];  ///< indexed RemediationKind - 1
+  /// Blocking-syscall compensation outcomes: [0] activated (sentinel
+  /// committed), [1] reabsorbed (losing host parked back), [2] saturated
+  /// (commitment with no KLT available). activated == reabsorbed + saturated
+  /// after quiescing; activated - reabsorbed - saturated = in flight.
+  metrics::AtomicCounter n_syscall_comp_[3];
   std::atomic<std::int64_t> last_remediation_stderr_ns_{0};
 
   /// Watchdog + metrics publisher (runtime/watchdog.hpp). Declared after

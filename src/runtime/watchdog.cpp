@@ -21,6 +21,8 @@ const char* watchdog_kind_name(WatchdogReport::Kind k) {
       return "quantum_overrun";
     case WatchdogReport::Kind::kFaultStorm:
       return "fault_storm";
+    case WatchdogReport::Kind::kSyscallBlocked:
+      return "syscall_blocked";
   }
   return "?";
 }
@@ -82,12 +84,28 @@ unsigned evaluate_worker(const WorkerObs& obs, const WatchdogLimits& limits,
   const std::int64_t frozen_ns = obs.now_ns - w.dispatch_change_ns;
   unsigned flags = 0;
 
+  // (e) Declared blocking syscall (docs/robustness.md): the guard *told* us
+  // this worker is wedged in the kernel, so starvation/stall/overrun below
+  // are suppressed — they would misdiagnose the wedge and force-replace a
+  // host that the reabsorption protocol handles loss-free. One flag per
+  // region instance (epoch), raised once the grace period has run out.
+  if (obs.in_syscall) {
+    if (limits.syscall_grace_ns > 0 &&
+        obs.syscall_age_ns >= limits.syscall_grace_ns &&
+        obs.syscall_epoch != w.syscall_epoch_flagged) {
+      w.syscall_epoch_flagged = obs.syscall_epoch;
+      flags |= kFlagSyscallBlocked;
+    }
+  } else {
+    w.syscall_epoch_flagged = 0;
+  }
+
   // (a) Runnable starvation: queued work behind a frozen worker. The age is
   // capped by how long the queue has been non-empty, so work enqueued onto
   // an already-long-idle worker is not flagged before its own wait exceeds
   // the threshold.
   if (limits.runnable_ns > 0 && obs.queue_depth > 0 && !obs.parked &&
-      !w.starve_flagged) {
+      !obs.in_syscall && !w.starve_flagged) {
     const std::int64_t age =
         std::min(frozen_ns, obs.now_ns - w.depth_nonzero_ns);
     if (age >= limits.runnable_ns) {
@@ -101,7 +119,7 @@ unsigned evaluate_worker(const WorkerObs& obs, const WatchdogLimits& limits,
   // entries lag ticks legitimately (signals landing in scheduler context
   // are absorbed without an entry).
   if (limits.stall_ticks > 0 && obs.preemptible_running && !obs.parked &&
-      frozen_ns > 0 && !w.stall_flagged) {
+      !obs.in_syscall && frozen_ns > 0 && !w.stall_flagged) {
     const std::uint64_t unanswered = obs.ticks_sent - w.ticks_at_entry_change;
     if (unanswered >= limits.stall_ticks) {
       w.stall_flagged = true;
@@ -112,7 +130,8 @@ unsigned evaluate_worker(const WorkerObs& obs, const WatchdogLimits& limits,
   // (c) Quantum overrun: preemption fires (or should) yet one preemptible
   // ULT has held the worker far past its quantum.
   if (limits.quantum_ns > 0 && obs.preemptible_running && !obs.parked &&
-      frozen_ns >= limits.quantum_ns && !w.overrun_flagged) {
+      !obs.in_syscall && frozen_ns >= limits.quantum_ns &&
+      !w.overrun_flagged) {
     w.overrun_flagged = true;
     flags |= kFlagQuantumOverrun;
   }
@@ -157,6 +176,10 @@ void Watchdog::start(Runtime& rt, bool own_thread) {
       o.watchdog_fault_storm > 0
           ? static_cast<std::uint64_t>(o.watchdog_fault_storm)
           : 0;
+  // The wedge sentinel needs no timer: the guard publishes its own
+  // timestamps. Detection stays armed even with compensation off, so the
+  // flag still lands in metrics/reports as a diagnosis.
+  limits_.syscall_grace_ns = o.syscall_grace_ns > 0 ? o.syscall_grace_ns : 0;
   watch_.assign(static_cast<std::size_t>(rt.num_workers()), WorkerWatch{});
   checks_.store(0, std::memory_order_relaxed);
   for (auto& f : flags_) f.store(0, std::memory_order_relaxed);
@@ -233,6 +256,20 @@ void Watchdog::poll(std::int64_t now) {
     obs.preemptible_running =
         w.current_preempt.load(std::memory_order_relaxed) !=
         static_cast<std::uint8_t>(Preempt::None);
+    // Consistent (epoch, entry-timestamp) read: the timestamp is only valid
+    // while the epoch is odd, so re-check the epoch after reading it.
+    const std::uint64_t sys_epoch =
+        w.syscall_epoch.load(std::memory_order_acquire);
+    if ((sys_epoch & 1) != 0) {
+      const std::int64_t enter =
+          w.syscall_enter_ns.load(std::memory_order_relaxed);
+      if (w.syscall_epoch.load(std::memory_order_acquire) == sys_epoch &&
+          enter != 0) {
+        obs.in_syscall = true;
+        obs.syscall_age_ns = now - enter;
+        obs.syscall_epoch = sys_epoch;
+      }
+    }
 
     WorkerWatch& watch = watch_[r];
     const unsigned flags = evaluate_worker(obs, limits_, watch);
@@ -295,6 +332,22 @@ void Watchdog::poll(std::int64_t now) {
       rep.worker = r;
       rep.age_ns = period_ns_;
       rep.queue_depth = obs.queue_depth;
+      report(rep);
+    }
+    if (flags & kFlagSyscallBlocked) {
+      WatchdogReport rep;
+      rep.kind = WatchdogReport::Kind::kSyscallBlocked;
+      rep.worker = r;
+      rep.age_ns = obs.syscall_age_ns;
+      rep.queue_depth = obs.queue_depth;
+      // Compensation is budgeted inside the runtime (max concurrent
+      // compensations), not against the remediation ladder budget — a
+      // wedged syscall is declared, bounded degradation, not an escalation.
+      // On failure (budget, lost race, no KLT) clear the epoch latch so the
+      // next poll retries while the region is still wedged.
+      if (rt_->options().syscall_compensate &&
+          !rt_->compensate_syscall_blocked_worker(w, obs.syscall_epoch))
+        watch.syscall_epoch_flagged = 0;
       report(rep);
     }
   }

@@ -21,6 +21,13 @@
 //                        — containment is masking a systemic failure (bad
 //                        workload, corrupted shared state) rather than an
 //                        isolated bug.
+//   kSyscallBlocked      the worker's hosted ULT has sat inside an annotated
+//                        blocking syscall (lpt::io::blocking_region) past
+//                        syscall_grace_ns. Not a stall: the wedge is
+//                        *declared*, so instead of the force-replace ladder
+//                        the wedge sentinel activates a compensating spare
+//                        KLT and the old host is reabsorbed when the syscall
+//                        returns (docs/robustness.md).
 //
 // Detection is a pure function over counter *progress* (evaluate_worker):
 // no per-dispatch timestamps, no hot-path clock reads, and no dereference
@@ -64,6 +71,7 @@ struct WatchdogReport {
     kWorkerStall = 1,
     kQuantumOverrun = 2,
     kFaultStorm = 3,
+    kSyscallBlocked = 4,
   };
   Kind kind;
   int worker = -1;
@@ -84,6 +92,7 @@ struct WatchdogLimits {
   std::int64_t quantum_ns = 0;   ///< 0 when no preemption timer is armed
   std::uint64_t stall_ticks = 0; ///< 0 when ticks_sent never advances
   std::uint64_t storm_faults = 0; ///< contained faults per poll period; 0 = off
+  std::int64_t syscall_grace_ns = 0; ///< wedge-sentinel grace; 0 = off
 };
 
 /// One worker's observable facts at poll time, as seen by the watchdog.
@@ -96,6 +105,10 @@ struct WorkerObs {
   std::uint64_t ult_faults = 0;     ///< fault-isolation terminations, ever
   bool parked = false;              ///< packing-parked or not yet started
   bool preemptible_running = false; ///< current ULT has Preempt != None
+  // Blocking-syscall state word (worker.hpp), read consistently at poll time.
+  bool in_syscall = false;          ///< syscall_epoch was odd
+  std::int64_t syscall_age_ns = 0;  ///< now - entry timestamp (valid if odd)
+  std::uint64_t syscall_epoch = 0;  ///< the odd epoch observed
 };
 
 /// Persistent per-worker watch state between polls. `primed` defers judgment
@@ -114,12 +127,16 @@ struct WorkerWatch {
   bool stall_flagged = false;
   bool overrun_flagged = false;
   bool storm_flagged = false;
+  /// The epoch already flagged (and possibly compensated); one flag per
+  /// region instance. 0 = none — real published epochs are odd, never 0.
+  std::uint64_t syscall_epoch_flagged = 0;
 };
 
 inline constexpr unsigned kFlagRunnableStarvation = 1u << 0;
 inline constexpr unsigned kFlagWorkerStall = 1u << 1;
 inline constexpr unsigned kFlagQuantumOverrun = 1u << 2;
 inline constexpr unsigned kFlagFaultStorm = 1u << 3;
+inline constexpr unsigned kFlagSyscallBlocked = 1u << 4;
 
 /// Pure detection core (unit-tested without a Runtime). Updates `watch` from
 /// the observation and returns a bitmask of *newly entered* flag episodes.
@@ -170,7 +187,7 @@ class Watchdog {
   std::int64_t next_poll_ns_ = 0;
   /// Default-sink rate limit, per flag kind: a starving runtime flags every
   /// period, but one noisy kind must not silence reports of the others.
-  std::int64_t last_stderr_ns_[4] = {};
+  std::int64_t last_stderr_ns_[5] = {};
   /// Remediation ladder state: actions taken in the current poll period
   /// (capped at options().remediate_max_per_period) and the master switch,
   /// resolved at start().
@@ -178,7 +195,7 @@ class Watchdog {
   int remediate_budget_ = 0;
 
   std::atomic<std::uint64_t> checks_{0};
-  std::atomic<std::uint64_t> flags_[4] = {};
+  std::atomic<std::uint64_t> flags_[5] = {};
 
   // Own-thread mode.
   std::atomic<bool> thread_stop_{false};

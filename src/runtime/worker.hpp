@@ -78,6 +78,22 @@ struct alignas(kCacheLineSize) Worker {
 
   PostAction post;
 
+  // -- blocking-syscall state word (docs/robustness.md, "Blocking-syscall
+  // resilience"). Published by lpt::io::blocking_region, read by the
+  // watchdog's wedge sentinel. --
+  /// Odd while the hosted ULT sits inside an annotated blocking syscall.
+  /// Each region entry increments even→odd, each exit odd→even, so one epoch
+  /// value names one region instance: the sentinel compensates a given epoch
+  /// at most once, and a stale age can never flag a newer region.
+  std::atomic<std::uint64_t> syscall_epoch{0};
+  /// Region entry timestamp; written before the epoch turns odd, valid only
+  /// while it is odd.
+  std::atomic<std::int64_t> syscall_enter_ns{0};
+  /// Last (odd) epoch the sentinel activated a compensating KLT for. The
+  /// region exit compares this against its own epoch to learn it lost its
+  /// host token to a compensation and must take the reabsorption path.
+  std::atomic<std::uint64_t> syscall_compensated_epoch{0};
+
   /// Futex word for idle sleep and thread-packing parking.
   std::atomic<std::uint32_t> wake_word{0};
   std::atomic<bool> parked{false};

@@ -1,22 +1,28 @@
 // Self-healing soak driver (scripts/soak.sh): a sustained mixed workload —
 // cooperative cancels, directed-tick cancels under both preemption
-// techniques, per-spawn deadlines, timed waits — with the remediation
+// techniques, per-spawn deadlines, timed waits, and blocking-pipe readers
+// that wedge their worker past the syscall grace (driving the wedge
+// sentinel's compensate/reabsorb cycle every batch) — with the remediation
 // ladder on, followed by leak checks no unit test can make: after Runtime
-// destruction the process is back to its baseline kernel-thread count
-// (no orphaned/pooled KLT survives shutdown) and a second Runtime in the
-// same process starts healthy and completes work. Exit 0 on success.
+// destruction the process is back to its baseline kernel-thread count (no
+// orphaned/pooled/compensating KLT survives shutdown), the compensation
+// books reconcile exactly, and a second Runtime in the same process starts
+// healthy and completes work. Exit 0 on success.
 //
 //   soak [seconds]   (default 60)
 #include <dirent.h>
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <vector>
 
+#include "common/sys.hpp"
 #include "common/time.hpp"
 #include "runtime/lpt.hpp"
 
@@ -70,6 +76,34 @@ bool run_batch(Runtime& rt, std::uint64_t round) {
   while (!spinning.load(std::memory_order_acquire)) busy_spin_ns(10'000);
   victim.request_cancel();
 
+  // A blocking-pipe reader: wedges its worker inside io::read until the
+  // batch's tail writes the byte. The wedge outlives syscall_grace_ns, so
+  // the sentinel compensates (spare KLT keeps the worker dispatching) and
+  // the reader's host reabsorbs on return — every batch is one full
+  // activate/reabsorb cycle under live mixed load.
+  int pipefd[2];
+  if (sys::pipe2(pipefd, 0) != 0) return false;
+  std::atomic<bool> pipe_ok{false};
+  Thread reader = rt.spawn([&] {
+    char c = 0;
+    if (io::read(pipefd[0], &c, 1) == 1 && c == 'u')
+      pipe_ok.store(true, std::memory_order_release);
+  });
+
+  // A nonblocking reader bounded by a deadline: exercises the EAGAIN
+  // backoff loop ending in ETIMEDOUT (nothing is ever written to this end).
+  int nbfd[2];
+  if (sys::pipe2(nbfd, O_NONBLOCK) != 0) return false;
+  std::atomic<bool> timed_ok{false};
+  Thread timed_reader = rt.spawn([&] {
+    char c = 0;
+    // io::last_error(), not errno: the backoff sleeps inside io::read can
+    // migrate this ULT to another kernel thread, and errno is per-KLT.
+    if (io::read(nbfd[0], &c, 1, /*deadline_ns=*/5'000'000) == -1 &&
+        io::last_error() == ETIMEDOUT)
+      timed_ok.store(true, std::memory_order_release);
+  });
+
   // Timed waits: a sleeper, and a pair racing a mutex with try_lock_for.
   joiners.push_back(
       rt.spawn([] { this_thread::sleep_for(std::chrono::milliseconds(2)); }));
@@ -88,7 +122,18 @@ bool run_batch(Runtime& rt, std::uint64_t round) {
   }
   if (runaway.join_status().fault.kind != FaultKind::kCancelled) return false;
   if (victim.join_status().fault.kind != FaultKind::kCancelled) return false;
-  return true;
+
+  // Unwedge the pipe reader (the joins above kept it blocked well past the
+  // grace period) and settle both io threads.
+  bool ok = ::write(pipefd[1], "u", 1) == 1;
+  ok = reader.join_for(std::chrono::seconds(30)) && ok;
+  ok = timed_reader.join_for(std::chrono::seconds(30)) && ok;
+  ::close(pipefd[0]);
+  ::close(pipefd[1]);
+  ::close(nbfd[0]);
+  ::close(nbfd[1]);
+  return ok && pipe_ok.load(std::memory_order_acquire) &&
+         timed_ok.load(std::memory_order_acquire);
 }
 
 }  // namespace
@@ -105,6 +150,9 @@ int main(int argc, char** argv) {
     o.interval_us = 2'000;
     o.watchdog_period_ms = 20;
     o.remediation = true;
+    // Short grace so every batch's pipe reader outlives it and the wedge
+    // sentinel gets continuous compensate/reabsorb exercise.
+    o.syscall_grace_ns = 10'000'000;
     Runtime rt(o);
 
     const std::int64_t end = now_ns() + seconds * 1'000'000'000LL;
@@ -119,20 +167,35 @@ int main(int argc, char** argv) {
     std::printf(
         "soak: %llu rounds in %lds: ult_cancels=%llu retick=%llu "
         "cancel=%llu klt_replace=%llu klts_retired=%llu "
-        "stacks_quarantined=%llu\n",
+        "stacks_quarantined=%llu syscall_blocks=%llu "
+        "comp=%llu/%llu/%llu (activated/reabsorbed/saturated)\n",
         static_cast<unsigned long long>(rounds), seconds,
         static_cast<unsigned long long>(s.ult_cancels),
         static_cast<unsigned long long>(s.remediations_retick),
         static_cast<unsigned long long>(s.remediations_cancel),
         static_cast<unsigned long long>(s.remediations_klt_replace),
         static_cast<unsigned long long>(s.klts_retired),
-        static_cast<unsigned long long>(s.stacks_quarantined));
+        static_cast<unsigned long long>(s.stacks_quarantined),
+        static_cast<unsigned long long>(s.syscall_blocks),
+        static_cast<unsigned long long>(s.syscall_comp_activated),
+        static_cast<unsigned long long>(s.syscall_comp_reabsorbed),
+        static_cast<unsigned long long>(s.syscall_comp_saturated));
     if (s.ult_cancels < 2 * rounds) return fail("cancels did not keep up");
     if (s.remediations_cancel < rounds) return fail("deadline rung never ran");
+    // Every batch blocked in at least two annotated syscalls; after all
+    // joins the compensation books must reconcile exactly (a KLT activated
+    // but never reabsorbed would be a leaked kernel thread).
+    if (s.syscall_blocks < 2 * rounds) return fail("io guards never engaged");
+    if (s.syscall_comp_activated !=
+        s.syscall_comp_reabsorbed + s.syscall_comp_saturated)
+      return fail("compensation books do not reconcile");
+    if (s.syscall_comp_activated == 0)
+      return fail("wedge sentinel never compensated a blocked reader");
   }  // Runtime destructor: the clean-shutdown half of the check.
 
-  // Every KLT — workers, pool spares, retired orphans, helper threads —
-  // must be gone. Give exiting threads a moment to be reaped.
+  // Every KLT — workers, pool spares, retired orphans, compensating hosts,
+  // helper threads — must be gone: the kernel-thread count returns to the
+  // pre-runtime baseline. Give exiting threads a moment to be reaped.
   for (int i = 0; i < 100 && task_count() > baseline; ++i) usleep(10'000);
   if (task_count() > baseline) return fail("kernel threads leaked shutdown");
 
