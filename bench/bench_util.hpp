@@ -70,13 +70,24 @@ class JsonReport {
     set(key + ".switch_rate", s.switch_rate());
   }
 
-  /// Expands a tracer histogram to <key>.{count,p50_ns,p90_ns,p99_ns}.
+  /// Expands a tracer histogram to <key>.{count,p50_ns,p90_ns,p99_ns,p999_ns}.
   void set_hist(const std::string& key, const trace::HistSnapshot& h) {
     set(key + ".count", h.count());
     if (h.count() == 0) return;
     set(key + ".p50_ns", h.percentile_ns(50.0));
     set(key + ".p90_ns", h.percentile_ns(90.0));
     set(key + ".p99_ns", h.percentile_ns(99.0));
+    set(key + ".p999_ns", h.percentile_ns(99.9));
+  }
+
+  /// The two causal-scheduling histograms of a traced run, as
+  /// <key>.{sched_delay,spawn_latency}.{count,p50_ns,...} — call with
+  /// Runtime::stats() taken while tracing was armed (no-op histograms
+  /// otherwise; see docs/observability.md "Causal tracing").
+  void set_sched_hists(const std::string& key, const trace::HistSnapshot& delay,
+                       const trace::HistSnapshot& spawn) {
+    set_hist(key + ".sched_delay", delay);
+    set_hist(key + ".spawn_latency", spawn);
   }
 
   /// Write the report; a "" path is a silent no-op (bench ran without

@@ -30,8 +30,10 @@ namespace {
 volatile std::uint64_t g_sink;
 
 struct RealDelivery {
-  trace::HistSnapshot hist;    ///< timer fire -> handler entry
-  metrics::Snapshot metrics;   ///< tick-effectiveness counters
+  trace::HistSnapshot hist;          ///< timer fire -> handler entry
+  trace::HistSnapshot sched_delay;   ///< ready -> dispatch (all pools)
+  trace::HistSnapshot spawn_latency; ///< spawn -> first dispatch
+  metrics::Snapshot metrics;         ///< tick-effectiveness counters
 };
 
 /// Run a traced real runtime with `workers` busy signal-yield ULTs for
@@ -62,7 +64,9 @@ RealDelivery real_delivery(TimerKind timer, int workers) {
   }
   stop.store(true, std::memory_order_relaxed);
   for (auto& t : ts) t.join();
-  return {rt.stats().preempt_delivery_ns, rt.metrics_snapshot()};
+  const Runtime::Stats st = rt.stats();
+  return {st.preempt_delivery_ns, st.sched_delay_ns, st.spawn_latency_ns,
+          rt.metrics_snapshot()};
 }
 
 }  // namespace
@@ -143,7 +147,7 @@ int main(int argc, char** argv) {
       {"per-process (chain)", "chain", TimerKind::ProcessChain},
   };
   Table real_table({"strategy", "workers", "preemptions", "delivery p50 (us)",
-                    "p99 (us)", "eff (%)"});
+                    "p99 (us)", "delay p50/p99/p999 (us)", "eff (%)"});
   for (const RealRow& row : rows) {
     for (int workers : {1, 2}) {
       const RealDelivery r = real_delivery(row.kind, workers);
@@ -153,17 +157,23 @@ int main(int argc, char** argv) {
            Table::fmt("%llu", static_cast<unsigned long long>(h.count())),
            Table::fmt("%7.1f", h.percentile_ns(50.0) / 1000.0),
            Table::fmt("%7.1f", h.percentile_ns(99.0) / 1000.0),
+           Table::fmt("%.0f/%.0f/%.0f", r.sched_delay.percentile_ns(50.0) / 1000.0,
+                      r.sched_delay.percentile_ns(99.0) / 1000.0,
+                      r.sched_delay.percentile_ns(99.9) / 1000.0),
            Table::fmt("%5.0f", 100.0 * r.metrics.tick_effectiveness())});
       const std::string key =
           std::string("real.") + row.key + ".w" + std::to_string(workers);
       json.set_hist(key + ".delivery", h);
+      json.set_sched_hists(key, r.sched_delay, r.spawn_latency);
       json.set_tick_effectiveness(key + ".ticks", r.metrics);
     }
   }
   real_table.print();
   std::printf("\n\"eff\" = handler entries / ticks sent from the always-on "
               "metrics (docs/observability.md): the fraction of ticks that "
-              "landed on preemptible ULT code.\n");
+              "landed on preemptible ULT code. \"delay\" = the causal "
+              "accounting's ready->dispatch scheduling delay over every "
+              "dispatch in the cell.\n");
 
   json.write(bench::json_path_from_args(argc, argv));
   return 0;

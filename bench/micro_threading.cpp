@@ -225,6 +225,67 @@ void BM_SpawnJoinProf(benchmark::State& state) {
 }
 BENCHMARK(BM_SpawnJoinProf)->Arg(0)->Arg(1);
 
+// --- causal-accounting overhead (docs/observability.md, "Causal tracing") --
+
+void BM_YieldPingPongTraced(benchmark::State& state) {
+  // Arg 0/1 = tracer off/on. "On" buys the full lifecycle accounting —
+  // ready stamps at every enqueue, episode folding at every switch, the
+  // per-pool scheduling-delay histogram at every dispatch — so the pair is
+  // the accounting-overhead measurement: the yield path must stay within
+  // noise of the untraced run (the off path pays one relaxed flag load).
+  const bool traced = state.range(0) != 0;
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.trace.enabled = traced;
+  o.trace.ring_capacity = 1u << 12;  // drops are fine: histograms still record
+  Runtime rt(o);
+  Thread main_ult = rt.spawn([&] {
+    std::atomic<bool> stop{false};
+    Thread peer = rt.spawn([&] {
+      while (!stop.load(std::memory_order_relaxed)) this_thread::yield();
+    });
+    for (auto _ : state) this_thread::yield();
+    stop.store(true);
+    peer.join();
+  });
+  main_ult.join();
+  if (traced) {
+    const Runtime::Stats st = rt.stats();
+    state.counters["sched_delay_p50_ns"] = st.sched_delay_ns.percentile_ns(50.0);
+    state.counters["sched_delay_p99_ns"] = st.sched_delay_ns.percentile_ns(99.0);
+    state.counters["sched_delay_p999_ns"] =
+        st.sched_delay_ns.percentile_ns(99.9);
+  }
+  state.SetLabel(traced ? "trace=on" : "trace=off");
+}
+BENCHMARK(BM_YieldPingPongTraced)->Arg(0)->Arg(1);
+
+void BM_SpawnJoinTraced(benchmark::State& state) {
+  // Spawn→first-dispatch latency distribution, measured by the accounting
+  // itself (one histogram record per ULT at its first dispatch).
+  const bool traced = state.range(0) != 0;
+  RuntimeOptions o;
+  o.num_workers = 1;
+  o.trace.enabled = traced;
+  o.trace.ring_capacity = 1u << 12;
+  Runtime rt(o);
+  for (auto _ : state) {
+    Thread t = rt.spawn([] {});
+    t.join();
+  }
+  if (traced) {
+    const Runtime::Stats st = rt.stats();
+    state.counters["spawn_latency_p50_ns"] =
+        st.spawn_latency_ns.percentile_ns(50.0);
+    state.counters["spawn_latency_p99_ns"] =
+        st.spawn_latency_ns.percentile_ns(99.0);
+    state.counters["spawn_latency_p999_ns"] =
+        st.spawn_latency_ns.percentile_ns(99.9);
+  }
+  state.SetLabel(traced ? "trace=on" : "trace=off");
+}
+BENCHMARK(BM_SpawnJoinTraced)->Arg(0)->Arg(1);
+
 }  // namespace
 
 // Custom main instead of BENCHMARK_MAIN(): accept the same `--json <path>`

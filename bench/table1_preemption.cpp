@@ -33,6 +33,8 @@ struct RealPreempt {
   trace::HistSnapshot delivery;  ///< timer fire -> handler entry
   trace::HistSnapshot resched;   ///< preemption -> re-dispatch
   trace::HistSnapshot klt_trip;  ///< KLT suspend -> resume (KLT-switching)
+  trace::HistSnapshot sched_delay;   ///< ready -> dispatch (causal accounting)
+  trace::HistSnapshot spawn_latency; ///< spawn -> first dispatch
   /// Preemption-tick pipeline from the always-on metrics: sent -> landed on
   /// preemptible code -> deferred/degraded. Accumulated over the timed runs.
   std::uint64_t ticks_sent = 0;
@@ -71,6 +73,8 @@ RealPreempt measure_real_preempt(Preempt mode, std::int64_t interval_us,
       out.delivery.merge(st.preempt_delivery_ns);
       out.resched.merge(st.preempt_resched_ns);
       out.klt_trip.merge(st.klt_switch_trip_ns);
+      out.sched_delay.merge(st.sched_delay_ns);
+      out.spawn_latency.merge(st.spawn_latency_ns);
       out.degraded_ticks += st.klt_degraded_ticks;
       out.timer_fallbacks += st.posix_timer_fallbacks;
       out.faults_injected += st.faults_injected;
@@ -104,6 +108,15 @@ void print_real(const char* label, const RealPreempt& r) {
     std::printf(", KLT trip p50 %.1f us", r.klt_trip.median_ns() / 1000.0);
   std::printf("  (%llu preemptions)\n",
               static_cast<unsigned long long>(r.preemptions));
+  if (r.sched_delay.count() > 0)
+    std::printf("  %-13s  sched delay p50/p99/p999: %.1f/%.1f/%.1f us, "
+                "spawn latency p50/p99/p999: %.1f/%.1f/%.1f us\n",
+                "", r.sched_delay.percentile_ns(50.0) / 1000.0,
+                r.sched_delay.percentile_ns(99.0) / 1000.0,
+                r.sched_delay.percentile_ns(99.9) / 1000.0,
+                r.spawn_latency.percentile_ns(50.0) / 1000.0,
+                r.spawn_latency.percentile_ns(99.0) / 1000.0,
+                r.spawn_latency.percentile_ns(99.9) / 1000.0);
   if (r.ticks_sent > 0)
     std::printf("  %-13s  tick effectiveness: %llu ticks -> %llu handler "
                 "entries (%.0f%%), %llu deferred\n",
@@ -201,6 +214,7 @@ int main(int argc, char** argv) {
                              : 0.0);
   json.set_hist("real.signal_yield.delivery", sy.delivery);
   json.set_hist("real.signal_yield.resched", sy.resched);
+  json.set_sched_hists("real.signal_yield", sy.sched_delay, sy.spawn_latency);
   json.set("real.signal_yield.degraded_ticks", sy.degraded_ticks);
   json.set("real.signal_yield.faults_injected", sy.faults_injected);
   json.set("real.klt_switching.ext_us", ks.ext_us);
@@ -218,6 +232,7 @@ int main(int argc, char** argv) {
   json.set_hist("real.klt_switching.delivery", ks.delivery);
   json.set_hist("real.klt_switching.resched", ks.resched);
   json.set_hist("real.klt_switching.klt_trip", ks.klt_trip);
+  json.set_sched_hists("real.klt_switching", ks.sched_delay, ks.spawn_latency);
 
   json.write(bench::json_path_from_args(argc, argv));
   return 0;

@@ -57,9 +57,42 @@ int main(int argc, char** argv) {
     ks.preempt = Preempt::KltSwitch;
     Thread t_ks = rt.spawn([] { g_sink = busy_work_iters(30'000'000); }, ks);
 
+    // Blocking threads exercising the sync primitives, so the trace carries
+    // ult_wake causal edges (Perfetto draws them as waker→dispatch arrows)
+    // and blocked-on-{mutex,condvar,semaphore} critical-path segments.
+    Mutex m;
+    CondVar cv;
+    Semaphore sem(0);
+    bool cv_go = false;
+    std::vector<Thread> sync_ts;
+    sync_ts.push_back(rt.spawn([&] {
+      m.lock();
+      while (!cv_go) cv.wait(m);
+      m.unlock();
+    }));
+    sync_ts.push_back(rt.spawn([&] { sem.acquire(); }));
+    for (int i = 0; i < 2; ++i)
+      sync_ts.push_back(rt.spawn([&] {
+        for (int k = 0; k < 50; ++k) {
+          m.lock();
+          g_sink = busy_work_iters(1'000);
+          m.unlock();
+          this_thread::yield();
+        }
+      }));
+    sync_ts.push_back(rt.spawn([&] {
+      g_sink = busy_work_iters(200'000);  // let the waiters park first
+      m.lock();
+      cv_go = true;
+      cv.notify_one();
+      m.unlock();
+      sem.release();
+    }));
+
     for (auto& t : coop) t.join();
     t_sy.join();
     t_ks.join();
+    for (auto& t : sync_ts) t.join();
 
     const Runtime::Stats st = rt.stats();
     std::printf("\n%llu events recorded (%llu dropped), "
@@ -95,7 +128,9 @@ int main(int argc, char** argv) {
   }  // ~Runtime writes the Chrome trace
 
   if (traced && !out.empty())
-    std::printf("\nTrace written to %s — load it at https://ui.perfetto.dev\n",
+    std::printf("\nTrace written to %s — load it at https://ui.perfetto.dev\n"
+                "(set LPT_TRACE_EVENTS_FILE=<path> for the raw JSONL event "
+                "log: the input of tools/trace_critical_path)\n",
                 out.c_str());
   else
     std::printf("\nTracing was disabled (LPT_TRACE=0); no file written.\n");

@@ -7,10 +7,12 @@
 # publisher (bench run with LPT_METRICS_FILE set, output validated by the
 # strict Prometheus parser in tests/tools/prom_check.cpp), an end-to-end
 # smoke of the continuous profiler (LPT_PROF=1 run validated and
-# metrics-cross-checked by tests/tools/prof_check.cpp), the blocking-syscall
-# resilience suite (normal, plus its non-context-switching guard/detect
-# halves under TSan), and a short run of the self-healing soak
-# (scripts/soak.sh).
+# metrics-cross-checked by tests/tools/prof_check.cpp), an end-to-end smoke
+# of the causal tracer (mixed trace_viz workload with LPT_TRACE_EVENTS_FILE
+# set, the event log cross-checked against the same run's metrics by
+# tests/tools/trace_check.cpp), the blocking-syscall resilience suite
+# (normal, plus its non-context-switching guard/detect halves under TSan),
+# and a short run of the self-healing soak (scripts/soak.sh).
 #
 #   scripts/check.sh [build-dir]        (default: build)
 #
@@ -35,37 +37,37 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/11] normal build =="
+echo "== [1/12] normal build =="
 cmake -S . -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 
-echo "== [2/11] tier-1 tests =="
+echo "== [2/12] tier-1 tests =="
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure
 
-echo "== [3/11] tracer unit tests under TSan =="
+echo "== [3/12] tracer unit tests under TSan =="
 cmake -S . -B "$BUILD-tsan" -G Ninja -DLPT_SANITIZE=thread >/dev/null
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_trace_unit
 "$BUILD-tsan/tests/test_trace_unit"
 
-echo "== [4/11] metrics + watchdog + profiler unit tests under TSan =="
+echo "== [4/12] metrics + watchdog + profiler unit tests under TSan =="
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_metrics_unit test_prof_unit
 "$BUILD-tsan/tests/test_metrics_unit"
 # Profiler primitives (sample ring, wait-site CAS table, lock slab) never
 # context-switch, so they run TSan-clean like the tracer's structures.
 "$BUILD-tsan/tests/test_prof_unit"
 
-echo "== [5/11] fault-injection tests under ASan =="
+echo "== [5/12] fault-injection tests under ASan =="
 cmake -S . -B "$BUILD-asan" -G Ninja -DLPT_SANITIZE=address >/dev/null
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_sys test_fault
 "$BUILD-asan/tests/test_sys"
 "$BUILD-asan/tests/test_fault"
 
-echo "== [6/11] fault-isolation tests (normal + ASan self-skip) =="
+echo "== [6/12] fault-isolation tests (normal + ASan self-skip) =="
 "$BUILD/tests/test_fault_isolation"
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_fault_isolation
 "$BUILD-asan/tests/test_fault_isolation"
 
-echo "== [7/11] self-healing: remediation suite (LPT_REMEDIATE=1 + degraded) =="
+echo "== [7/12] self-healing: remediation suite (LPT_REMEDIATE=1 + degraded) =="
 # Env-path acceptance (docs/robustness.md, "Self-healing"): the wedged-worker
 # and runaway workloads recover with remediation enabled via the environment.
 # The off-by-default test is the one run that must NOT see the flag, so it is
@@ -83,7 +85,7 @@ LPT_FAULT='pthread_create:after=8,every=2' "$BUILD/tests/test_remediation" \
 LPT_FAULT='pthread_create:after=8,every=2' "$BUILD/tests/test_remediation" \
   --gtest_filter='Deadline.PerSpawnDeadlineCancelsRunaway'
 
-echo "== [8/11] blocking-syscall resilience (normal + TSan guard/detect) =="
+echo "== [8/12] blocking-syscall resilience (normal + TSan guard/detect) =="
 # Full suite normal (io::call retry/deadline semantics, the wedge sentinel's
 # detection rung, compensation + reabsorption accounting under both
 # preemption techniques). The IoCall.* and SyscallDetect.* suites never
@@ -95,7 +97,7 @@ cmake --build "$BUILD-tsan" -j "$JOBS" --target test_syscall_resilience
 "$BUILD-tsan/tests/test_syscall_resilience" \
   --gtest_filter='IoCall.*:SyscallDetect.*'
 
-echo "== [9/11] metrics-publisher smoke (bench + prom_check) =="
+echo "== [9/12] metrics-publisher smoke (bench + prom_check) =="
 cmake --build "$BUILD" -j "$JOBS" --target table1_preemption prom_check
 METRICS_OUT="$(mktemp /tmp/lpt_check_metrics.XXXXXX.prom)"
 LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \
@@ -103,7 +105,7 @@ LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \
 "$BUILD/tests/prom_check" "$METRICS_OUT"
 rm -f "$METRICS_OUT"
 
-echo "== [10/11] continuous-profiling smoke (fig7 real section + prof_check) =="
+echo "== [10/12] continuous-profiling smoke (fig7 real section + prof_check) =="
 # End-to-end LPT_PROF path: env config -> piggyback sampler + off-CPU/lock
 # collectors -> shutdown export, validated by the strict folded parser and
 # cross-checked against the same run's published metrics counters.
@@ -115,7 +117,26 @@ LPT_PROF=1 LPT_PROF_FILE="$PROF_OUT" LPT_METRICS_FILE="$PROF_METRICS" \
 "$BUILD/tests/prof_check" "$PROF_OUT" "$PROF_METRICS"
 rm -f "$PROF_OUT" "$PROF_METRICS"
 
-echo "== [11/11] self-healing soak (scripts/soak.sh, short) =="
+echo "== [11/12] causal-trace smoke (trace_viz mixed workload + trace_check) =="
+# End-to-end causal-observability path: env config -> wake-edge tracing +
+# per-ULT accounting -> JSONL event log + Prometheus histograms, with the
+# validator proving every dispatch resolves to a ready stamp, every wake edge
+# names a real waker, and the summed delays reconcile exactly with the
+# lpt_sched_delay_ns / lpt_spawn_latency_ns families. The ring is sized so
+# nothing drops (exact reconciliation requires a complete log).
+cmake --build "$BUILD" -j "$JOBS" --target trace_viz trace_check trace_critical_path
+TRACE_EVENTS="$(mktemp /tmp/lpt_check_trace.XXXXXX.jsonl)"
+TRACE_METRICS="$(mktemp /tmp/lpt_check_trace.XXXXXX.prom)"
+TRACE_JSON="$(mktemp /tmp/lpt_check_trace.XXXXXX.json)"
+LPT_TRACE_EVENTS_FILE="$TRACE_EVENTS" LPT_TRACE_RING_CAP=$((1<<18)) \
+  LPT_METRICS_FILE="$TRACE_METRICS" \
+  "$BUILD/examples/trace_viz" "$TRACE_JSON" >/dev/null
+"$BUILD/tests/trace_check" "$TRACE_EVENTS" "$TRACE_METRICS"
+# The analyzer must walk the same log without complaint.
+"$BUILD/tools/trace_critical_path" "$TRACE_EVENTS" >/dev/null
+rm -f "$TRACE_EVENTS" "$TRACE_METRICS" "$TRACE_JSON"
+
+echo "== [12/12] self-healing soak (scripts/soak.sh, short) =="
 SOAK_SECONDS=5 scripts/soak.sh "$BUILD"
 
 echo "== all checks passed =="

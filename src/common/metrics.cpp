@@ -90,6 +90,36 @@ void prom_worker_u64(std::FILE* out, const char* name, int rank,
   std::fprintf(out, "%s{worker=\"%d\"} %" PRIu64 "\n", name, rank, v);
 }
 
+/// One pool's log2 latency histogram as a native Prometheus histogram:
+/// cumulative `_bucket{pool="r",le="..."}` series (one per log2 bucket up to
+/// the highest non-empty one, then `+Inf`), plus exact `_sum` (seconds, from
+/// HistSnapshot::sum_ns) and `_count`. Exact by construction — every bucket
+/// is an exported integer and sum_ns is accumulated, not reconstructed — so
+/// tests/tools/trace_check can reconcile these against per-ULT accounting.
+void prom_histogram_pool(std::FILE* out, const char* name, int pool,
+                         const trace::HistSnapshot& h) {
+  std::uint64_t cum = 0;
+  int top = -1;
+  for (int b = 0; b < trace::HistSnapshot::kBuckets; ++b)
+    if (h.buckets[b] != 0) top = b;
+  for (int b = 0; b <= top; ++b) {
+    cum += h.buckets[b];
+    // Bucket 1 is a structural hole (values 0 and 1 both land in bucket 0,
+    // which already spans [0, 2)): emitting it would duplicate le="2".
+    if (b + 1 <= top && trace::HistSnapshot::bucket_ceil_ns(b + 1) ==
+                            trace::HistSnapshot::bucket_ceil_ns(b))
+      continue;
+    std::fprintf(out, "%s_bucket{pool=\"%d\",le=\"%" PRId64 "\"} %" PRIu64 "\n",
+                 name, pool, trace::HistSnapshot::bucket_ceil_ns(b), cum);
+  }
+  std::fprintf(out, "%s_bucket{pool=\"%d\",le=\"+Inf\"} %" PRIu64 "\n", name,
+               pool, cum);
+  // The family's unit is ns (the _ns suffix), so _sum is integral ns, not
+  // Prometheus-conventional seconds — keeping every series an exact integer.
+  std::fprintf(out, "%s_sum{pool=\"%d\"} %" PRIu64 "\n", name, pool, h.sum_ns);
+  std::fprintf(out, "%s_count{pool=\"%d\"} %" PRIu64 "\n", name, pool, cum);
+}
+
 }  // namespace
 
 void write_prometheus(std::FILE* out, const Snapshot& s) {
@@ -289,6 +319,25 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
               "Events dropped by full trace rings.");
   prom_u64(out, "lpt_trace_dropped_total", s.trace_dropped);
 
+  // Causal scheduling-delay histograms (tracer pass-through; absent when
+  // tracing is off so scrapes stay small on untraced runs).
+  if (!s.pool_sched_delay_ns.empty()) {
+    prom_family(out, "lpt_sched_delay_ns", "histogram",
+                "Ready to dispatch scheduling delay per pool, ns (log2 "
+                "buckets; tracing only).");
+    for (std::size_t r = 0; r < s.pool_sched_delay_ns.size(); ++r)
+      prom_histogram_pool(out, "lpt_sched_delay_ns", static_cast<int>(r),
+                          s.pool_sched_delay_ns[r]);
+  }
+  if (!s.pool_spawn_latency_ns.empty()) {
+    prom_family(out, "lpt_spawn_latency_ns", "histogram",
+                "Spawn to first dispatch latency per pool, ns (log2 buckets; "
+                "tracing only).");
+    for (std::size_t r = 0; r < s.pool_spawn_latency_ns.size(); ++r)
+      prom_histogram_pool(out, "lpt_spawn_latency_ns", static_cast<int>(r),
+                          s.pool_spawn_latency_ns[r]);
+  }
+
   prom_family(out, "lpt_prof_enabled", "gauge",
               "1 when the continuous profiler is armed.");
   prom_i64(out, "lpt_prof_enabled", s.prof_enabled ? 1 : 0);
@@ -408,6 +457,23 @@ void write_json(std::FILE* out, const Snapshot& s) {
                ", \"dropped\": %" PRIu64 "},\n",
                s.trace_enabled ? "true" : "false", s.trace_events,
                s.trace_dropped);
+  auto json_pool_hists = [&](const char* key,
+                             const std::vector<trace::HistSnapshot>& pools) {
+    std::fprintf(out, "  \"%s\": [", key);
+    for (std::size_t r = 0; r < pools.size(); ++r) {
+      const trace::HistSnapshot& h = pools[r];
+      std::fprintf(out,
+                   "%s{\"pool\": %zu, \"count\": %" PRIu64
+                   ", \"sum_ns\": %" PRIu64
+                   ", \"p50_ns\": %.0f, \"p99_ns\": %.0f, \"p999_ns\": %.0f}",
+                   r == 0 ? "" : ", ", r, h.count(), h.sum_ns,
+                   h.percentile_ns(50), h.percentile_ns(99),
+                   h.percentile_ns(99.9));
+    }
+    std::fprintf(out, "],\n");
+  };
+  json_pool_hists("sched_delay_ns", s.pool_sched_delay_ns);
+  json_pool_hists("spawn_latency_ns", s.pool_spawn_latency_ns);
   std::fprintf(out,
                "  \"prof\": {\"enabled\": %s, \"sample_invocations\": %" PRIu64
                ", \"samples_recorded\": %" PRIu64

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "common/trace.hpp"
+
 namespace lpt::metrics {
 
 /// Monotonic counter with exactly one logical writer (the owning worker's
@@ -233,6 +235,16 @@ struct Snapshot {
   bool trace_enabled = false;
   std::uint64_t trace_events = 0;
   std::uint64_t trace_dropped = 0;
+  // Per-pool scheduling-delay accounting (docs/observability.md, "Causal
+  // tracing & scheduling delay"): index == worker rank == pool; a stolen ULT
+  // is attributed to the pool that dispatched it. Like the counters above
+  // these are tracer pass-through — empty vectors when tracing is off —
+  // exported by write_prometheus as native histograms with `le` buckets
+  // (lpt_sched_delay_ns / lpt_spawn_latency_ns). sum_ns is exact, so after
+  // quiescing the merged totals reconcile with summed per-ULT
+  // UltAccounting (tests/tools/trace_check relies on this).
+  std::vector<trace::HistSnapshot> pool_sched_delay_ns;    ///< ready → dispatch
+  std::vector<trace::HistSnapshot> pool_spawn_latency_ns;  ///< spawn → 1st disp.
 
   // -- profiler pass-through (docs/observability.md "Profiling"; all zero
   //    when profiling is off) --

@@ -44,6 +44,7 @@ const char* event_name(EventType t) {
     case EventType::kSyscallBlock: return "syscall_block";
     case EventType::kSyscallCompensate: return "syscall_compensate";
     case EventType::kSyscallReturn: return "syscall_return";
+    case EventType::kUltWake: return "ult_wake";
     case EventType::kCount: break;
   }
   return "unknown";
@@ -61,6 +62,7 @@ std::uint64_t HistSnapshot::count() const {
 
 void HistSnapshot::merge(const HistSnapshot& o) {
   for (int i = 0; i < kBuckets; ++i) buckets[i] += o.buckets[i];
+  sum_ns += o.sum_ns;
 }
 
 std::int64_t HistSnapshot::bucket_floor_ns(int b) {
@@ -116,6 +118,7 @@ void Collector::configure(const TraceConfig& cfg) {
   rings_.clear();
   cfg_ = cfg;
   next_track_id_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
   g_enabled.store(cfg.enabled, std::memory_order_release);
 }
 
@@ -166,6 +169,7 @@ struct FlatEvent {
 /// KLT tracks get ids above any plausible worker count.
 constexpr int kTimerTid = 900;
 constexpr int kCreatorTid = 901;
+constexpr int kExternalTid = 902;
 constexpr int kKltTidBase = 1000;
 
 int track_tid(const FlatEvent& f) {
@@ -186,6 +190,7 @@ int track_tid(const FlatEvent& f) {
   switch (f.ring_kind) {
     case TrackKind::kTimer: return kTimerTid;
     case TrackKind::kCreator: return kCreatorTid;
+    case TrackKind::kExternal: return kExternalTid;
     case TrackKind::kWorkerKlt: return kKltTidBase + f.ring_id;
   }
   return kKltTidBase + f.ring_id;
@@ -251,6 +256,33 @@ bool Collector::write_chrome_json(const std::string& path) const {
   });
   const std::int64_t t0 = flat.front().ts_ns;
 
+  // Per-ULT dispatch index for flow-event binding: a kUltWake at ts T for
+  // ULT u draws an arrow to u's first kUltDispatch at ts >= T.
+  struct DispatchRef {
+    std::int64_t ts_ns;
+    int worker;
+  };
+  std::vector<std::pair<std::uint32_t, DispatchRef>> dispatches;
+  for (const FlatEvent& fe : flat)
+    if (fe.type == EventType::kUltDispatch && fe.ult != 0)
+      dispatches.push_back({fe.ult, {fe.ts_ns, track_tid(fe)}});
+  std::stable_sort(dispatches.begin(), dispatches.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first != b.first ? a.first < b.first
+                                               : a.second.ts_ns < b.second.ts_ns;
+                   });
+  auto next_dispatch = [&](std::uint32_t ult,
+                           std::int64_t ts) -> const DispatchRef* {
+    auto it = std::lower_bound(
+        dispatches.begin(), dispatches.end(), std::make_pair(ult, ts),
+        [](const auto& d, const auto& key) {
+          return d.first != key.first ? d.first < key.first
+                                      : d.second.ts_ns < key.second;
+        });
+    if (it == dispatches.end() || it->first != ult) return nullptr;
+    return &it->second;
+  };
+
   std::fprintf(f, "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
   bool first = true;
   std::fprintf(f,
@@ -272,6 +304,8 @@ bool Collector::write_chrome_json(const std::string& path) const {
       std::snprintf(name, sizeof(name), "preemption timer");
     else if (tid == kCreatorTid)
       std::snprintf(name, sizeof(name), "klt creator");
+    else if (tid == kExternalTid)
+      std::snprintf(name, sizeof(name), "external threads");
     else
       std::snprintf(name, sizeof(name), "klt %d", tid - kKltTidBase);
     write_meta(f, tid, name, &first);
@@ -283,7 +317,7 @@ bool Collector::write_chrome_json(const std::string& path) const {
     bool open = false;
     std::int64_t start_ns = 0;
     std::uint32_t ult = 0;
-    std::uint64_t resched_ns = 0;
+    std::uint64_t sched_delay_ns = 0;
   };
   std::vector<OpenSpan> open(256);
 
@@ -298,6 +332,32 @@ bool Collector::write_chrome_json(const std::string& path) const {
     first = false;
   };
 
+  // Causal wake→dispatch arrows as Chrome flow events: "s" on the waker's
+  // track at wake time, "f" (bp:"e" = bind to the enclosing slice) on the
+  // woken ULT's next dispatch. Perfetto draws these as arrows.
+  std::uint64_t flow_id = 0;
+  for (const FlatEvent& fe : flat) {
+    if (fe.type != EventType::kUltWake) continue;
+    const DispatchRef* d = next_dispatch(fe.ult, fe.ts_ns);
+    if (d == nullptr) continue;  // woken but never dispatched before shutdown
+    ++flow_id;
+    std::fprintf(f,
+                 "%s\n  {\"name\":\"wake\",\"cat\":\"wake\",\"ph\":\"s\","
+                 "\"id\":%" PRIu64 ",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
+                 "\"args\":{\"ult\":%" PRIu32 ",\"waker\":%" PRIu64
+                 ",\"kind\":%" PRIu64 "}}",
+                 first ? "" : ",", flow_id, track_tid(fe),
+                 static_cast<double>(fe.ts_ns - t0) / 1000.0, fe.ult, fe.arg0,
+                 fe.arg1);
+    first = false;
+    std::fprintf(f,
+                 "%s\n  {\"name\":\"wake\",\"cat\":\"wake\",\"ph\":\"f\","
+                 "\"bp\":\"e\",\"id\":%" PRIu64 ",\"pid\":1,\"tid\":%d,"
+                 "\"ts\":%.3f}",
+                 ",", flow_id, d->worker,
+                 static_cast<double>(d->ts_ns - t0) / 1000.0);
+  }
+
   for (const FlatEvent& fe : flat) {
     const int tid = track_tid(fe);
     if (fe.type == EventType::kUltDispatch && fe.worker >= 0 &&
@@ -306,7 +366,7 @@ bool Collector::write_chrome_json(const std::string& path) const {
       s.open = true;
       s.start_ns = fe.ts_ns;
       s.ult = fe.ult;
-      s.resched_ns = fe.arg0;
+      s.sched_delay_ns = fe.arg0;
       continue;
     }
     if (closes_run_span(fe.type) && fe.worker >= 0 &&
@@ -317,12 +377,12 @@ bool Collector::write_chrome_json(const std::string& path) const {
       std::fprintf(f,
                    "%s\n  {\"name\":\"ult %" PRIu32
                    "\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,"
-                   "\"dur\":%.3f,\"args\":{\"end\":\"%s\",\"resched_ns\":%" PRIu64
+                   "\"dur\":%.3f,\"args\":{\"end\":\"%s\",\"sched_delay_ns\":%" PRIu64
                    "}}",
                    first ? "" : ",", s.ult, fe.worker,
                    static_cast<double>(s.start_ns - t0) / 1000.0,
                    static_cast<double>(fe.ts_ns - s.start_ns) / 1000.0,
-                   event_name(fe.type), s.resched_ns);
+                   event_name(fe.type), s.sched_delay_ns);
       first = false;
       // Preemption end-causes also carry latency info worth an instant mark.
       if (fe.type == EventType::kPreemptSignalYield ||
@@ -348,6 +408,55 @@ bool Collector::write_chrome_json(const std::string& path) const {
   std::fprintf(f, "\n]}\n");
   const bool ok = std::fclose(f) == 0;
   return ok;
+}
+
+std::vector<EventView> Collector::snapshot_events() const {
+  std::vector<EventView> out;
+  {
+    std::lock_guard<std::mutex> g(rings_lock_);
+    for (const auto& b : rings_) {
+      const Ring& r = b->ring;
+      const std::uint32_t n = r.fill();
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Event& e = r.at(i);
+        const auto ty = e.type.load(std::memory_order_acquire);
+        if (ty == 0 || ty >= static_cast<std::uint16_t>(EventType::kCount))
+          continue;
+        EventView v;
+        v.ts_ns = e.ts_ns;
+        v.arg0 = e.arg0;
+        v.arg1 = e.arg1;
+        v.ult = e.ult;
+        v.worker = e.worker;
+        v.type = static_cast<EventType>(ty);
+        out.push_back(v);
+      }
+    }
+  }
+  // A dispatch consumes a ready stamp set strictly before it (the enqueue
+  // happens-before the pop), but both can land in the same raw-clock ns; the
+  // tie-break keeps causal order for consumers scanning in sequence.
+  std::sort(out.begin(), out.end(), [](const EventView& a, const EventView& b) {
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    const int ra = a.type == EventType::kUltDispatch ? 1 : 0;
+    const int rb = b.type == EventType::kUltDispatch ? 1 : 0;
+    return ra < rb;
+  });
+  return out;
+}
+
+bool Collector::write_events_jsonl(const std::string& path) const {
+  const std::vector<EventView> events = snapshot_events();
+  if (events.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const EventView& e : events)
+    std::fprintf(f,
+                 "{\"ts\":%" PRId64 ",\"type\":\"%s\",\"ult\":%" PRIu32
+                 ",\"worker\":%d,\"arg0\":%" PRIu64 ",\"arg1\":%" PRIu64 "}\n",
+                 e.ts_ns, event_name(e.type), e.ult,
+                 static_cast<int>(e.worker), e.arg0, e.arg1);
+  return std::fclose(f) == 0;
 }
 
 void Collector::write_summary(std::FILE* out) const {
@@ -377,6 +486,25 @@ void Collector::write_summary(std::FILE* out) const {
     std::fprintf(out, "  %-22s %10" PRIu64 "\n",
                  event_name(static_cast<EventType>(t)), by_type[t]);
   }
+
+  // Top-10 slowest ready→dispatch delays (kUltDispatch arg0), the worst
+  // scheduling-delay victims of the run.
+  std::vector<EventView> slow;
+  for (const EventView& e : snapshot_events())
+    if (e.type == EventType::kUltDispatch && e.arg0 > 0) slow.push_back(e);
+  if (!slow.empty()) {
+    const std::size_t top = slow.size() < 10 ? slow.size() : 10;
+    std::partial_sort(slow.begin(), slow.begin() + top, slow.end(),
+                      [](const EventView& a, const EventView& b) {
+                        return a.arg0 > b.arg0;
+                      });
+    std::fprintf(out, "top %zu slowest dispatches (ready -> dispatch):\n", top);
+    for (std::size_t i = 0; i < top; ++i)
+      std::fprintf(out,
+                   "  ult %-6" PRIu32 " worker %-3d delay %10.1f us\n",
+                   slow[i].ult, static_cast<int>(slow[i].worker),
+                   static_cast<double>(slow[i].arg0) / 1000.0);
+  }
 }
 
 TraceConfig resolve_config(TraceConfig base) {
@@ -391,6 +519,11 @@ TraceConfig resolve_config(TraceConfig base) {
   if (const char* cap = std::getenv("LPT_TRACE_RING_CAP"); cap != nullptr) {
     const long v = std::strtol(cap, nullptr, 10);
     if (v > 0) base.ring_capacity = static_cast<std::uint32_t>(v);
+  }
+  if (const char* ev = std::getenv("LPT_TRACE_EVENTS_FILE");
+      ev != nullptr && ev[0] != '\0') {
+    base.events_file = ev;
+    base.enabled = true;
   }
   if (base.enabled && base.file.empty() && on != nullptr)
     base.file = "lpt_trace.json";  // plain LPT_TRACE=1 still leaves a trace

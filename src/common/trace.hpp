@@ -43,7 +43,7 @@ inline std::int64_t now_ns() {
 /// Scheduler-event taxonomy (docs/observability.md documents each one).
 enum class EventType : std::uint16_t {
   kNone = 0,           ///< unwritten slot sentinel — never recorded
-  kUltDispatch,        ///< worker switches into a ULT; arg0=resched-latency ns (0 = not after preemption)
+  kUltDispatch,        ///< worker switches into a ULT; arg0=ready→dispatch scheduling delay ns (0 = no ready stamp)
   kUltYield,           ///< voluntary yield re-enqueue (post action)
   kUltBlock,           ///< ULT suspended on a sync primitive / join
   kUltExit,            ///< ULT function returned
@@ -75,8 +75,13 @@ enum class EventType : std::uint16_t {
   kSyscallBlock,       ///< ULT entered an annotated blocking syscall; arg0=rank
   kSyscallCompensate,  ///< sentinel activated a compensating KLT; arg0=rank, arg1=epoch
   kSyscallReturn,      ///< blocking syscall returned; arg0=blocked ns, arg1=1 if reabsorbed
+  kUltWake,            ///< ULT made runnable; ult=woken id, arg0=waker ULT id (0 = external/timer), arg1=prof::WaitKind it was parked under (kWakeArgSpawn for spawn)
   kCount,
 };
+
+/// kUltWake arg1 value for the spawn edge (a fresh ULT was never parked, so
+/// no prof::WaitKind applies; prof::WaitKind::kCount is < 100).
+inline constexpr std::uint64_t kWakeArgSpawn = 100;
 
 const char* event_name(EventType t);
 
@@ -95,8 +100,19 @@ struct alignas(64) Event {
 };
 static_assert(sizeof(Event) == 64, "one slot per cache line");
 
+/// Plain (copyable) view of one committed event — what snapshot_events()
+/// returns and what the JSONL export serializes.
+struct EventView {
+  std::int64_t ts_ns = 0;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  std::uint32_t ult = 0;
+  std::int16_t worker = -1;
+  EventType type = EventType::kNone;
+};
+
 /// Which kind of OS thread owns a ring (selects the export track).
-enum class TrackKind : std::uint8_t { kWorkerKlt, kTimer, kCreator };
+enum class TrackKind : std::uint8_t { kWorkerKlt, kTimer, kCreator, kExternal };
 
 /// Fixed-capacity single-writer event ring. "Single writer" means one OS
 /// thread plus signal handlers running *on that thread*; the fetch_add slot
@@ -164,9 +180,14 @@ class Ring {
 
 /// Plain (non-atomic) histogram snapshot; embedded in Runtime::Stats.
 /// Bucket 0 holds [0, 1] ns; bucket b >= 1 holds [2^(b-1), 2^b) ns.
+/// All values are nanoseconds — sum_ns is the *exact* sum of the recorded
+/// samples (not reconstructed from bucket midpoints), so exporters can emit
+/// a Prometheus-native histogram whose `_sum` reconciles exactly with
+/// per-ULT accounting totals.
 struct HistSnapshot {
   static constexpr int kBuckets = 64;
   std::array<std::uint64_t, kBuckets> buckets{};
+  std::uint64_t sum_ns = 0;  ///< exact sum of recorded samples, ns
 
   std::uint64_t count() const;
   void merge(const HistSnapshot& o);
@@ -192,9 +213,13 @@ class LatencyHistogram {
     return b < kBuckets ? b : kBuckets - 1;
   }
 
-  /// Async-signal-safe, wait-free.
+  /// Async-signal-safe, wait-free. Also accumulates the exact ns sum so
+  /// HistSnapshot::sum_ns reconciles with per-ULT totals (negative inputs
+  /// clamp to 0, matching bucket_for).
   void record(std::int64_t ns) {
     buckets_[bucket_for(ns)].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(ns > 0 ? static_cast<std::uint64_t>(ns) : 0,
+                      std::memory_order_relaxed);
   }
 
   std::uint64_t count() const {
@@ -203,19 +228,26 @@ class LatencyHistogram {
     return n;
   }
 
+  std::uint64_t sum_ns() const {
+    return sum_ns_.load(std::memory_order_relaxed);
+  }
+
   HistSnapshot snapshot() const {
     HistSnapshot s;
     for (int i = 0; i < kBuckets; ++i)
       s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    s.sum_ns = sum_ns_.load(std::memory_order_relaxed);
     return s;
   }
 
   void reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    sum_ns_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -226,6 +258,10 @@ struct TraceConfig {
   bool enabled = false;
   std::uint32_t ring_capacity = 1u << 14;  ///< events per OS thread
   std::string file;  ///< Chrome-trace JSON written at runtime shutdown; "" = none
+  /// Raw event log (one JSON object per line, sorted by timestamp) written at
+  /// runtime shutdown; "" = none. The machine-readable input of
+  /// tools/trace_critical_path and tests/tools/trace_check.
+  std::string events_file;
 };
 
 /// Process-wide collector (mirrors the one-active-Runtime-per-process rule).
@@ -240,6 +276,14 @@ class Collector {
   void configure(const TraceConfig& cfg);
   /// Stop recording (rings keep their data for late export).
   void disable();
+
+  /// Bumped by every configure(). Long-lived external threads cache their
+  /// ring pointer in TLS across Runtime lifetimes; comparing this epoch lets
+  /// them detect that configure() freed the old slab and re-acquire instead
+  /// of writing through a dangling pointer.
+  std::uint64_t config_epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   const TraceConfig& config() const { return cfg_; }
 
@@ -256,7 +300,19 @@ class Collector {
   /// error or when no trace was collected.
   bool write_chrome_json(const std::string& path) const;
 
-  /// Human-readable per-event-type counts + drop accounting.
+  /// Write every committed event as one flat JSON object per line
+  /// ({"ts":..,"type":"..","ult":..,"worker":..,"arg0":..,"arg1":..}),
+  /// sorted by timestamp — the analyzer/validator input format
+  /// (docs/observability.md, "Causal tracing & scheduling delay").
+  bool write_events_jsonl(const std::string& path) const;
+
+  /// Copy of every committed event across all rings, sorted by timestamp
+  /// (ties broken so wake/re-ready events sort before the dispatch that
+  /// consumes them). For tests and in-process analysis.
+  std::vector<EventView> snapshot_events() const;
+
+  /// Human-readable per-event-type counts + drop accounting, plus the
+  /// top-10 slowest ready→dispatch delays observed in the event log.
   void write_summary(std::FILE* out) const;
 
  private:
@@ -269,6 +325,7 @@ class Collector {
   std::vector<std::unique_ptr<RingBlock>> rings_;
   TraceConfig cfg_;
   std::atomic<int> next_track_id_{0};
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 /// Global on/off flag read by every recording macro (relaxed: a few cycles).
@@ -276,9 +333,10 @@ extern std::atomic<bool> g_enabled;
 inline bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
 /// Resolve the effective config: `base` (RuntimeOptions) overridden by the
-/// LPT_TRACE / LPT_TRACE_FILE / LPT_TRACE_RING_CAP environment variables.
-/// LPT_TRACE=1 with no file configured defaults the file to
-/// "lpt_trace.json" so a plain `LPT_TRACE=1 ./bench` always leaves a trace.
+/// LPT_TRACE / LPT_TRACE_FILE / LPT_TRACE_RING_CAP / LPT_TRACE_EVENTS_FILE
+/// environment variables. LPT_TRACE=1 with no file configured defaults the
+/// file to "lpt_trace.json" so a plain `LPT_TRACE=1 ./bench` always leaves a
+/// trace; LPT_TRACE_EVENTS_FILE (raw JSONL event log) implies enabled.
 TraceConfig resolve_config(TraceConfig base);
 
 }  // namespace lpt::trace

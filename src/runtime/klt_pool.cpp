@@ -111,6 +111,7 @@ void KltCreator::loop() {
   signals::block_runtime_signals();
   worker_tls()->trace_ring =
       trace::Collector::instance().acquire_ring(trace::TrackKind::kCreator, -1);
+  worker_tls()->trace_ring_epoch = trace::Collector::instance().config_epoch();
   for (;;) {
     if (exhausted_.load(std::memory_order_acquire)) {
       if (!gate_.wait_for(kSaturatedRetryNs)) {

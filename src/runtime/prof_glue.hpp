@@ -19,10 +19,14 @@ namespace lpt::prof {
 /// path that may suspend; cheap enough to call even when the fast path then
 /// avoids blocking — only a matching offcpu_end() records anything.
 inline void offcpu_begin(ThreadCtl* self, WaitKind kind, void* site) {
-  if (!offcpu_on() || self == nullptr) return;
+  if (self == nullptr) return;
+  // The kind tag is written even when the profiler is off: the causal
+  // tracer's kUltWake edges label the woken thread with what it was parked
+  // under (docs/observability.md, "Causal tracing & scheduling delay"). Two
+  // plain stores; the clock read stays profiler-gated.
   self->prof_wait_kind = kind;
   self->prof_wait_site = reinterpret_cast<std::uintptr_t>(site);
-  self->prof_wait_start_ns = trace::now_ns();
+  if (offcpu_on()) self->prof_wait_start_ns = trace::now_ns();
 }
 
 /// Drop the tag without recording (the fast path did not block after all).

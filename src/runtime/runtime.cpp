@@ -227,6 +227,8 @@ Runtime::~Runtime() {
   if (trace_cfg_.enabled) {
     if (!trace_cfg_.file.empty())
       trace::Collector::instance().write_chrome_json(trace_cfg_.file);
+    if (!trace_cfg_.events_file.empty())
+      trace::Collector::instance().write_events_jsonl(trace_cfg_.events_file);
     trace::Collector::instance().disable();
   }
 
@@ -275,6 +277,7 @@ void Runtime::klt_main(KltCtl* self) {
   tls->klt = self;
   tls->trace_ring =
       trace::Collector::instance().acquire_ring(trace::TrackKind::kWorkerKlt, -1);
+  tls->trace_ring_epoch = trace::Collector::instance().config_epoch();
   if (tls->trace_ring != nullptr) self->trace_id = tls->trace_ring->id();
   // Sample ring for the on-CPU profiler (null when profiling is off). Like
   // the trace ring, acquired once per KLT before any signal can sample here.
@@ -354,8 +357,10 @@ void Runtime::klt_main(KltCtl* self) {
       self->reabsorb_enqueue = nullptr;
       note_syscall_reabsorbed();
       t->store_state(ThreadState::kReady);
-      sched_->enqueue(t, nullptr, EnqueueKind::kUnblock);
-      notify_work();
+      // The wake edge labels this as a syscall return (the region's
+      // offcpu_begin tag may already have been consumed on the orphan path).
+      t->prof_wait_kind = prof::WaitKind::kSyscall;
+      enqueue_ready(t, nullptr, EnqueueKind::kUnblock, /*waker=*/0);
     }
 
     if (peer != nullptr) {
@@ -427,10 +432,10 @@ ThreadCtl* Runtime::spawn_ctl(std::function<void()> fn, ThreadAttrs attrs,
   Worker* hint = self != nullptr
                      ? worker_tls()->worker
                      : workers_[t->home_pool % num_workers()].get();
-  sched_->enqueue(t, hint, EnqueueKind::kSpawn);
+  enqueue_ready(t, hint, EnqueueKind::kSpawn,
+                self != nullptr ? self->trace_id : 0);
   detail::end_no_preempt(self);
   n_live_ults_.add(1);
-  notify_work();
   return t;
 }
 
@@ -524,6 +529,10 @@ metrics::Snapshot Runtime::metrics_snapshot() const {
   if (trace_cfg_.enabled) {
     s.trace_events = trace::Collector::instance().total_events();
     s.trace_dropped = trace::Collector::instance().total_dropped();
+    for (const auto& w : workers_) {
+      s.pool_sched_delay_ns.push_back(w->hist_sched_delay.snapshot());
+      s.pool_spawn_latency_ns.push_back(w->hist_spawn_latency.snapshot());
+    }
   }
 
   s.prof_enabled = opts_.prof.enabled;
@@ -575,6 +584,8 @@ Runtime::Stats Runtime::stats() const {
     s.preempt_delivery_ns.merge(w.hist_delivery.snapshot());
     s.preempt_resched_ns.merge(w.hist_resched.snapshot());
     s.klt_switch_trip_ns.merge(w.hist_klt_trip.snapshot());
+    s.sched_delay_ns.merge(w.hist_sched_delay.snapshot());
+    s.spawn_latency_ns.merge(w.hist_spawn_latency.snapshot());
     s.workers.push_back(pw);
   }
   s.klts_created = m.klts_created;
@@ -643,6 +654,24 @@ void Runtime::print_trace_summary(std::FILE* out) const {
   hist_line("preempt delivery", s.preempt_delivery_ns);
   hist_line("preempt -> reschedule", s.preempt_resched_ns);
   hist_line("klt suspend -> resume", s.klt_switch_trip_ns);
+  hist_line("sched delay (all pools)", s.sched_delay_ns);
+  hist_line("spawn latency (all pools)", s.spawn_latency_ns);
+  // Per-pool ready→dispatch delay: the task-level tail signal the serving
+  // arc consumes (docs/observability.md, "Causal tracing & scheduling
+  // delay"). Printed per pool because steals make pool delays diverge.
+  {
+    const metrics::Snapshot m = metrics_snapshot();
+    for (std::size_t r = 0; r < m.pool_sched_delay_ns.size(); ++r) {
+      const trace::HistSnapshot& h = m.pool_sched_delay_ns[r];
+      if (h.count() == 0) continue;
+      std::fprintf(out,
+                   "  pool %-2zu sched delay          n=%-8llu p50=%8.0f ns  "
+                   "p99=%8.0f ns  p999=%8.0f ns\n",
+                   r, static_cast<unsigned long long>(h.count()),
+                   h.percentile_ns(50), h.percentile_ns(99),
+                   h.percentile_ns(99.9));
+    }
+  }
 
   // Degradation counters (docs/robustness.md): all zero on a healthy run;
   // nonzero values mean the latencies above were taken on a degraded
@@ -722,6 +751,68 @@ void Runtime::ProfTicker::thread_loop() {
 void Runtime::notify_work() {
   work_seq_.fetch_add(1, std::memory_order_acq_rel);
   futex_wake(&work_seq_, INT_MAX);
+}
+
+namespace {
+
+/// Give a ringless OS thread (an application thread calling spawn(), the
+/// watchdog/monitor driving timed-wait expiry) a trace ring the first time it
+/// makes a ULT runnable, so its kUltWake edges are recorded rather than
+/// silently dropped. Scheduler/ULT contexts already hold a ring from
+/// klt_main. Never reached from signal handlers (enqueue_ready's contract),
+/// so the allocating acquire_ring is safe here.
+void ensure_external_trace_ring() {
+  WorkerTls* tls = worker_tls();
+  trace::Collector& c = trace::Collector::instance();
+  // Epoch check: an application thread outlives Runtimes, and each
+  // Collector::configure() frees the previous slab — a pointer cached in a
+  // prior epoch dangles and must be re-acquired, never written through.
+  const std::uint64_t epoch = c.config_epoch();
+  if (tls->trace_ring == nullptr || tls->trace_ring_epoch != epoch) {
+    tls->trace_ring = c.acquire_ring(trace::TrackKind::kExternal, -1);
+    tls->trace_ring_epoch = epoch;
+  }
+}
+
+}  // namespace
+
+void Runtime::enqueue_ready(ThreadCtl* t, Worker* hint, EnqueueKind kind,
+                            std::uint32_t waker) {
+  if (LPT_TRACE_ON()) {
+    const std::int64_t now = trace::now_ns();
+    t->acct.ready_ns = now;
+    const bool wake_edge =
+        kind == EnqueueKind::kSpawn || kind == EnqueueKind::kUnblock;
+    if (wake_edge) {
+      std::uint64_t wait_kind;
+      if (kind == EnqueueKind::kSpawn) {
+        t->acct.spawn_ns = now;
+        wait_kind = trace::kWakeArgSpawn;
+      } else {
+        // Close the blocked episode opened by the kBlock post action. The
+        // waker exclusively owns t between waiter-list removal and enqueue
+        // (same handoff that makes store_state safe), so these are
+        // single-writer plain stores.
+        if (t->acct.block_start_ns != 0) {
+          t->acct.blocked_ns +=
+              static_cast<std::uint64_t>(now - t->acct.block_start_ns);
+          t->acct.block_start_ns = 0;
+        }
+        wait_kind = static_cast<std::uint64_t>(t->prof_wait_kind);
+      }
+      ensure_external_trace_ring();
+      if (waker == kWakerFromTls) {
+        ThreadCtl* self = detail::current_ult_or_null();
+        waker = self != nullptr ? self->trace_id : 0;
+      }
+      trace::emit(trace::EventType::kUltWake, t->trace_id, waker, wait_kind);
+    }
+    // kYield/kPreempted re-ready a thread that never left the scheduler; the
+    // ready stamp still feeds the dispatch delay, but there is no causal
+    // wake edge to draw.
+  }
+  sched_->enqueue(t, hint, kind);
+  notify_work();
 }
 
 void Runtime::idle_wait(std::uint32_t seen_seq) {
@@ -842,11 +933,12 @@ void Runtime::expire_timers(std::int64_t now) {
     }
     if (won) {
       e.t->store_state(ThreadState::kReady);
-      sched_->enqueue(e.t, nullptr, EnqueueKind::kUnblock);
+      // Timed-wait expiry wake: waker 0 (the timer, not a ULT); arg1 keeps
+      // the primitive kind the waiter parked under (kSleep for sleep_for).
+      enqueue_ready(e.t, nullptr, EnqueueKind::kUnblock, /*waker=*/0);
     }
   }
   if (!due.empty()) {
-    notify_work();
     SpinlockGuard g(timed_lock_);
     for (const TimedWait& e : due) {
       for (std::size_t i = 0; i < timed_waits_.size(); ++i) {
@@ -1177,9 +1269,10 @@ void Runtime::publish_done_and_wake(ThreadCtl* t) {
   Worker* hint = worker_tls()->worker;
   for (ThreadCtl* j : joiners) {
     j->store_state(ThreadState::kReady);
-    sched_->enqueue(j, hint, EnqueueKind::kUnblock);
+    // The join wake edge names the finished thread as the waker explicitly:
+    // this runs in scheduler context (post-exit), where no ULT is current.
+    enqueue_ready(j, hint, EnqueueKind::kUnblock, t->trace_id);
   }
-  if (!joiners.empty()) notify_work();
   if (detached) delete t;
 }
 
@@ -1318,11 +1411,14 @@ ThreadStatus Thread::join_status() {
     while (t->done.load(std::memory_order_acquire) == 0) futex_wait(&t->done, 0);
   }
 
-  // The done store published t->fault (release/acquire pair above); copy it
-  // out before the control block goes away.
+  // The done store published t->fault (release/acquire pair above) and the
+  // final lifecycle accounting; copy both out before the control block goes
+  // away.
   ThreadStatus st;
   st.completed = true;
   st.fault = t->fault;
+  st.acct = t->acct;
+  st.preemptions = t->preemptions.load(std::memory_order_relaxed);
   delete t;
   ctl_ = nullptr;
   return st;

@@ -156,6 +156,13 @@ class Runtime {
     trace::HistSnapshot preempt_delivery_ns;  ///< timer fire → handler entry
     trace::HistSnapshot preempt_resched_ns;   ///< preemption → re-dispatch
     trace::HistSnapshot klt_switch_trip_ns;   ///< KLT suspend → resume
+    /// Causal scheduling-delay accounting (docs/observability.md, "Causal
+    /// tracing & scheduling delay"), merged across pools; the per-pool view
+    /// lives in metrics_snapshot(). sum_ns is exact (atomic accumulation,
+    /// not reconstructed from buckets), so it reconciles with per-ULT
+    /// UltAccounting totals after quiescing.
+    trace::HistSnapshot sched_delay_ns;       ///< ready → dispatch
+    trace::HistSnapshot spawn_latency_ns;     ///< spawn → first dispatch
   };
   Stats stats() const;
 
@@ -249,6 +256,22 @@ class Runtime {
     expire_timers(now);
     watchdog_.tick(now);
   }
+
+  /// Central ready-transition choke point: stamp the ULT's lifecycle
+  /// accounting (ready_ns; closing a blocked episode on kUnblock), emit the
+  /// causal kUltWake trace event for kSpawn/kUnblock transitions, then
+  /// scheduler-enqueue + notify_work. Every site that makes a ULT runnable
+  /// (yield/preempt re-enqueue, sync wakeups, join publication, timed-wait
+  /// expiry, spawn, syscall reabsorption) must route through here so that
+  /// every kUltDispatch has a matching ready stamp (docs/observability.md,
+  /// "Causal tracing & scheduling delay"). Never called from signal
+  /// handlers: all accounting work is gated on the tracer and may touch the
+  /// clock and (for ringless external threads) lazily acquire a trace ring.
+  /// `waker` is the waking ULT's trace id for the wake edge; kWakerFromTls
+  /// resolves it from the calling context (0 = external/timer thread).
+  static constexpr std::uint32_t kWakerFromTls = 0xffffffffu;
+  void enqueue_ready(ThreadCtl* t, Worker* hint, EnqueueKind kind,
+                     std::uint32_t waker = kWakerFromTls);
 
   /// Wake idle workers after an enqueue.
   void notify_work();

@@ -20,8 +20,9 @@ void make_ready(ThreadCtl* t) {
   Runtime* rt = t->rt;
   t->store_state(ThreadState::kReady);
   Worker* hint = worker_tls()->worker;  // may be null (external thread)
-  rt->scheduler().enqueue(t, hint, EnqueueKind::kUnblock);
-  rt->notify_work();
+  // enqueue_ready stamps the ready transition and emits the causal kUltWake
+  // edge (waker = the calling ULT, kind = what t was parked under).
+  rt->enqueue_ready(t, hint, EnqueueKind::kUnblock);
 }
 
 // ---- lock-contention profiling helpers (all called under the Mutex's

@@ -20,8 +20,8 @@ ThreadCtl* require_ult(const char* what) {
 void make_ready(ThreadCtl* t) {
   Runtime* rt = t->rt;
   t->store_state(ThreadState::kReady);
-  rt->scheduler().enqueue(t, worker_tls()->worker, EnqueueKind::kUnblock);
-  rt->notify_work();
+  // Routed through the causal choke point (ready stamp + kUltWake edge).
+  rt->enqueue_ready(t, worker_tls()->worker, EnqueueKind::kUnblock);
 }
 
 void make_ready_all(std::vector<ThreadCtl*>& ts) {

@@ -47,12 +47,36 @@ struct FaultInfo {
   char what[64] = {};               ///< exception message (kException)
 };
 
+/// Per-ULT lifecycle accounting (docs/observability.md, "Causal tracing &
+/// scheduling delay"). Stamped with trace::now_ns() at state transitions;
+/// populated only while the tracer is armed (all zero otherwise, like the
+/// tracer pass-through fields of metrics::Snapshot). Every field follows the
+/// single-writer ownership-handoff discipline of last_preempt_ns: only the
+/// thread's current owner (the enqueuing waker, or the worker hosting it)
+/// touches them, with the scheduler queue's lock ordering the handoffs.
+struct UltAccounting {
+  std::int64_t spawn_ns = 0;          ///< spawn_ctl timestamp
+  std::int64_t ready_ns = 0;          ///< last enqueue stamp; 0 = consumed
+  std::int64_t run_start_ns = 0;      ///< last dispatch stamp; 0 = off-CPU
+  std::int64_t block_start_ns = 0;    ///< last block stamp; 0 = not blocked
+  std::int64_t spawn_latency_ns = 0;  ///< spawn → first dispatch (one-shot)
+  std::uint64_t sched_delay_ns = 0;   ///< cumulative ready → dispatch wait
+  std::uint64_t run_ns = 0;           ///< cumulative on-CPU time
+  std::uint64_t blocked_ns = 0;       ///< cumulative block → wake time
+  std::uint64_t dispatches = 0;       ///< times switched in (incl. resumes)
+};
+
 /// Completion report returned by Thread::join_status().
 struct ThreadStatus {
   /// False when the handle was empty / already joined (no thread was waited
   /// on); the remaining fields are then meaningless.
   bool completed = false;
   FaultInfo fault;
+  /// Lifecycle accounting copied out just before the control block is freed.
+  /// Zero unless the runtime ran with tracing armed.
+  UltAccounting acct;
+  /// Times the thread was implicitly preempted over its whole life.
+  std::uint64_t preemptions = 0;
   bool failed() const { return fault.kind != FaultKind::kNone; }
 };
 
@@ -90,6 +114,9 @@ struct ThreadCtl {
   /// consumed at the next dispatch for the preempt→reschedule histogram).
   /// Only touched while the thread is owned by one worker, so unsynchronized.
   std::int64_t last_preempt_ns = 0;
+  /// Causal lifecycle accounting (same ownership-handoff discipline; see
+  /// UltAccounting). Stamped at every enqueue site, consumed at dispatch.
+  UltAccounting acct;
 
   /// NoPreemptGuard nesting depth. Written only by the thread itself, read
   /// by the preemption handler on the same KLT while the thread runs.

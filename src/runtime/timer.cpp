@@ -66,6 +66,7 @@ class MonitorTimer final : public PreemptionTimer {
     signals::block_runtime_signals();
     worker_tls()->trace_ring =
         trace::Collector::instance().acquire_ring(trace::TrackKind::kTimer, -1);
+    worker_tls()->trace_ring_epoch = trace::Collector::instance().config_epoch();
     const int n = rt_->num_workers();
     const std::int64_t interval_ns = rt_->options().interval_us * 1000;
     const std::int64_t t0 = now_ns();

@@ -386,6 +386,7 @@ void Watchdog::thread_loop() {
   signals::block_runtime_signals();
   worker_tls()->trace_ring =
       trace::Collector::instance().acquire_ring(trace::TrackKind::kTimer, -1);
+  worker_tls()->trace_ring_epoch = trace::Collector::instance().config_epoch();
   for (;;) {
     gate_.wait_for(period_ns_);
     if (thread_stop_.load(std::memory_order_acquire)) return;

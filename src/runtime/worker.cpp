@@ -407,13 +407,42 @@ void Worker::run_resume_bound(ThreadCtl* t) {
 void Worker::trace_dispatch(ThreadCtl* t) {
   if (!LPT_TRACE_ON()) return;
   const std::int64_t now = trace::now_ns();
-  std::uint64_t resched = 0;
-  if (t->last_preempt_ns != 0) {
-    resched = static_cast<std::uint64_t>(now - t->last_preempt_ns);
-    t->last_preempt_ns = 0;
-    hist_resched.record(static_cast<std::int64_t>(resched));
+  // Consume the ready stamp left by Runtime::enqueue_ready at whichever
+  // enqueue site made t runnable — this is the full ready→dispatch
+  // scheduling delay, attributed to the dispatching pool (where the wait
+  // ended, even for stolen threads).
+  std::uint64_t delay = 0;
+  if (t->acct.ready_ns != 0) {
+    delay = static_cast<std::uint64_t>(now - t->acct.ready_ns);
+    t->acct.ready_ns = 0;
+    t->acct.sched_delay_ns += delay;
+    hist_sched_delay.record(static_cast<std::int64_t>(delay));
   }
-  trace::emit(trace::EventType::kUltDispatch, t->trace_id, resched);
+  if (t->last_preempt_ns != 0) {
+    const std::int64_t resched = now - t->last_preempt_ns;
+    t->last_preempt_ns = 0;
+    hist_resched.record(resched);
+  }
+  if (t->acct.dispatches == 0 && t->acct.spawn_ns != 0) {
+    t->acct.spawn_latency_ns = now - t->acct.spawn_ns;
+    hist_spawn_latency.record(t->acct.spawn_latency_ns);
+  }
+  t->acct.run_start_ns = now;
+  ++t->acct.dispatches;
+  trace::emit(trace::EventType::kUltDispatch, t->trace_id, delay);
+}
+
+// Close the off-CPU boundary of a run episode: fold on-CPU time into the
+// accounting and return the timestamp so callers can reuse it (0 when the
+// tracer is off — accounting stays all-zero and the hot path clock-free).
+static std::int64_t close_run_episode(ThreadCtl* t) {
+  if (!LPT_TRACE_ON()) return 0;
+  const std::int64_t now = trace::now_ns();
+  if (t->acct.run_start_ns != 0) {
+    t->acct.run_ns += static_cast<std::uint64_t>(now - t->acct.run_start_ns);
+    t->acct.run_start_ns = 0;
+  }
+  return now;
 }
 
 void Worker::process_post_action() {
@@ -436,57 +465,64 @@ void Worker::process_post_action() {
     case PostKind::kYield:
       clear_current();
       metrics.yields.inc();
+      close_run_episode(a.thread);
       LPT_TRACE_EVENT(trace::EventType::kUltYield, a.thread->trace_id);
       a.thread->store_state(ThreadState::kReady);
-      rt->scheduler().enqueue(a.thread, this, EnqueueKind::kYield);
-      rt->notify_work();
+      rt->enqueue_ready(a.thread, this, EnqueueKind::kYield);
       break;
-    case PostKind::kPreemptSignalYield:
+    case PostKind::kPreemptSignalYield: {
       clear_current();
       metrics.preempt_signal_yield.inc();
       a.thread->preemptions.fetch_add(1, std::memory_order_relaxed);
-      if (LPT_TRACE_ON()) {
-        a.thread->last_preempt_ns = trace::now_ns();
+      const std::int64_t now = close_run_episode(a.thread);
+      if (now != 0) {
+        a.thread->last_preempt_ns = now;
         trace::emit(trace::EventType::kPreemptSignalYield, a.thread->trace_id);
       }
       a.thread->store_state(ThreadState::kReady);
-      rt->scheduler().enqueue(a.thread, this, EnqueueKind::kPreempted);
-      rt->notify_work();
+      rt->enqueue_ready(a.thread, this, EnqueueKind::kPreempted);
       // The handler switched away with the preempt signal still blocked on
       // this KLT; re-enable it so further threads here can be preempted
       // while earlier ones are suspended mid-handler (§3.1.1).
       signals::unblock_preempt();
       break;
-    case PostKind::kPreemptKltSwitch:
+    }
+    case PostKind::kPreemptKltSwitch: {
       clear_current();
       metrics.preempt_klt_switch.inc();
       a.thread->preemptions.fetch_add(1, std::memory_order_relaxed);
-      if (LPT_TRACE_ON()) {
-        a.thread->last_preempt_ns = trace::now_ns();
+      const std::int64_t now = close_run_episode(a.thread);
+      if (now != 0) {
+        a.thread->last_preempt_ns = now;
         trace::emit(trace::EventType::kPreemptKltSwitch, a.thread->trace_id);
       }
       a.thread->store_state(ThreadState::kReady);
       // "as if it had called a yield function" (Fig 2c).
-      rt->scheduler().enqueue(a.thread, this, EnqueueKind::kPreempted);
-      rt->notify_work();
+      rt->enqueue_ready(a.thread, this, EnqueueKind::kPreempted);
       break;
-    case PostKind::kBlock:
+    }
+    case PostKind::kBlock: {
       clear_current();
       metrics.blocks.inc();
+      const std::int64_t now = close_run_episode(a.thread);
+      if (now != 0) a.thread->acct.block_start_ns = now;
       LPT_TRACE_EVENT(trace::EventType::kUltBlock, a.thread->trace_id);
       a.thread->store_state(ThreadState::kBlocked);
       // Only now — with the context fully saved — may others see the thread.
       if (a.release_lock != nullptr) a.release_lock->unlock();
       if (a.release_mutex != nullptr) a.release_mutex->unlock();
       break;
+    }
     case PostKind::kExit:
       clear_current();
       metrics.exits.inc();
+      close_run_episode(a.thread);
       LPT_TRACE_EVENT(trace::EventType::kUltExit, a.thread->trace_id);
       rt->finalize_thread(a.thread);
       break;
     case PostKind::kFault:
       clear_current();
+      close_run_episode(a.thread);
       rt->finalize_failed_thread(a.thread);
       // The SEGV/BUS containment jump skipped sigreturn (fault.hpp); when
       // the fault came from the exception firewall instead this is a cheap

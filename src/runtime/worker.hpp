@@ -132,6 +132,12 @@ struct alignas(kCacheLineSize) Worker {
   trace::LatencyHistogram hist_delivery;   ///< signal send → handler entry
   trace::LatencyHistogram hist_resched;    ///< preemption → next dispatch
   trace::LatencyHistogram hist_klt_trip;   ///< KLT suspend → resume round trip
+  /// Per-pool scheduling-delay accounting (pool == worker rank; a stolen ULT
+  /// is attributed to the pool that *dispatched* it, which is where the wait
+  /// ended). Recorded at dispatch while the tracer is armed; exported as
+  /// native Prometheus histograms and merged into Runtime::Stats.
+  trace::LatencyHistogram hist_sched_delay;    ///< ready → dispatch
+  trace::LatencyHistogram hist_spawn_latency;  ///< spawn → first dispatch
 
   /// Body of the scheduler context: pick/run loop until runtime shutdown.
   void scheduler_loop();
@@ -170,6 +176,11 @@ struct WorkerTls {
   /// This OS thread's trace ring (nullptr when tracing is off). Set once at
   /// thread startup; read from the signal handler via worker_tls().
   trace::Ring* trace_ring = nullptr;
+  /// Collector::config_epoch() at the time trace_ring was acquired. External
+  /// threads outlive Runtimes, and each configure() frees the old slab — the
+  /// epoch check makes them re-acquire instead of writing through a dangling
+  /// pointer (runtime-owned threads never see a reconfigure).
+  std::uint64_t trace_ring_epoch = 0;
   /// This OS thread's on-CPU sample ring (nullptr when the profiler is off).
   /// Same lifecycle and signal-safety rules as trace_ring.
   prof::SampleRing* prof_ring = nullptr;

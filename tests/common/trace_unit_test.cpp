@@ -12,6 +12,8 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 namespace lpt::trace {
 namespace {
@@ -141,6 +143,43 @@ TEST(TraceHistogram, MergeAddsCounts) {
   EXPECT_EQ(m.buckets[LatencyHistogram::bucket_for(10'000)], 7u);
 }
 
+TEST(TraceHistogram, SumIsExactAndMerges) {
+  // sum_ns is accumulated exactly (not reconstructed from log2 buckets): the
+  // reconciliation contract of the causal-delay exporter and trace_check.
+  LatencyHistogram a, b;
+  a.record(3);
+  a.record(5);
+  a.record(-7);  // negative clamps to 0 in the sum, like bucket_for
+  b.record(1'000'000);
+  EXPECT_EQ(a.sum_ns(), 8u);
+  EXPECT_EQ(b.sum_ns(), 1'000'000u);
+  HistSnapshot m = a.snapshot();
+  m.merge(b.snapshot());
+  EXPECT_EQ(m.sum_ns, 1'000'008u);
+  EXPECT_EQ(m.count(), 4u);
+  a.reset();
+  EXPECT_EQ(a.sum_ns(), 0u);
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(TraceHistogram, ConcurrentRecordKeepsExactTotals) {
+  // The stamp/histogram write path must be clean under TSan: N threads
+  // hammer one histogram; count and exact sum both reconcile after joining.
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t)
+    ts.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.record(i % 1024);
+    });
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t expect_sum = 0;
+  for (int i = 0; i < kPerThread; ++i) expect_sum += i % 1024;
+  EXPECT_EQ(h.sum_ns(), expect_sum * kThreads);
+}
+
 // ---------------------------------------------------------------------------
 // Collector + exporter
 // ---------------------------------------------------------------------------
@@ -195,7 +234,7 @@ TEST_F(TraceCollectorTest, ChromeJsonExportIsStructurallyValid) {
   w->record(EventType::kUltDispatch, 1'000, 0, 1);
   w->record(EventType::kUltYield, 2'000, 0, 1);
   w->record(EventType::kSteal, 2'500, 0, 2, /*victim=*/1);
-  w->record(EventType::kUltDispatch, 3'000, 0, 2, /*resched=*/123);
+  w->record(EventType::kUltDispatch, 3'000, 0, 2, /*sched_delay=*/123);
   w->record(EventType::kPreemptSignalYield, 4'000, 0, 2);
   // Timer ring: one fire.
   Ring* t = Collector::instance().acquire_ring(TrackKind::kTimer, -1);
@@ -218,13 +257,90 @@ TEST_F(TraceCollectorTest, ChromeJsonExportIsStructurallyValid) {
   EXPECT_NE(json.find("preempt_signal_yield"), std::string::npos);
   EXPECT_NE(json.find("timer_fire"), std::string::npos);
   EXPECT_NE(json.find("steal"), std::string::npos);
-  EXPECT_NE(json.find("\"resched_ns\":123"), std::string::npos);
+  EXPECT_NE(json.find("\"sched_delay_ns\":123"), std::string::npos);
 
   // Structural sanity: balanced brackets, no trailing-comma array endings.
   EXPECT_EQ(count_char(json, '{'), count_char(json, '}'));
   EXPECT_EQ(count_char(json, '['), count_char(json, ']'));
   EXPECT_EQ(json.find(",]"), std::string::npos);
   EXPECT_EQ(json.find(",\n]"), std::string::npos);
+}
+
+TEST_F(TraceCollectorTest, WakeEventsBecomeFlowEdges) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 64;
+  Collector::instance().configure(cfg);
+  Ring* w = Collector::instance().acquire_ring(TrackKind::kWorkerKlt, -1);
+  ASSERT_NE(w, nullptr);
+  // ULT 7 wakes ULT 9 (parked on a mutex) at t=1000; 9 dispatches at t=2000.
+  w->record(EventType::kUltWake, 1'000, 0, /*ult=*/9, /*waker=*/7,
+            /*kind=*/1);
+  w->record(EventType::kUltDispatch, 2'000, 0, 9, /*delay=*/1'000);
+  w->record(EventType::kUltExit, 3'000, 0, 9);
+  // A wake whose target never dispatches must NOT emit a dangling flow pair.
+  w->record(EventType::kUltWake, 2'500, 0, /*ult=*/42, /*waker=*/9, 1);
+
+  const std::string path = ::testing::TempDir() + "lpt_trace_flow.json";
+  ASSERT_TRUE(Collector::instance().write_chrome_json(path));
+  const std::string json = slurp(path);
+  std::remove(path.c_str());
+
+  // One flow-start + one flow-finish, bound by a shared id.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\",\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"waker\":7"), std::string::npos);
+  std::size_t starts = 0;
+  for (std::size_t pos = json.find("\"ph\":\"s\""); pos != std::string::npos;
+       pos = json.find("\"ph\":\"s\"", pos + 1))
+    ++starts;
+  EXPECT_EQ(starts, 1u);  // the never-dispatched wake drew no arrow
+}
+
+TEST_F(TraceCollectorTest, SnapshotEventsSortsAndTieBreaks) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 64;
+  Collector::instance().configure(cfg);
+  Ring* a = Collector::instance().acquire_ring(TrackKind::kWorkerKlt, -1);
+  Ring* b = Collector::instance().acquire_ring(TrackKind::kWorkerKlt, -1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  // Cross-ring interleaving plus a same-timestamp wake/dispatch pair: the
+  // dispatch must sort after the wake so causal scans see ready-then-run.
+  b->record(EventType::kUltDispatch, 500, 1, 3, 0);
+  a->record(EventType::kUltWake, 500, 0, 3, 1, 1);
+  a->record(EventType::kUltYield, 100, 0, 1);
+  const std::vector<EventView> evs = Collector::instance().snapshot_events();
+  ASSERT_EQ(evs.size(), 3u);
+  EXPECT_EQ(evs[0].type, EventType::kUltYield);
+  EXPECT_EQ(evs[1].type, EventType::kUltWake);
+  EXPECT_EQ(evs[2].type, EventType::kUltDispatch);
+}
+
+TEST_F(TraceCollectorTest, EventsJsonlExportRoundTrips) {
+  TraceConfig cfg;
+  cfg.enabled = true;
+  cfg.ring_capacity = 64;
+  Collector::instance().configure(cfg);
+  Ring* w = Collector::instance().acquire_ring(TrackKind::kWorkerKlt, -1);
+  ASSERT_NE(w, nullptr);
+  w->record(EventType::kUltWake, 1'000, 0, 9, 7, 8);
+  w->record(EventType::kUltDispatch, 2'000, 0, 9, 1'000);
+
+  const std::string path = ::testing::TempDir() + "lpt_trace_events.jsonl";
+  ASSERT_TRUE(Collector::instance().write_events_jsonl(path));
+  const std::string text = slurp(path);
+  std::remove(path.c_str());
+
+  // One JSON object per line, every field machine-recoverable.
+  EXPECT_EQ(count_char(text, '\n'), 2u);
+  EXPECT_NE(text.find("\"type\":\"ult_wake\""), std::string::npos);
+  EXPECT_NE(text.find("\"type\":\"ult_dispatch\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\":1000"), std::string::npos);
+  EXPECT_NE(text.find("\"arg0\":7"), std::string::npos);
+  EXPECT_NE(text.find("\"arg1\":8"), std::string::npos);
+  EXPECT_NE(text.find("\"ult\":9"), std::string::npos);
 }
 
 TEST_F(TraceCollectorTest, ExportWithNoEventsReturnsFalse) {
@@ -273,6 +389,7 @@ class TraceEnvTest : public ::testing::Test {
     unsetenv("LPT_TRACE");
     unsetenv("LPT_TRACE_FILE");
     unsetenv("LPT_TRACE_RING_CAP");
+    unsetenv("LPT_TRACE_EVENTS_FILE");
   }
 };
 
@@ -306,6 +423,13 @@ TEST_F(TraceEnvTest, Lpt_TraceFileImpliesEnabled) {
   const TraceConfig r = resolve_config({});
   EXPECT_TRUE(r.enabled);
   EXPECT_EQ(r.file, "/tmp/t.json");
+}
+
+TEST_F(TraceEnvTest, Lpt_TraceEventsFileImpliesEnabled) {
+  setenv("LPT_TRACE_EVENTS_FILE", "/tmp/ev.jsonl", 1);
+  const TraceConfig r = resolve_config({});
+  EXPECT_TRUE(r.enabled);
+  EXPECT_EQ(r.events_file, "/tmp/ev.jsonl");
 }
 
 TEST_F(TraceEnvTest, RingCapOverride) {

@@ -73,6 +73,19 @@ inline bool valid_name(const std::string& s) {
 
 inline bool valid_label_key(const std::string& s) { return valid_name(s); }
 
+/// Histogram samples use the family name plus a well-known suffix; map
+/// "name_bucket" / "name_sum" / "name_count" back to "name" so they resolve
+/// against the family's TYPE line.
+inline std::string histogram_family(const std::string& name) {
+  static const char* kSuffixes[] = {"_bucket", "_sum", "_count"};
+  for (const char* suf : kSuffixes) {
+    const std::size_t n = std::char_traits<char>::length(suf);
+    if (name.size() > n && name.compare(name.size() - n, n, suf) == 0)
+      return name.substr(0, name.size() - n);
+  }
+  return name;
+}
+
 }  // namespace detail
 
 /// Parse a full exposition. All structural problems are collected into
@@ -172,10 +185,18 @@ inline Parsed parse(const std::string& text) {
       continue;
     }
 
-    // Family of a sample = longest TYPE'd prefix (exact match for us).
-    if (!out.types.count(s.name))
-      err("sample '" + s.name + "' has no preceding TYPE");
-    family_sampled[s.name] = true;
+    // Family of a sample = exact TYPE match, or — for _bucket/_sum/_count
+    // suffixes — the base name when it is TYPE'd as a histogram.
+    std::string fam = s.name;
+    if (!out.types.count(fam)) {
+      const std::string base = detail::histogram_family(s.name);
+      auto it = out.types.find(base);
+      if (it != out.types.end() && it->second == "histogram")
+        fam = base;
+      else
+        err("sample '" + s.name + "' has no preceding TYPE");
+    }
+    family_sampled[fam] = true;
 
     std::string key = s.name;
     for (const auto& kv : s.labels)

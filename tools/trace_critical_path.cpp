@@ -1,0 +1,290 @@
+// Offline critical-path analyzer for the causal event log
+// (docs/observability.md, "Causal tracing & scheduling delay").
+//
+// Input: the raw JSONL event log written when LPT_TRACE_EVENTS_FILE is set
+// (one {"ts":..,"type":"..","ult":..,"worker":..,"arg0":..,"arg1":..} object
+// per line, sorted by timestamp). Starting from a chosen ULT's ult_exit —
+// by default the last ULT to exit — the analyzer walks wake edges backward
+// to reconstruct the longest run+wait chain that ended at that exit:
+//
+//   - run segments stay on the current ULT (dispatch -> yield/preempt/block),
+//   - runnable-wait segments are the ready -> dispatch scheduling delays,
+//   - a blocked segment (ult_block -> ult_wake) hops the chain to the waker
+//     named by the wake edge: whatever the waker was doing up to the wake is
+//     what the blocked thread was really waiting for,
+//   - external wakes (waker 0: timer expiry, reabsorption, application
+//     threads) and the spawn edge terminate the walk.
+//
+// Every segment is attributed to run / runnable-wait / blocked-on-{kind} /
+// in-syscall, with per-category totals at the end — the "why was this thread
+// late" answer assembled from causes, not symptoms.
+//
+// Usage: trace_critical_path <events.jsonl> [--ult N] [--max-hops N]
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Event {
+  std::int64_t ts = 0;
+  std::uint64_t ult = 0;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+  // Only the lifecycle subset the walk needs.
+  enum Kind { kOther, kDispatch, kYield, kPreempt, kBlock, kWake, kExit } kind = kOther;
+};
+
+/// prof::WaitKind numbering (src/prof/prof.hpp) + the spawn sentinel the
+/// wake edge uses for freshly spawned ULTs (trace::kWakeArgSpawn).
+const char* wait_kind_name(std::uint64_t k) {
+  switch (k) {
+    case 0: return "none";
+    case 1: return "mutex";
+    case 2: return "condvar";
+    case 3: return "barrier";
+    case 4: return "rwlock";
+    case 5: return "semaphore";
+    case 6: return "latch";
+    case 7: return "waitgroup";
+    case 8: return "join";
+    case 9: return "sleep";
+    case 10: return "busyflag";
+    case 11: return "syscall";
+    case 100: return "spawn";
+    default: return "unknown";
+  }
+}
+
+bool json_field(const std::string& line, const char* key, std::string* out) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t i = at + needle.size();
+  if (i < line.size() && line[i] == '"') {
+    const std::size_t end = line.find('"', i + 1);
+    if (end == std::string::npos) return false;
+    *out = line.substr(i + 1, end - i - 1);
+    return true;
+  }
+  std::size_t end = i;
+  while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  *out = line.substr(i, end - i);
+  return true;
+}
+
+Event::Kind classify(const std::string& type) {
+  if (type == "ult_dispatch") return Event::kDispatch;
+  if (type == "ult_yield") return Event::kYield;
+  if (type == "preempt_signal_yield" || type == "preempt_klt_switch")
+    return Event::kPreempt;
+  if (type == "ult_block") return Event::kBlock;
+  if (type == "ult_wake") return Event::kWake;
+  if (type == "ult_exit") return Event::kExit;
+  return Event::kOther;
+}
+
+/// One step of the reconstructed chain, in cause order.
+struct Segment {
+  std::uint64_t ult = 0;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::string what;  // run | runnable-wait | blocked-on-<kind> | in-syscall
+};
+
+struct Timelines {
+  // Per-ULT lifecycle events, each sorted by timestamp (input order).
+  std::map<std::uint64_t, std::vector<Event>> per_ult;
+};
+
+/// Walk one ULT backward from `upto`, prepending segments to `path` (which
+/// is built cause-first by reversing at the end). Returns the waker to hop
+/// to (and sets *hop_ts), or 0 when the chain terminates on this ULT.
+std::uint64_t walk_back(const Timelines& tl, std::uint64_t ult,
+                        std::int64_t upto, std::vector<Segment>* path,
+                        std::int64_t* hop_ts) {
+  auto it = tl.per_ult.find(ult);
+  if (it == tl.per_ult.end()) return 0;
+  const std::vector<Event>& evs = it->second;
+  // Last event at or before `upto`.
+  std::size_t i = evs.size();
+  while (i > 0 && evs[i - 1].ts > upto) --i;
+  std::int64_t seg_end = upto;
+  while (i > 0) {
+    const Event& e = evs[--i];
+    switch (e.kind) {
+      case Event::kDispatch:
+        // dispatch -> seg_end was on-CPU; before it, the recorded
+        // scheduling delay (arg0) was spent runnable in a pool.
+        path->push_back({ult, e.ts, seg_end, "run"});
+        if (e.arg0 != 0) {
+          path->push_back(
+              {ult, e.ts - static_cast<std::int64_t>(e.arg0), e.ts,
+               "runnable-wait"});
+          seg_end = e.ts - static_cast<std::int64_t>(e.arg0);
+        } else {
+          seg_end = e.ts;
+        }
+        break;
+      case Event::kYield:
+      case Event::kPreempt:
+        // Re-ready on the same ULT: the gap up to the next dispatch is the
+        // runnable-wait the dispatch's arg0 already covered; just move on.
+        seg_end = e.ts;
+        break;
+      case Event::kWake: {
+        const std::uint64_t kind = e.arg1;
+        if (kind == 100) {  // spawn edge: birth of this ULT
+          if (e.arg0 != 0) {
+            *hop_ts = e.ts;
+            return e.arg0;  // continue into the spawning ULT
+          }
+          return 0;  // spawned by an external thread: chain ends
+        }
+        // The blocked episode [ult_block, wake]; find the matching block.
+        std::int64_t block_ts = e.ts;
+        for (std::size_t j = i; j > 0; --j) {
+          if (evs[j - 1].kind == Event::kBlock) {
+            block_ts = evs[j - 1].ts;
+            break;
+          }
+          if (evs[j - 1].kind == Event::kDispatch) break;  // malformed
+        }
+        const char* base = kind == 11 ? "in-syscall" : nullptr;
+        path->push_back({ult, block_ts, e.ts,
+                         base != nullptr
+                             ? std::string(base)
+                             : "blocked-on-" + std::string(wait_kind_name(kind))});
+        if (e.arg0 != 0) {
+          *hop_ts = e.ts;
+          return e.arg0;  // hop to the waker: it is the cause from here back
+        }
+        seg_end = block_ts;
+        break;
+      }
+      case Event::kBlock:
+      case Event::kExit:
+      case Event::kOther:
+        break;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* file = nullptr;
+  std::uint64_t target = 0;
+  int max_hops = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ult") == 0 && i + 1 < argc)
+      target = std::strtoull(argv[++i], nullptr, 10);
+    else if (std::strcmp(argv[i], "--max-hops") == 0 && i + 1 < argc)
+      max_hops = std::atoi(argv[++i]);
+    else
+      file = argv[i];
+  }
+  if (file == nullptr) {
+    std::fprintf(stderr,
+                 "usage: %s <events-jsonl> [--ult N] [--max-hops N]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::FILE* f = std::fopen(file, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_critical_path: cannot open %s\n", file);
+    return 2;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  Timelines tl;
+  std::map<std::uint64_t, std::int64_t> exits;  // ult -> exit ts
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    std::string v;
+    Event e;
+    if (!json_field(line, "ts", &v)) continue;
+    e.ts = std::strtoll(v.c_str(), nullptr, 10);
+    if (!json_field(line, "type", &v)) continue;
+    e.kind = classify(v);
+    if (e.kind == Event::kOther) continue;
+    if (json_field(line, "ult", &v)) e.ult = std::strtoull(v.c_str(), nullptr, 10);
+    if (json_field(line, "arg0", &v)) e.arg0 = std::strtoull(v.c_str(), nullptr, 10);
+    if (json_field(line, "arg1", &v)) e.arg1 = std::strtoull(v.c_str(), nullptr, 10);
+    if (e.ult == 0) continue;
+    tl.per_ult[e.ult].push_back(e);
+    if (e.kind == Event::kExit) exits[e.ult] = e.ts;
+  }
+  if (tl.per_ult.empty()) {
+    std::fprintf(stderr, "trace_critical_path: no lifecycle events in %s\n", file);
+    return 1;
+  }
+  if (target == 0) {
+    // Default: the last ULT to exit — the one that bounded the run.
+    std::int64_t best = INT64_MIN;
+    for (const auto& kv : exits)
+      if (kv.second > best) {
+        best = kv.second;
+        target = kv.first;
+      }
+    if (target == 0) {
+      std::fprintf(stderr, "trace_critical_path: no ult_exit events; pass --ult\n");
+      return 1;
+    }
+  }
+  auto ex = exits.find(target);
+  if (ex == exits.end()) {
+    std::fprintf(stderr, "trace_critical_path: ULT %" PRIu64 " has no ult_exit\n",
+                 target);
+    return 1;
+  }
+
+  // Walk backward from the exit, hopping across wake edges.
+  std::vector<Segment> path;  // effect-first; reversed below
+  std::uint64_t ult = target;
+  std::int64_t upto = ex->second;
+  int hops = 0;
+  while (ult != 0 && hops++ < max_hops) {
+    std::int64_t hop_ts = 0;
+    ult = walk_back(tl, ult, upto, &path, &hop_ts);
+    upto = hop_ts;
+  }
+
+  std::printf("critical path ending at ULT %" PRIu64 " exit (ts %" PRId64
+              " ns), cause-first:\n",
+              target, ex->second);
+  std::printf("%12s %12s %6s  %s\n", "ts_ns", "dur_us", "ult", "segment");
+  std::map<std::string, std::int64_t> totals;
+  std::int64_t total = 0;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    const std::int64_t dur = it->end - it->begin;
+    std::printf("%12" PRId64 " %12.1f %6" PRIu64 "  %s\n", it->begin,
+                static_cast<double>(dur) / 1e3, it->ult, it->what.c_str());
+    totals[it->what] += dur;
+    total += dur;
+  }
+  std::printf("\ntotals over %.1f us of critical path (%d hop%s):\n",
+              static_cast<double>(total) / 1e3, hops - 1, hops == 2 ? "" : "s");
+  for (const auto& kv : totals)
+    std::printf("  %-24s %12.1f us  %5.1f%%\n", kv.first.c_str(),
+                static_cast<double>(kv.second) / 1e3,
+                total > 0 ? 100.0 * static_cast<double>(kv.second) /
+                                static_cast<double>(total)
+                          : 0.0);
+  return 0;
+}
