@@ -37,37 +37,37 @@ cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== [1/12] normal build =="
+echo "== [1/13] normal build =="
 cmake -S . -B "$BUILD" -G Ninja >/dev/null
 cmake --build "$BUILD" -j "$JOBS"
 
-echo "== [2/12] tier-1 tests =="
+echo "== [2/13] tier-1 tests =="
 ctest --test-dir "$BUILD" -L tier1 --output-on-failure
 
-echo "== [3/12] tracer unit tests under TSan =="
+echo "== [3/13] tracer unit tests under TSan =="
 cmake -S . -B "$BUILD-tsan" -G Ninja -DLPT_SANITIZE=thread >/dev/null
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_trace_unit
 "$BUILD-tsan/tests/test_trace_unit"
 
-echo "== [4/12] metrics + watchdog + profiler unit tests under TSan =="
+echo "== [4/13] metrics + watchdog + profiler unit tests under TSan =="
 cmake --build "$BUILD-tsan" -j "$JOBS" --target test_metrics_unit test_prof_unit
 "$BUILD-tsan/tests/test_metrics_unit"
 # Profiler primitives (sample ring, wait-site CAS table, lock slab) never
 # context-switch, so they run TSan-clean like the tracer's structures.
 "$BUILD-tsan/tests/test_prof_unit"
 
-echo "== [5/12] fault-injection tests under ASan =="
+echo "== [5/13] fault-injection tests under ASan =="
 cmake -S . -B "$BUILD-asan" -G Ninja -DLPT_SANITIZE=address >/dev/null
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_sys test_fault
 "$BUILD-asan/tests/test_sys"
 "$BUILD-asan/tests/test_fault"
 
-echo "== [6/12] fault-isolation tests (normal + ASan self-skip) =="
+echo "== [6/13] fault-isolation tests (normal + ASan self-skip) =="
 "$BUILD/tests/test_fault_isolation"
 cmake --build "$BUILD-asan" -j "$JOBS" --target test_fault_isolation
 "$BUILD-asan/tests/test_fault_isolation"
 
-echo "== [7/12] self-healing: remediation suite (LPT_REMEDIATE=1 + degraded) =="
+echo "== [7/13] self-healing: remediation suite (LPT_REMEDIATE=1 + degraded) =="
 # Env-path acceptance (docs/robustness.md, "Self-healing"): the wedged-worker
 # and runaway workloads recover with remediation enabled via the environment.
 # The off-by-default test is the one run that must NOT see the flag, so it is
@@ -85,7 +85,7 @@ LPT_FAULT='pthread_create:after=8,every=2' "$BUILD/tests/test_remediation" \
 LPT_FAULT='pthread_create:after=8,every=2' "$BUILD/tests/test_remediation" \
   --gtest_filter='Deadline.PerSpawnDeadlineCancelsRunaway'
 
-echo "== [8/12] blocking-syscall resilience (normal + TSan guard/detect) =="
+echo "== [8/13] blocking-syscall resilience (normal + TSan guard/detect) =="
 # Full suite normal (io::call retry/deadline semantics, the wedge sentinel's
 # detection rung, compensation + reabsorption accounting under both
 # preemption techniques). The IoCall.* and SyscallDetect.* suites never
@@ -97,7 +97,17 @@ cmake --build "$BUILD-tsan" -j "$JOBS" --target test_syscall_resilience
 "$BUILD-tsan/tests/test_syscall_resilience" \
   --gtest_filter='IoCall.*:SyscallDetect.*'
 
-echo "== [9/12] metrics-publisher smoke (bench + prom_check) =="
+echo "== [9/13] deadlock detection & recovery (normal + TSan park unit tests) =="
+# Full suite normal: self-deadlock at lock(), cycle detection/breaking under
+# both preemption techniques, abandoned-lock tracking, healthy-soak zero
+# false positives, and the LPT_DEADLOCK* env-knob validation. The parking
+# registry's slot protocol (versioned claim/free, the detector's pinned
+# seqlock scan) never context-switches, so test_park also runs under TSan.
+"$BUILD/tests/test_deadlock"
+cmake --build "$BUILD-tsan" -j "$JOBS" --target test_park
+"$BUILD-tsan/tests/test_park"
+
+echo "== [10/13] metrics-publisher smoke (bench + prom_check) =="
 cmake --build "$BUILD" -j "$JOBS" --target table1_preemption prom_check
 METRICS_OUT="$(mktemp /tmp/lpt_check_metrics.XXXXXX.prom)"
 LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \
@@ -105,7 +115,7 @@ LPT_METRICS_FILE="$METRICS_OUT" LPT_METRICS_PERIOD_MS=200 \
 "$BUILD/tests/prom_check" "$METRICS_OUT"
 rm -f "$METRICS_OUT"
 
-echo "== [10/12] continuous-profiling smoke (fig7 real section + prof_check) =="
+echo "== [11/13] continuous-profiling smoke (fig7 real section + prof_check) =="
 # End-to-end LPT_PROF path: env config -> piggyback sampler + off-CPU/lock
 # collectors -> shutdown export, validated by the strict folded parser and
 # cross-checked against the same run's published metrics counters.
@@ -117,7 +127,7 @@ LPT_PROF=1 LPT_PROF_FILE="$PROF_OUT" LPT_METRICS_FILE="$PROF_METRICS" \
 "$BUILD/tests/prof_check" "$PROF_OUT" "$PROF_METRICS"
 rm -f "$PROF_OUT" "$PROF_METRICS"
 
-echo "== [11/12] causal-trace smoke (trace_viz mixed workload + trace_check) =="
+echo "== [12/13] causal-trace smoke (trace_viz mixed workload + trace_check) =="
 # End-to-end causal-observability path: env config -> wake-edge tracing +
 # per-ULT accounting -> JSONL event log + Prometheus histograms, with the
 # validator proving every dispatch resolves to a ready stamp, every wake edge
@@ -136,7 +146,7 @@ LPT_TRACE_EVENTS_FILE="$TRACE_EVENTS" LPT_TRACE_RING_CAP=$((1<<18)) \
 "$BUILD/tools/trace_critical_path" "$TRACE_EVENTS" >/dev/null
 rm -f "$TRACE_EVENTS" "$TRACE_METRICS" "$TRACE_JSON"
 
-echo "== [12/12] self-healing soak (scripts/soak.sh, short) =="
+echo "== [13/13] self-healing soak (scripts/soak.sh, short) =="
 SOAK_SECONDS=5 scripts/soak.sh "$BUILD"
 
 echo "== all checks passed =="

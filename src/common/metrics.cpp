@@ -287,6 +287,13 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
                "lpt_watchdog_flags_total{kind=\"syscall_blocked\"} %" PRIu64
                "\n",
                s.watchdog_syscall_blocked);
+  std::fprintf(out,
+               "lpt_watchdog_flags_total{kind=\"deadlock\"} %" PRIu64 "\n",
+               s.watchdog_deadlock);
+  std::fprintf(out,
+               "lpt_watchdog_flags_total{kind=\"abandoned_lock\"} %" PRIu64
+               "\n",
+               s.watchdog_abandoned_lock);
   prom_family(out, "lpt_remediations_total", "counter",
               "Self-healing remediation actions taken, by kind.");
   std::fprintf(out, "lpt_remediations_total{kind=\"retick\"} %" PRIu64 "\n",
@@ -296,6 +303,26 @@ void write_prometheus(std::FILE* out, const Snapshot& s) {
   std::fprintf(out,
                "lpt_remediations_total{kind=\"klt_replace\"} %" PRIu64 "\n",
                s.remediations_klt_replace);
+  std::fprintf(out,
+               "lpt_remediations_total{kind=\"deadlock_break\"} %" PRIu64 "\n",
+               s.remediations_deadlock_break);
+  prom_family(out, "lpt_deadlock_cycles_total", "counter",
+              "Deadlock cycles confirmed by the detector "
+              "(== deadlock_break remediations + self deadlocks "
+              "when remediation is on).");
+  prom_u64(out, "lpt_deadlock_cycles_total", s.deadlock_cycles);
+  prom_family(out, "lpt_self_deadlocks_total", "counter",
+              "Self-deadlocks caught synchronously at lock().");
+  prom_u64(out, "lpt_self_deadlocks_total", s.self_deadlocks);
+  prom_family(out, "lpt_abandoned_locks_total", "counter",
+              "ULTs that ended while still holding a tracked lock.");
+  prom_u64(out, "lpt_abandoned_locks_total", s.abandoned_locks);
+  prom_family(out, "lpt_abandoned_released_total", "counter",
+              "Abandoned locks force-released (LPT_ABANDON_RELEASE).");
+  prom_u64(out, "lpt_abandoned_released_total", s.abandoned_released);
+  prom_family(out, "lpt_parked_waiters", "gauge",
+              "ULTs registered in the parking registry at scrape time.");
+  prom_i64(out, "lpt_parked_waiters", s.parked_waiters);
   prom_family(out, "lpt_syscall_compensations_total", "counter",
               "Wedge-sentinel compensation outcomes "
               "(activated == reabsorbed + saturated after quiescing).");
@@ -436,15 +463,27 @@ void write_json(std::FILE* out, const Snapshot& s) {
                ", \"runnable_starvation\": %" PRIu64
                ", \"worker_stall\": %" PRIu64 ", \"quantum_overrun\": %" PRIu64
                ", \"fault_storm\": %" PRIu64
-               ", \"syscall_blocked\": %" PRIu64 "},\n",
+               ", \"syscall_blocked\": %" PRIu64
+               ", \"deadlock\": %" PRIu64
+               ", \"abandoned_lock\": %" PRIu64 "},\n",
                s.watchdog_checks, s.watchdog_runnable_starvation,
                s.watchdog_worker_stall, s.watchdog_quantum_overrun,
-               s.watchdog_fault_storm, s.watchdog_syscall_blocked);
+               s.watchdog_fault_storm, s.watchdog_syscall_blocked,
+               s.watchdog_deadlock, s.watchdog_abandoned_lock);
   std::fprintf(out,
                "  \"remediations\": {\"retick\": %" PRIu64
-               ", \"cancel\": %" PRIu64 ", \"klt_replace\": %" PRIu64 "},\n",
+               ", \"cancel\": %" PRIu64 ", \"klt_replace\": %" PRIu64
+               ", \"deadlock_break\": %" PRIu64 "},\n",
                s.remediations_retick, s.remediations_cancel,
-               s.remediations_klt_replace);
+               s.remediations_klt_replace, s.remediations_deadlock_break);
+  std::fprintf(out,
+               "  \"deadlock\": {\"cycles\": %" PRIu64
+               ", \"self_deadlocks\": %" PRIu64
+               ", \"abandoned_locks\": %" PRIu64
+               ", \"abandoned_released\": %" PRIu64
+               ", \"parked_waiters\": %" PRId64 "},\n",
+               s.deadlock_cycles, s.self_deadlocks, s.abandoned_locks,
+               s.abandoned_released, s.parked_waiters);
   std::fprintf(out,
                "  \"syscall\": {\"blocks\": %" PRIu64
                ", \"comp_activated\": %" PRIu64

@@ -219,11 +219,23 @@ struct Snapshot {
   std::uint64_t watchdog_quantum_overrun = 0;
   std::uint64_t watchdog_fault_storm = 0;
   std::uint64_t watchdog_syscall_blocked = 0;
+  std::uint64_t watchdog_deadlock = 0;
+  std::uint64_t watchdog_abandoned_lock = 0;
 
   // -- self-healing remediation ladder (docs/robustness.md) --
   std::uint64_t remediations_retick = 0;
   std::uint64_t remediations_cancel = 0;
   std::uint64_t remediations_klt_replace = 0;
+  std::uint64_t remediations_deadlock_break = 0;
+
+  // -- deadlock detection & recovery (docs/robustness.md). Identity with
+  //    remediation on and budget available:
+  //    deadlock_cycles == remediations_deadlock_break + self_deadlocks. --
+  std::uint64_t deadlock_cycles = 0;     ///< distinct cycles confirmed
+  std::uint64_t self_deadlocks = 0;      ///< 1-cycles caught at lock()
+  std::uint64_t abandoned_locks = 0;     ///< owners that died holding a lock
+  std::uint64_t abandoned_released = 0;  ///< ... force-released (LPT_ABANDON_RELEASE)
+  std::int64_t parked_waiters = 0;       ///< registry-parked ULTs, now
 
   // -- blocking-syscall compensation (docs/robustness.md). Identity after
   //    quiescing: activated == reabsorbed + saturated. --

@@ -45,6 +45,8 @@ const char* event_name(EventType t) {
     case EventType::kSyscallCompensate: return "syscall_compensate";
     case EventType::kSyscallReturn: return "syscall_return";
     case EventType::kUltWake: return "ult_wake";
+    case EventType::kDeadlock: return "deadlock";
+    case EventType::kAbandonedLock: return "abandoned_lock";
     case EventType::kCount: break;
   }
   return "unknown";

@@ -76,8 +76,13 @@ enum class EventType : std::uint16_t {
   kSyscallCompensate,  ///< sentinel activated a compensating KLT; arg0=rank, arg1=epoch
   kSyscallReturn,      ///< blocking syscall returned; arg0=blocked ns, arg1=1 if reabsorbed
   kUltWake,            ///< ULT made runnable; ult=woken id, arg0=waker ULT id (0 = external/timer), arg1=prof::WaitKind it was parked under (kWakeArgSpawn for spawn)
+  kDeadlock,           ///< deadlock cycle member; ult=member id, arg0=cycle id, arg1=prof::WaitKind awaited | kDeadlockVictimFlag if this member was cancelled
+  kAbandonedLock,      ///< lock owner ended while holding; ult=owner id, arg0=prof::WaitKind of the lock, arg1=1 if force-released
   kCount,
 };
+
+/// kDeadlock arg1 bit marking the cycle member the breaker cancelled.
+inline constexpr std::uint64_t kDeadlockVictimFlag = 0x100;
 
 /// kUltWake arg1 value for the spawn edge (a fresh ULT was never parked, so
 /// no prof::WaitKind applies; prof::WaitKind::kCount is < 100).

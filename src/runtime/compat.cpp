@@ -70,11 +70,13 @@ int thread_join(thread_t t, void** retval) {
   const ThreadStatus st = ctl->thread.join_status();
   const bool failed = st.failed();
   const bool cancelled = st.fault.kind == FaultKind::kCancelled;
+  const bool deadlocked = st.fault.kind == FaultKind::kDeadlock;
   if (!failed && retval != nullptr) *retval = ctl->retval;
   delete ctl;
   // No pthread error fits "the thread was killed by the runtime"; EFAULT is
   // the closest honest mapping for a fault-terminated thread, EINTR for one
-  // cut short by cancellation.
+  // cut short by cancellation, EDEADLK for a deadlock-break victim.
+  if (deadlocked) return EDEADLK;
   if (cancelled) return EINTR;
   return failed ? EFAULT : 0;
 }
@@ -106,6 +108,9 @@ int yield() {
 
 int mutex_init(mutex_t* m) { return m != nullptr ? 0 : EINVAL; }
 int mutex_lock(mutex_t* m) {
+  // PTHREAD_MUTEX_ERRORCHECK semantics: relocking a mutex the caller already
+  // holds reports EDEADLK instead of parking behind itself forever.
+  if (m->impl.held_by_caller()) return EDEADLK;
   m->impl.lock();
   return 0;
 }

@@ -38,12 +38,13 @@ int thread_create(thread_t* out, const thread_attr_t* attr,
 /// pthread_join analogue; *retval (if non-null) receives the start routine's
 /// return value. Returns 0, EINVAL for a null/detached handle, EFAULT when
 /// fault isolation terminated the thread (stack overflow, contained SEGV/BUS,
-/// escaped exception), or EINTR when the thread was cancelled
+/// escaped exception), EDEADLK when the runtime's deadlock breaker cancelled
+/// it as a cycle victim, or EINTR when the thread was cancelled
 /// (thread_cancel / deadline expiry) — pthreads would report
 /// PTHREAD_CANCELED via *retval, but this veneer keeps retval for genuine
 /// returns only, so the interrupted-style errno carries the verdict. On
-/// EFAULT/EINTR *retval is left untouched, since the start routine never
-/// returned one.
+/// EFAULT/EINTR/EDEADLK *retval is left untouched, since the start routine
+/// never returned one.
 int thread_join(thread_t t, void** retval);
 
 /// pthread_cancel analogue. Requests cancellation: the thread ends at its
@@ -66,7 +67,8 @@ struct mutex_t {
   Mutex impl;
 };
 int mutex_init(mutex_t* m);
-int mutex_lock(mutex_t* m);
+int mutex_lock(mutex_t* m);     ///< 0, or EDEADLK if the caller already holds it
+                                ///< (PTHREAD_MUTEX_ERRORCHECK semantics)
 int mutex_trylock(mutex_t* m);  ///< 0 or EBUSY
 int mutex_unlock(mutex_t* m);
 int mutex_destroy(mutex_t* m);

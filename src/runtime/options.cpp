@@ -113,6 +113,14 @@ RuntimeOptions resolve_env_options(RuntimeOptions o) {
   if (max_comp > 0) o.syscall_max_compensations = static_cast<int>(max_comp);
   if (o.syscall_max_compensations < 1) o.syscall_max_compensations = 1;
 
+  // ----- deadlock detection & recovery (docs/robustness.md) -----
+  o.deadlock_detection = env_flag("LPT_DEADLOCK", o.deadlock_detection);
+  o.abandon_release = env_flag("LPT_ABANDON_RELEASE", o.abandon_release);
+  long long deadlock_periods = 0;
+  env_count("LPT_DEADLOCK_PERIODS", 1'000'000, &deadlock_periods);
+  if (deadlock_periods > 0) o.deadlock_periods = static_cast<int>(deadlock_periods);
+  if (o.deadlock_periods < 1) o.deadlock_periods = 1;
+
   // ----- continuous profiler (options.hpp lists every LPT_PROF* knob) -----
   if (const char* v = std::getenv("LPT_PROF"); v != nullptr)
     o.prof.enabled = env_flag("LPT_PROF", o.prof.enabled);

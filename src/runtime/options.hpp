@@ -154,6 +154,29 @@ struct RuntimeOptions {
   /// cancellation at the next watchdog tick.
   std::int64_t default_ult_deadline_ns = 0;
 
+  // ----- deadlock detection & recovery (docs/robustness.md) -----
+
+  /// Parking-registry deadlock detection (LPT_DEADLOCK=0 disables). When on,
+  /// every blocking primitive registers waiter → resource → owner edges
+  /// (runtime/park.hpp), the watchdog poll runs waits-for cycle detection,
+  /// Mutex/RwLock catch self-deadlock synchronously at lock(), and abandoned
+  /// locks (owner ended while holding) are flagged. Cycle *breaking* — the
+  /// deadlock_break remediation cancelling the youngest member — is
+  /// additionally gated on `remediation`, like the rest of the ladder.
+  /// When off, registration short-circuits to one relaxed load per park:
+  /// the yield/mutex fast paths are unchanged.
+  bool deadlock_detection = true;
+  /// Run the cycle detector every N watchdog polls (LPT_DEADLOCK_PERIODS
+  /// overrides; must be >= 1). Detection latency is at most ~2·N watchdog
+  /// periods: a cycle is confirmed on its second consecutive sighting.
+  int deadlock_periods = 1;
+  /// Force-release locks whose owner ended while holding them, handing off
+  /// to the next waiter so siblings unwedge (LPT_ABANDON_RELEASE=1 enables).
+  /// Off by default: the abandoned protectee's invariants may be broken, so
+  /// the conservative default only flags (lpt_abandoned_locks_total,
+  /// kAbandonedLock).
+  bool abandon_release = false;
+
   // ----- blocking-syscall resilience (docs/robustness.md) -----
 
   /// Age past which a worker parked in an annotated blocking syscall
@@ -202,9 +225,10 @@ struct RuntimeOptions {
 /// validated, page-rounded, and clamped to a sane minimum; malformed values
 /// are reported to stderr and ignored. Also applies LPT_FAULT_ISOLATION,
 /// LPT_ISOLATE_FAULTS, LPT_STACK_SCRUB, LPT_REMEDIATE, LPT_SYSCALL_COMPENSATE,
-/// and the integer knobs LPT_WATCHDOG_STARVATION_PERIODS /
-/// LPT_WATCHDOG_STALL_PERIODS / LPT_REMEDIATE_MAX_PER_PERIOD /
-/// LPT_SYSCALL_GRACE_MS / LPT_SYSCALL_MAX_COMPENSATIONS (validated like
+/// LPT_DEADLOCK, LPT_ABANDON_RELEASE, and the integer knobs
+/// LPT_WATCHDOG_STARVATION_PERIODS / LPT_WATCHDOG_STALL_PERIODS /
+/// LPT_REMEDIATE_MAX_PER_PERIOD / LPT_SYSCALL_GRACE_MS /
+/// LPT_SYSCALL_MAX_COMPENSATIONS / LPT_DEADLOCK_PERIODS (validated like
 /// LPT_STACK_SIZE).
 ///
 /// Profiler knobs (docs/observability.md, "Profiling"):

@@ -18,6 +18,7 @@
 #include "runtime/fault.hpp"
 #include "runtime/instrument.hpp"
 #include "runtime/internal.hpp"
+#include "runtime/park.hpp"
 #include "runtime/prof_glue.hpp"
 #include "runtime/signals.hpp"
 #include "runtime/timer.hpp"
@@ -101,6 +102,10 @@ Runtime::Runtime(RuntimeOptions opts)
   // making a fresh runtime immune to a previous runtime's profile state.
   prof::Collector::instance().configure(opts_.prof);
 
+  // Arm the parking registry before any worker exists so every park is
+  // registered from the first dispatch; resets the detector's cycle memory.
+  park::arm(opts_.deadlock_detection, opts_.abandon_release);
+
   n_active_.store(opts_.num_workers, std::memory_order_release);
 
   for (int r = 0; r < opts_.num_workers; ++r) {
@@ -182,6 +187,9 @@ Runtime::Runtime(RuntimeOptions opts)
 Runtime::~Runtime() {
   prof_ticker_.stop();
   if (timer_) timer_->stop();
+  // Disarm the parking registry: all ULTs are joined by contract, so no slot
+  // is occupied; primitives outliving this runtime just stop registering.
+  park::disarm();
   // The watchdog reads worker metrics and scheduler queues; stop it while
   // both still exist and before the fallback timer (a late driver) goes.
   watchdog_.stop();
@@ -516,10 +524,20 @@ metrics::Snapshot Runtime::metrics_snapshot() const {
       watchdog_.flagged(WatchdogReport::Kind::kFaultStorm);
   s.watchdog_syscall_blocked =
       watchdog_.flagged(WatchdogReport::Kind::kSyscallBlocked);
+  s.watchdog_deadlock = watchdog_.flagged(WatchdogReport::Kind::kDeadlock);
+  s.watchdog_abandoned_lock =
+      watchdog_.flagged(WatchdogReport::Kind::kAbandonedLock);
 
   s.remediations_retick = remediations(RemediationKind::kRetick);
   s.remediations_cancel = remediations(RemediationKind::kCancel);
   s.remediations_klt_replace = remediations(RemediationKind::kKltReplace);
+  s.remediations_deadlock_break = remediations(RemediationKind::kDeadlockBreak);
+
+  s.deadlock_cycles = n_deadlock_cycles_.value();
+  s.self_deadlocks = n_self_deadlocks_.value();
+  s.abandoned_locks = n_abandoned_locks_.value();
+  s.abandoned_released = n_abandoned_released_.value();
+  s.parked_waiters = park::parked_count();
 
   s.syscall_comp_activated = n_syscall_comp_[0].value();
   s.syscall_comp_reabsorbed = n_syscall_comp_[1].value();
@@ -605,6 +623,11 @@ Runtime::Stats Runtime::stats() const {
   s.remediations_retick = m.remediations_retick;
   s.remediations_cancel = m.remediations_cancel;
   s.remediations_klt_replace = m.remediations_klt_replace;
+  s.remediations_deadlock_break = m.remediations_deadlock_break;
+  s.deadlock_cycles = m.deadlock_cycles;
+  s.self_deadlocks = m.self_deadlocks;
+  s.abandoned_locks = m.abandoned_locks;
+  s.abandoned_released = m.abandoned_released;
   s.syscall_blocks = m.syscall_blocks;
   s.syscall_comp_activated = m.syscall_comp_activated;
   s.syscall_comp_reabsorbed = m.syscall_comp_reabsorbed;
@@ -1160,7 +1183,7 @@ bool Runtime::compensate_syscall_blocked_worker(Worker& w,
 void Runtime::note_remediation(RemediationKind kind, int worker_rank,
                                WatchdogReport::Kind cause, bool report) {
   const int i = static_cast<int>(kind) - 1;
-  if (i < 0 || i >= 3) return;
+  if (i < 0 || i >= 4) return;
   n_remediations_[i].add(1);
   LPT_TRACE_EVENT(trace::EventType::kRemediation, 0,
                   static_cast<std::uint64_t>(kind),
@@ -1202,6 +1225,7 @@ std::size_t pooled_stack_size(const StackPool& pool) {
 void Runtime::finalize_thread(ThreadCtl* t) {
   LPT_CHECK(t->load_state() == ThreadState::kFinished);
   disarm_deadline(t);
+  note_owner_finished(t);  // abandoned-lock scan, before joiners can run
   t->fn = nullptr;  // release captures in scheduler context
   n_live_ults_.sub(1);
 
@@ -1217,6 +1241,7 @@ void Runtime::finalize_thread(ThreadCtl* t) {
 void Runtime::finalize_failed_thread(ThreadCtl* t) {
   LPT_CHECK(t->load_state() == ThreadState::kFailed);
   disarm_deadline(t);
+  note_owner_finished(t);  // abandoned-lock scan, before joiners can run
   t->fn = nullptr;
   n_live_ults_.sub(1);
 
@@ -1288,6 +1313,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::kBus: return "bus";
     case FaultKind::kException: return "exception";
     case FaultKind::kCancelled: return "cancelled";
+    case FaultKind::kDeadlock: return "deadlock";
   }
   return "?";
 }
@@ -1359,8 +1385,11 @@ bool Thread::join_for(std::chrono::nanoseconds timeout) {
       self->wait_timed_out = false;
       t->rt->register_timed_wait(self, deadline, &t->waiters_lock,
                                  &t->waiters);
+      park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kJoin),
+                 /*timed=*/true, nullptr, t, &t->waiters_lock, &t->waiters);
       prof::offcpu_begin(self, prof::WaitKind::kJoin, wait_site);
       detail::suspend_block(self, &t->waiters_lock, nullptr);
+      park::unpark(self);
       prof::offcpu_end(self);
       t->rt->unregister_timed_wait(self);
       detail::end_no_preempt(self);  // cancellation point
@@ -1402,8 +1431,11 @@ ThreadStatus Thread::join_status() {
         break;
       }
       t->waiters.push_back(self);
+      park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kJoin),
+                 /*timed=*/false, nullptr, t, &t->waiters_lock, &t->waiters);
       prof::offcpu_begin(self, prof::WaitKind::kJoin, wait_site);
       detail::suspend_block(self, &t->waiters_lock, nullptr);
+      park::unpark(self);
       prof::offcpu_end(self);
       detail::end_no_preempt(self);
     }
@@ -1463,8 +1495,11 @@ void sleep_for(std::chrono::nanoseconds d) {
   self->waiters_lock.lock();
   self->wait_timed_out = false;
   self->rt->register_timed_wait(self, deadline, &self->waiters_lock, nullptr);
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kSleep),
+             /*timed=*/true, nullptr, nullptr, &self->waiters_lock, nullptr);
   prof::offcpu_begin(self, prof::WaitKind::kSleep, wait_site);
   detail::suspend_block(self, &self->waiters_lock, nullptr);
+  park::unpark(self);
   prof::offcpu_end(self);
   self->rt->unregister_timed_wait(self);
   detail::end_no_preempt(self);  // cancellation point

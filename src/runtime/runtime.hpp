@@ -128,6 +128,15 @@ class Runtime {
     std::uint64_t remediations_retick = 0;       ///< directed re-ticks sent
     std::uint64_t remediations_cancel = 0;       ///< deadline-driven cancels
     std::uint64_t remediations_klt_replace = 0;  ///< forced KLT replacements
+    std::uint64_t remediations_deadlock_break = 0;  ///< cycle victims cancelled
+
+    // -- deadlock detection & abandoned locks (docs/robustness.md). After
+    //    quiescing with remediation on:
+    //    deadlock_cycles == remediations_deadlock_break + self_deadlocks. --
+    std::uint64_t deadlock_cycles = 0;     ///< cycles flagged (incl. self)
+    std::uint64_t self_deadlocks = 0;      ///< relock-own-mutex, caught at lock()
+    std::uint64_t abandoned_locks = 0;     ///< owner ended while holding
+    std::uint64_t abandoned_released = 0;  ///< ... force-released (opt-in)
 
     // -- blocking-syscall resilience (docs/robustness.md). After quiescing:
     //    syscall_comp_activated == comp_reabsorbed + comp_saturated. --
@@ -191,7 +200,7 @@ class Runtime {
   /// Remediation actions taken so far, by kind (kNone is not counted).
   std::uint64_t remediations(RemediationKind kind) const {
     const int i = static_cast<int>(kind) - 1;
-    return i >= 0 && i < 3 ? n_remediations_[i].value() : 0;
+    return i >= 0 && i < 4 ? n_remediations_[i].value() : 0;
   }
 
   // ----- tracing (docs/observability.md) -----
@@ -349,6 +358,25 @@ class Runtime {
   void note_remediation(RemediationKind kind, int worker_rank,
                         WatchdogReport::Kind cause, bool report = false);
 
+  // ----- deadlock detection & recovery (park.cpp; docs/robustness.md) -----
+
+  /// One detector pass over the parking registry: snapshot the waits-for
+  /// graph, DFS for cycles, confirm each over two consecutive passes, and —
+  /// when `remediate_budget` is non-null with budget remaining — break each
+  /// confirmed cycle by cancelling its youngest member. Called from
+  /// Watchdog::poll every options().deadlock_periods polls; serialized by
+  /// the watchdog's try-lock.
+  void deadlock_poll(Watchdog* wd, int* remediate_budget);
+  /// Account a self-deadlock caught synchronously at the lock fast path
+  /// (a 1-cycle: counter, trace event, watchdog report). The caller already
+  /// marked `self` for cancellation with cancel_fault = kDeadlock.
+  void note_self_deadlock(ThreadCtl* self, std::uint8_t kind);
+  /// Abandonment scan for a finishing/failed thread: flag (and optionally
+  /// force-release) every tracked resource still recording `t` as owner.
+  /// O(1) when t released everything it acquired. Called from the finalize
+  /// paths before joiners are woken.
+  void note_owner_finished(ThreadCtl* t);
+
  private:
   friend struct Worker;
   static void* klt_entry(void* arg);
@@ -418,13 +446,19 @@ class Runtime {
   std::vector<ThreadCtl*> deadline_busy_;
   /// Earliest pending wake/deadline; kNoDeadline when neither list has one.
   std::atomic<std::int64_t> next_due_{kNoDeadline};
-  metrics::AtomicCounter n_remediations_[3];  ///< indexed RemediationKind - 1
+  metrics::AtomicCounter n_remediations_[4];  ///< indexed RemediationKind - 1
   /// Blocking-syscall compensation outcomes: [0] activated (sentinel
   /// committed), [1] reabsorbed (losing host parked back), [2] saturated
   /// (commitment with no KLT available). activated == reabsorbed + saturated
   /// after quiescing; activated - reabsorbed - saturated = in flight.
   metrics::AtomicCounter n_syscall_comp_[3];
   std::atomic<std::int64_t> last_remediation_stderr_ns_{0};
+
+  // -- deadlock detection & abandoned locks (park.cpp) --
+  metrics::AtomicCounter n_deadlock_cycles_;
+  metrics::AtomicCounter n_self_deadlocks_;
+  metrics::AtomicCounter n_abandoned_locks_;
+  metrics::AtomicCounter n_abandoned_released_;
 
   /// Watchdog + metrics publisher (runtime/watchdog.hpp). Declared after
   /// workers_/sched_ and stopped before them in the destructor.

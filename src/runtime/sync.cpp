@@ -4,6 +4,7 @@
 #include "common/cpu.hpp"
 #include "common/time.hpp"
 #include "runtime/internal.hpp"
+#include "runtime/park.hpp"
 #include "runtime/prof_glue.hpp"
 
 namespace lpt {
@@ -16,13 +17,16 @@ ThreadCtl* require_ult(const char* what) {
   return self;
 }
 
-void make_ready(ThreadCtl* t) {
+void make_ready(ThreadCtl* t, std::uint32_t waker = Runtime::kWakerFromTls) {
   Runtime* rt = t->rt;
   t->store_state(ThreadState::kReady);
   Worker* hint = worker_tls()->worker;  // may be null (external thread)
   // enqueue_ready stamps the ready transition and emits the causal kUltWake
-  // edge (waker = the calling ULT, kind = what t was parked under).
-  rt->enqueue_ready(t, hint, EnqueueKind::kUnblock);
+  // edge (waker = the calling ULT by default, kind = what t was parked
+  // under). Paths where the causal waker is not the calling thread — the
+  // abandoned-lock force-release runs on the watchdog but the dead owner is
+  // what freed the lock — pass the waker explicitly.
+  rt->enqueue_ready(t, hint, EnqueueKind::kUnblock, waker);
 }
 
 // ---- lock-contention profiling helpers (all called under the Mutex's
@@ -127,25 +131,64 @@ void Mutex::lock() {
   ThreadCtl* self = require_ult("lpt::Mutex::lock outside ULT context");
   detail::cancel_point(self);  // before acquisition: nothing held yet
   detail::begin_no_preempt(self);
-  guard_.lock();
-  prof::LockStats* ls = prof::locks_on() ? lock_stats(prof_) : nullptr;
-  lock_note_acquire(ls);
-  if (!locked_) {
-    locked_ = true;
-    lock_note_owned(ls, self);
-    guard_.unlock();
+  for (;;) {
+    guard_.lock();
+    prof::LockStats* ls = prof::locks_on() ? lock_stats(prof_) : nullptr;
+    lock_note_acquire(ls);
+    if (!locked_) {
+      locked_ = true;
+      owner_ = self;
+      if (park::armed()) {
+        if (res_ == nullptr)
+          res_ = park::acquire_resource(
+              static_cast<std::uint8_t>(prof::WaitKind::kMutex), this,
+              &Mutex::abandon_cb);
+        park::add_owner(res_, self);
+      }
+      lock_note_owned(ls, self);
+      guard_.unlock();
+      detail::end_no_preempt(self);
+      return;
+    }
+    if (owner_ == self && park::armed() && self->no_preempt_depth == 1) {
+      // Self-deadlock: relocking the mutex we already hold would park behind
+      // ourselves forever. Caught synchronously (a 1-cycle, no detector
+      // round trip) and terminated as a deadlock victim. Under an outer
+      // NoPreemptGuard the cancellation point below cannot fire, so the
+      // historical behavior (hang, detectable by the watchdog) is kept; with
+      // the registry disarmed the check is off entirely.
+      guard_.unlock();
+      self->cancel_fault = FaultKind::kDeadlock;
+      self->cancel_requested.store(true, std::memory_order_release);
+      self->rt->note_self_deadlock(
+          self, static_cast<std::uint8_t>(prof::WaitKind::kMutex));
+      detail::end_no_preempt(self);  // cancellation point: does not return
+      detail::begin_no_preempt(self);
+      continue;  // unreachable in practice; keeps the invariant if it ever is
+    }
+    lock_note_contended(ls, self->rt, site);
+    waiters_.push_back(self);
+    park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kMutex),
+               /*timed=*/false, res_, nullptr, &guard_, &waiters_);
+    const std::int64_t wait_start = ls != nullptr ? trace::now_ns() : 0;
+    prof::offcpu_begin(self, prof::WaitKind::kMutex, site);
+    // Direct handoff: unlock() keeps `locked_` set and wakes us as the owner.
+    detail::suspend_block(self, &guard_, nullptr);
+    park::unpark(self);
+    prof::offcpu_end(self);
+    if (self->park_broken) {
+      // The deadlock breaker cancelled us out of the wait: we do NOT own the
+      // lock. The cancellation point below normally terminates us; a thread
+      // it cannot unwind (outer NoPreemptGuard) retries the acquire.
+      self->park_broken = false;
+      detail::end_no_preempt(self);  // cancellation point: usually no return
+      detail::begin_no_preempt(self);
+      continue;
+    }
+    lock_note_waited(ls, self, wait_start, site);
     detail::end_no_preempt(self);
     return;
   }
-  lock_note_contended(ls, self->rt, site);
-  waiters_.push_back(self);
-  const std::int64_t wait_start = ls != nullptr ? trace::now_ns() : 0;
-  prof::offcpu_begin(self, prof::WaitKind::kMutex, site);
-  // Direct handoff: unlock() keeps `locked_` set and wakes us as the owner.
-  detail::suspend_block(self, &guard_, nullptr);
-  prof::offcpu_end(self);
-  lock_note_waited(ls, self, wait_start, site);
-  detail::end_no_preempt(self);
 }
 
 bool Mutex::try_lock() {
@@ -155,6 +198,14 @@ bool Mutex::try_lock() {
   const bool got = !locked_;
   if (got) {
     locked_ = true;
+    owner_ = self;
+    if (park::armed()) {
+      if (res_ == nullptr)
+        res_ = park::acquire_resource(
+            static_cast<std::uint8_t>(prof::WaitKind::kMutex), this,
+            &Mutex::abandon_cb);
+      park::add_owner(res_, self);
+    }
     prof::LockStats* ls = prof::locks_on() ? lock_stats(prof_) : nullptr;
     lock_note_acquire(ls);
     lock_note_owned(ls, self);
@@ -174,6 +225,14 @@ bool Mutex::try_lock_for(std::chrono::nanoseconds timeout) {
   prof::LockStats* ls = prof::locks_on() ? lock_stats(prof_) : nullptr;
   if (!locked_) {
     locked_ = true;
+    owner_ = self;
+    if (park::armed()) {
+      if (res_ == nullptr)
+        res_ = park::acquire_resource(
+            static_cast<std::uint8_t>(prof::WaitKind::kMutex), this,
+            &Mutex::abandon_cb);
+      park::add_owner(res_, self);
+    }
     lock_note_acquire(ls);
     lock_note_owned(ls, self);
     guard_.unlock();
@@ -195,8 +254,11 @@ bool Mutex::try_lock_for(std::chrono::nanoseconds timeout) {
   // from waiters_ wins. Losing to unlock() means we were handed the lock —
   // a timed waiter that wakes as owner reports success even if late.
   self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kMutex),
+             /*timed=*/true, res_, nullptr, &guard_, &waiters_);
   prof::offcpu_begin(self, prof::WaitKind::kMutex, site);
   detail::suspend_block(self, &guard_, nullptr);
+  park::unpark(self);
   prof::offcpu_end(self);
   self->rt->unregister_timed_wait(self);
   if (!self->wait_timed_out) lock_note_waited(ls, self, wait_start, site);
@@ -205,15 +267,18 @@ bool Mutex::try_lock_for(std::chrono::nanoseconds timeout) {
 }
 
 void Mutex::unlock() {
-  // Callable from ULT context and from the scheduler (condvar-wait release).
+  // Callable from ULT context and from the scheduler (condvar-wait release),
+  // so owner bookkeeping uses owner_ — not the calling context.
   ThreadCtl* self = detail::current_ult_or_null();
   detail::begin_no_preempt(self);
   guard_.lock();
   LPT_CHECK_MSG(locked_, "unlock of unowned lpt::Mutex");
   prof::LockStats* ls = prof::locks_on() ? prof_ : nullptr;
   lock_note_release(ls);
+  park::remove_owner(res_, owner_);
   if (waiters_.empty()) {
     locked_ = false;
+    owner_ = nullptr;
     lock_note_released_idle(ls);
     guard_.unlock();
     detail::end_no_preempt(self);
@@ -221,10 +286,63 @@ void Mutex::unlock() {
   }
   ThreadCtl* next = waiters_.front();
   waiters_.erase(waiters_.begin());
+  owner_ = next;  // ownership transfers before the wake: edges never dangle
+  park::add_owner(res_, next);
   lock_note_handoff(ls, next);
   guard_.unlock();  // `locked_` stays true: ownership passes to `next`
   make_ready(next);
   detail::end_no_preempt(self);
+}
+
+bool Mutex::held_by_caller() const {
+  ThreadCtl* self = detail::current_ult_or_null();
+  if (self == nullptr) return false;
+  auto* m = const_cast<Mutex*>(this);
+  detail::begin_no_preempt(self);
+  m->guard_.lock();
+  const bool held = locked_ && owner_ == self;
+  m->guard_.unlock();
+  detail::end_no_preempt(self);
+  return held;
+}
+
+bool Mutex::abandon(ThreadCtl* dead, bool release) {
+  // Finalize-context hook: `dead` ended while recorded as this mutex's
+  // owner. Always clear owner_ (a later ThreadCtl at the same address must
+  // not read as the holder); force-unlock with handoff only when asked.
+  guard_.lock();
+  if (!locked_ || owner_ != dead) {
+    guard_.unlock();
+    return false;
+  }
+  owner_ = nullptr;
+  if (!release) {
+    guard_.unlock();
+    return false;
+  }
+  prof::LockStats* ls = prof::locks_on() ? prof_ : nullptr;
+  lock_note_release(ls);
+  if (waiters_.empty()) {
+    locked_ = false;
+    lock_note_released_idle(ls);
+    guard_.unlock();
+    return true;
+  }
+  ThreadCtl* next = waiters_.front();
+  waiters_.erase(waiters_.begin());
+  owner_ = next;
+  park::add_owner(res_, next);
+  lock_note_handoff(ls, next);
+  guard_.unlock();
+  // Causally the dead owner freed the lock, not the watchdog thread running
+  // this hook — attribute the wake edge to it so trace_critical_path can
+  // walk a survivor's chain back into the broken cycle.
+  make_ready(next, dead->trace_id);
+  return true;
+}
+
+bool Mutex::abandon_cb(void* primitive, ThreadCtl* dead, bool release) {
+  return static_cast<Mutex*>(primitive)->abandon(dead, release);
 }
 
 // ---------------------------------------------------------------------------
@@ -237,10 +355,15 @@ void CondVar::wait(Mutex& m) {
   detail::begin_no_preempt(self);
   guard_.lock();
   waiters_.push_back(self);
+  // No owner edge: a condvar waiter can never be a cycle member (it waits on
+  // a notify, not on a thread). Registered for visibility and the reactor.
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kCondVar),
+             /*timed=*/false, nullptr, nullptr, &guard_, &waiters_);
   prof::offcpu_begin(self, prof::WaitKind::kCondVar, site);
   // The scheduler releases guard_ and *then* m after our context is saved,
   // so a signaler can neither miss us nor wake us before we are suspended.
   detail::suspend_block(self, &guard_, &m);
+  park::unpark(self);
   prof::offcpu_end(self);
   detail::end_no_preempt(self);
   m.lock();
@@ -256,8 +379,11 @@ bool CondVar::wait_for(Mutex& m, std::chrono::nanoseconds timeout) {
   waiters_.push_back(self);
   self->wait_timed_out = false;
   self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kCondVar),
+             /*timed=*/true, nullptr, nullptr, &guard_, &waiters_);
   prof::offcpu_begin(self, prof::WaitKind::kCondVar, site);
   detail::suspend_block(self, &guard_, &m);
+  park::unpark(self);
   prof::offcpu_end(self);
   self->rt->unregister_timed_wait(self);
   // Cancellation point — fires while m is NOT held, so a cancelled waiter
@@ -319,8 +445,11 @@ void Barrier::arrive_and_wait() {
     return;
   }
   waiters_.push_back(self);
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kBarrier),
+             /*timed=*/false, nullptr, nullptr, &guard_, &waiters_);
   prof::offcpu_begin(self, prof::WaitKind::kBarrier, site);
   detail::suspend_block(self, &guard_, nullptr);
+  park::unpark(self);
   prof::offcpu_end(self);
   detail::end_no_preempt(self);
 }

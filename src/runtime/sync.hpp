@@ -21,6 +21,9 @@ struct ThreadCtl;
 namespace prof {
 struct LockStats;
 }
+namespace park {
+struct ResourceState;
+}
 
 /// Mutual exclusion with cooperative blocking and direct handoff.
 class Mutex {
@@ -33,10 +36,30 @@ class Mutex {
   bool try_lock_for(std::chrono::nanoseconds timeout);
   void unlock();
 
+  /// True when the calling ULT currently owns this mutex. Powers the compat
+  /// layer's EDEADLK check; meaningful only from ULT context (false outside).
+  /// Owner identity is tracked unconditionally (one pointer store under
+  /// guard_), independent of the parking registry's arming.
+  bool held_by_caller() const;
+
  private:
   friend class CondVar;
+
+  /// Abandonment hook (park::ResourceState::on_abandon): `dead` ended while
+  /// recorded as owner. Clears owner_ and, when `release`, force-unlocks with
+  /// normal handoff semantics. Returns whether a release happened.
+  bool abandon(ThreadCtl* dead, bool release);
+  static bool abandon_cb(void* primitive, ThreadCtl* dead, bool release);
+
   Spinlock guard_;
   bool locked_ = false;
+  /// Owning ULT while locked_ (compared by address only — never dereferenced
+  /// after the owner may have died; abandon() clears it first). Maintained
+  /// under guard_, including across direct handoff.
+  ThreadCtl* owner_ = nullptr;
+  /// Parking-registry owner record, lazily attached under guard_ while the
+  /// registry is armed; null forever otherwise (same slab contract as prof_).
+  park::ResourceState* res_ = nullptr;
   std::vector<ThreadCtl*> waiters_;
   /// Contention-profile slot (docs/observability.md "Profiling"): lazily
   /// attached under guard_ on the first lock() while the lock profiler is

@@ -5,6 +5,7 @@
 #include "common/assert.hpp"
 #include "common/time.hpp"
 #include "runtime/internal.hpp"
+#include "runtime/park.hpp"
 #include "runtime/prof_glue.hpp"
 
 namespace lpt {
@@ -17,15 +18,18 @@ ThreadCtl* require_ult(const char* what) {
   return self;
 }
 
-void make_ready(ThreadCtl* t) {
+void make_ready(ThreadCtl* t, std::uint32_t waker = Runtime::kWakerFromTls) {
   Runtime* rt = t->rt;
   t->store_state(ThreadState::kReady);
   // Routed through the causal choke point (ready stamp + kUltWake edge).
-  rt->enqueue_ready(t, worker_tls()->worker, EnqueueKind::kUnblock);
+  // The abandoned-lock force-release passes the dead owner as the waker: it
+  // runs on the watchdog thread, but the death is the causal release.
+  rt->enqueue_ready(t, worker_tls()->worker, EnqueueKind::kUnblock, waker);
 }
 
-void make_ready_all(std::vector<ThreadCtl*>& ts) {
-  for (ThreadCtl* t : ts) make_ready(t);
+void make_ready_all(std::vector<ThreadCtl*>& ts,
+                    std::uint32_t waker = Runtime::kWakerFromTls) {
+  for (ThreadCtl* t : ts) make_ready(t, waker);
   ts.clear();
 }
 
@@ -39,20 +43,54 @@ void RwLock::lock_shared() {
   void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("RwLock::lock_shared outside ULT context");
   detail::begin_no_preempt(self);
-  guard_.lock();
-  // Writer preference: readers queue behind any waiting writer.
-  if (!writer_ && waiting_writers_.empty()) {
-    ++readers_;
-    guard_.unlock();
+  for (;;) {
+    guard_.lock();
+    // Writer preference: readers queue behind any waiting writer.
+    if (!writer_ && waiting_writers_.empty()) {
+      ++readers_;
+      if (park::armed()) {
+        if (res_ == nullptr)
+          res_ = park::acquire_resource(
+              static_cast<std::uint8_t>(prof::WaitKind::kRwLock), this,
+              &RwLock::abandon_cb);
+        park::add_owner(res_, self);
+      }
+      guard_.unlock();
+      detail::end_no_preempt(self);
+      return;
+    }
+    if (write_owner_ == self && park::armed() && self->no_preempt_depth == 1) {
+      // Write-then-read self-deadlock: a 1-cycle caught synchronously, like
+      // Mutex::lock. (Read-then-write upgrades are left to the periodic
+      // detector: self shows up among res_->owners, closing the cycle.)
+      guard_.unlock();
+      self->cancel_fault = FaultKind::kDeadlock;
+      self->cancel_requested.store(true, std::memory_order_release);
+      self->rt->note_self_deadlock(
+          self, static_cast<std::uint8_t>(prof::WaitKind::kRwLock));
+      detail::end_no_preempt(self);  // cancellation point: does not return
+      detail::begin_no_preempt(self);
+      continue;
+    }
+    waiting_readers_.push_back(self);
+    park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kRwLock),
+               /*timed=*/false, res_, nullptr, &guard_, &waiting_readers_);
+    prof::offcpu_begin(self, prof::WaitKind::kRwLock, site);
+    detail::suspend_block(self, &guard_, nullptr);
+    park::unpark(self);
+    prof::offcpu_end(self);
+    if (self->park_broken) {
+      // Deadlock breaker cancelled us out of the wait: no share was handed
+      // to us. Terminate at the cancellation point, or retry if unwindable.
+      self->park_broken = false;
+      detail::end_no_preempt(self);  // cancellation point: usually no return
+      detail::begin_no_preempt(self);
+      continue;
+    }
     detail::end_no_preempt(self);
+    // The releaser incremented readers_ on our behalf (direct handoff).
     return;
   }
-  waiting_readers_.push_back(self);
-  prof::offcpu_begin(self, prof::WaitKind::kRwLock, site);
-  detail::suspend_block(self, &guard_, nullptr);
-  prof::offcpu_end(self);
-  detail::end_no_preempt(self);
-  // The releaser incremented readers_ on our behalf (direct handoff).
 }
 
 void RwLock::unlock_shared() {
@@ -61,11 +99,14 @@ void RwLock::unlock_shared() {
   guard_.lock();
   LPT_CHECK_MSG(readers_ > 0, "unlock_shared without shared lock");
   --readers_;
+  if (self != nullptr) park::remove_owner(res_, self);
   ThreadCtl* writer_next = nullptr;
   if (readers_ == 0 && !waiting_writers_.empty()) {
     writer_next = waiting_writers_.front();
     waiting_writers_.erase(waiting_writers_.begin());
     writer_ = true;  // handoff
+    write_owner_ = writer_next;
+    park::add_owner(res_, writer_next);
   }
   guard_.unlock();
   if (writer_next != nullptr) make_ready(writer_next);
@@ -76,18 +117,53 @@ void RwLock::lock() {
   void* const site = __builtin_return_address(0);
   ThreadCtl* self = require_ult("RwLock::lock outside ULT context");
   detail::begin_no_preempt(self);
-  guard_.lock();
-  if (!writer_ && readers_ == 0) {
-    writer_ = true;
-    guard_.unlock();
+  for (;;) {
+    guard_.lock();
+    if (!writer_ && readers_ == 0) {
+      writer_ = true;
+      write_owner_ = self;
+      if (park::armed()) {
+        if (res_ == nullptr)
+          res_ = park::acquire_resource(
+              static_cast<std::uint8_t>(prof::WaitKind::kRwLock), this,
+              &RwLock::abandon_cb);
+        park::add_owner(res_, self);
+      }
+      guard_.unlock();
+      detail::end_no_preempt(self);
+      return;
+    }
+    if (write_owner_ == self && park::armed() && self->no_preempt_depth == 1) {
+      // Write-after-write self-deadlock, caught synchronously (Mutex::lock
+      // has the full rationale).
+      guard_.unlock();
+      self->cancel_fault = FaultKind::kDeadlock;
+      self->cancel_requested.store(true, std::memory_order_release);
+      self->rt->note_self_deadlock(
+          self, static_cast<std::uint8_t>(prof::WaitKind::kRwLock));
+      detail::end_no_preempt(self);  // cancellation point: does not return
+      detail::begin_no_preempt(self);
+      continue;
+    }
+    waiting_writers_.push_back(self);
+    park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kRwLock),
+               /*timed=*/false, res_, nullptr, &guard_, &waiting_writers_);
+    prof::offcpu_begin(self, prof::WaitKind::kRwLock, site);
+    // Direct handoff: the releaser set writer_/write_owner_ on our behalf.
+    detail::suspend_block(self, &guard_, nullptr);
+    park::unpark(self);
+    prof::offcpu_end(self);
+    if (self->park_broken) {
+      // Deadlock breaker cancelled us out of the wait: we do NOT own the
+      // lock. Terminate at the cancellation point, or retry if unwindable.
+      self->park_broken = false;
+      detail::end_no_preempt(self);  // cancellation point: usually no return
+      detail::begin_no_preempt(self);
+      continue;
+    }
     detail::end_no_preempt(self);
     return;
   }
-  waiting_writers_.push_back(self);
-  prof::offcpu_begin(self, prof::WaitKind::kRwLock, site);
-  detail::suspend_block(self, &guard_, nullptr);
-  prof::offcpu_end(self);
-  detail::end_no_preempt(self);
 }
 
 void RwLock::unlock() {
@@ -95,21 +171,87 @@ void RwLock::unlock() {
   detail::begin_no_preempt(self);
   guard_.lock();
   LPT_CHECK_MSG(writer_, "RwLock::unlock without write lock");
+  park::remove_owner(res_, write_owner_);
+  write_owner_ = nullptr;
   ThreadCtl* writer_next = nullptr;
   std::vector<ThreadCtl*> readers_next;
   if (!waiting_writers_.empty()) {
     writer_next = waiting_writers_.front();
     waiting_writers_.erase(waiting_writers_.begin());
     // writer_ stays true: handoff to the next writer.
+    write_owner_ = writer_next;
+    park::add_owner(res_, writer_next);
   } else {
     writer_ = false;
     readers_ += static_cast<int>(waiting_readers_.size());
+    // Every handed-off reader becomes a tracked owner before its wake (edges
+    // never dangle); readers past kMaxOwners set the overflow flag instead.
+    for (ThreadCtl* r : waiting_readers_) park::add_owner(res_, r);
     readers_next.swap(waiting_readers_);
   }
   guard_.unlock();
   if (writer_next != nullptr) make_ready(writer_next);
   make_ready_all(readers_next);
   detail::end_no_preempt(self);
+}
+
+bool RwLock::abandon(ThreadCtl* dead, bool release) {
+  // Finalize context: `dead` has already been CAS-cleared from res_->owners,
+  // so the add_owner calls below land in free slots.
+  guard_.lock();
+  if (writer_ && write_owner_ == dead) {
+    // Dead writer. Always clear the address (it is about to dangle); only
+    // force-unlock when release mode is on.
+    write_owner_ = nullptr;
+    if (!release) {
+      guard_.unlock();
+      return false;
+    }
+    ThreadCtl* writer_next = nullptr;
+    std::vector<ThreadCtl*> readers_next;
+    if (!waiting_writers_.empty()) {
+      writer_next = waiting_writers_.front();
+      waiting_writers_.erase(waiting_writers_.begin());
+      write_owner_ = writer_next;
+      park::add_owner(res_, writer_next);
+    } else {
+      writer_ = false;
+      readers_ += static_cast<int>(waiting_readers_.size());
+      for (ThreadCtl* r : waiting_readers_) park::add_owner(res_, r);
+      readers_next.swap(waiting_readers_);
+    }
+    guard_.unlock();
+    if (writer_next != nullptr) make_ready(writer_next, dead->trace_id);
+    make_ready_all(readers_next, dead->trace_id);
+    return true;
+  }
+  if (readers_ > 0) {
+    // Dead reader (it was recorded in res_->owners, so it held a share).
+    // Readers past the owner-slot cap were never recorded — an overflowed
+    // rwlock under-releases, which the overflow flag already declares.
+    if (!release) {
+      guard_.unlock();
+      return false;
+    }
+    --readers_;
+    ThreadCtl* writer_next = nullptr;
+    if (readers_ == 0 && !waiting_writers_.empty()) {
+      writer_next = waiting_writers_.front();
+      waiting_writers_.erase(waiting_writers_.begin());
+      writer_ = true;
+      write_owner_ = writer_next;
+      park::add_owner(res_, writer_next);
+    }
+    guard_.unlock();
+    if (writer_next != nullptr) make_ready(writer_next, dead->trace_id);
+    return true;
+  }
+  guard_.unlock();
+  return false;
+}
+
+bool RwLock::abandon_cb(void* primitive, ThreadCtl* dead, bool release) {
+  return static_cast<RwLock*>(primitive)->abandon(dead, release);
 }
 
 // ---------------------------------------------------------------------------
@@ -128,8 +270,13 @@ void Semaphore::acquire() {
     return;
   }
   waiters_.push_back(self);
+  // No owner edge: semaphore units have no owner, so a semaphore waiter can
+  // never be a cycle member. Registered for visibility and the reactor.
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kSemaphore),
+             /*timed=*/false, nullptr, nullptr, &guard_, &waiters_);
   prof::offcpu_begin(self, prof::WaitKind::kSemaphore, site);
   detail::suspend_block(self, &guard_, nullptr);
+  park::unpark(self);
   prof::offcpu_end(self);
   detail::end_no_preempt(self);
   // Direct handoff: release() consumed a unit on our behalf.
@@ -171,8 +318,11 @@ bool Semaphore::try_acquire_for(std::chrono::nanoseconds timeout) {
   // handed a unit (direct handoff), so a timed-out flag can never coexist
   // with an owed unit.
   self->rt->register_timed_wait(self, deadline, &guard_, &waiters_);
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kSemaphore),
+             /*timed=*/true, nullptr, nullptr, &guard_, &waiters_);
   prof::offcpu_begin(self, prof::WaitKind::kSemaphore, site);
   detail::suspend_block(self, &guard_, nullptr);
+  park::unpark(self);
   prof::offcpu_end(self);
   self->rt->unregister_timed_wait(self);
   detail::end_no_preempt(self);  // cancellation point
@@ -238,8 +388,12 @@ void Latch::wait() {
     return;
   }
   waiters_.push_back(self);
+  // No owner edge: latches count down, nobody "holds" them.
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kLatch),
+             /*timed=*/false, nullptr, nullptr, &guard_, &waiters_);
   prof::offcpu_begin(self, prof::WaitKind::kLatch, site);
   detail::suspend_block(self, &guard_, nullptr);
+  park::unpark(self);
   prof::offcpu_end(self);
   detail::end_no_preempt(self);
 }
@@ -294,8 +448,12 @@ void WaitGroup::wait() {
     return;
   }
   waiters_.push_back(self);
+  // No owner edge: wait-group completions have no single owner.
+  park::park(self, static_cast<std::uint8_t>(prof::WaitKind::kWaitGroup),
+             /*timed=*/false, nullptr, nullptr, &guard_, &waiters_);
   prof::offcpu_begin(self, prof::WaitKind::kWaitGroup, site);
   detail::suspend_block(self, &guard_, nullptr);
+  park::unpark(self);
   prof::offcpu_end(self);
   detail::end_no_preempt(self);
 }

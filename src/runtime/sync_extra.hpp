@@ -17,6 +17,10 @@ namespace lpt {
 
 struct ThreadCtl;
 
+namespace park {
+struct ResourceState;
+}
+
 /// Writer-preferring reader-writer lock for ULTs.
 class RwLock {
  public:
@@ -26,9 +30,24 @@ class RwLock {
   void unlock();
 
  private:
+  /// Abandonment hook (park::ResourceState::on_abandon): `dead` ended while
+  /// recorded as a holder. A dead writer clears write_owner_ and, when
+  /// `release`, force-unlocks with normal handoff semantics; a dead reader
+  /// drops its share (best-effort once owner slots overflowed). Returns
+  /// whether a release/handoff happened.
+  bool abandon(ThreadCtl* dead, bool release);
+  static bool abandon_cb(void* primitive, ThreadCtl* dead, bool release);
+
   Spinlock guard_;
   int readers_ = 0;        ///< active readers
   bool writer_ = false;    ///< active writer
+  /// Writing ULT while writer_ (address-compared only; abandon() clears it
+  /// before the owner can be freed). Powers the synchronous write-after-write
+  /// self-deadlock check; maintained unconditionally under guard_.
+  ThreadCtl* write_owner_ = nullptr;
+  /// Parking-registry owner record (writer + up to kMaxOwners readers),
+  /// lazily attached under guard_ while the registry is armed.
+  park::ResourceState* res_ = nullptr;
   std::vector<ThreadCtl*> waiting_readers_;
   std::vector<ThreadCtl*> waiting_writers_;
 };

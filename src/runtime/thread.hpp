@@ -34,6 +34,8 @@ enum class FaultKind : std::uint8_t {
   kBus,             ///< SIGBUS, contained under isolate_faults
   kException,       ///< C++ exception escaped the thread function
   kCancelled,       ///< terminated by request_cancel() / deadline expiry
+  kDeadlock,        ///< cancelled as a deadlock victim (cycle break or
+                    ///< self-deadlock at lock())
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -141,6 +143,29 @@ struct ThreadCtl {
   /// ThreadAttrs::deadline / RuntimeOptions::default_ult_deadline and scanned
   /// by the watchdog tick, expiring into request_cancel().
   std::int64_t deadline_ns = 0;
+  /// FaultKind that suspend_cancel records when the pending cancel fires.
+  /// Defaults to kCancelled; the deadlock breaker sets kDeadlock before
+  /// waking its victim. Written only by whoever exclusively owns the thread
+  /// (the canceller under the primitive's guard, consumed by the thread
+  /// itself after wake).
+  FaultKind cancel_fault = FaultKind::kCancelled;
+
+  // ----- parking registry (park.hpp; docs/robustness.md "Deadlock") -----
+
+  /// Registry slot index + 1 while parked; 0 = not registered. Owner-written
+  /// (by the thread at park, by the thread — or the breaker on its behalf —
+  /// at wake) under the same handoff discipline as wait_timed_out.
+  std::uint32_t park_slot = 0;
+  /// Set by the deadlock breaker when it cancelled this thread out of a
+  /// parked wait; the blocking primitive's retry loop consumes it to run the
+  /// cancellation point instead of retrying the acquire.
+  bool park_broken = false;
+  /// Ownable resources (Mutex/RwLock) this thread is currently recorded as
+  /// holding in the parking registry. Maintained by park::add_owner /
+  /// remove_owner; lets a thread that released everything skip the
+  /// abandonment scan at exit in O(1).
+  int owned_tracked = 0;
+
   /// Timed-wait handshake (Runtime::register_timed_wait): the expiry scan
   /// and the normal notify path both remove the waiter from the primitive's
   /// list under its guard, so exactly one side requeues it; whichever wins

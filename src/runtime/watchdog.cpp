@@ -23,6 +23,10 @@ const char* watchdog_kind_name(WatchdogReport::Kind k) {
       return "fault_storm";
     case WatchdogReport::Kind::kSyscallBlocked:
       return "syscall_blocked";
+    case WatchdogReport::Kind::kDeadlock:
+      return "deadlock";
+    case WatchdogReport::Kind::kAbandonedLock:
+      return "abandoned_lock";
   }
   return "?";
 }
@@ -33,6 +37,7 @@ const char* remediation_kind_name(RemediationKind k) {
     case RemediationKind::kRetick: return "retick";
     case RemediationKind::kCancel: return "cancel";
     case RemediationKind::kKltReplace: return "klt_replace";
+    case RemediationKind::kDeadlockBreak: return "deadlock_break";
   }
   return "?";
 }
@@ -188,6 +193,9 @@ void Watchdog::start(Runtime& rt, bool own_thread) {
   for (auto& t : last_stderr_ns_) t = 0;
   remediate_ = o.remediation;
   remediate_budget_ = 0;
+  // Deadlock-detection cadence, in watchdog periods (LPT_DEADLOCK_PERIODS).
+  deadlock_every_ = o.deadlock_periods > 0 ? o.deadlock_periods : 1;
+  deadlock_tick_ = 0;
   enabled_.store(true, std::memory_order_release);
   if (own_thread) {
     thread_stop_.store(false, std::memory_order_release);
@@ -351,6 +359,15 @@ void Watchdog::poll(std::int64_t now) {
       report(rep);
     }
   }
+  // Deadlock detection (docs/robustness.md): walk the parking registry's
+  // waits-for graph every deadlock_every_ polls. Confirmed cycles are broken
+  // inside deadlock_poll against the same per-period ladder budget
+  // (RemediationKind::kDeadlockBreak); with remediation off the detector
+  // still diagnoses (flag + trace + callback), it just cannot act.
+  if (++deadlock_tick_ >= deadlock_every_) {
+    deadlock_tick_ = 0;
+    rt_->deadlock_poll(this, remediate_ ? &remediate_budget_ : nullptr);
+  }
   checks_.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -370,6 +387,33 @@ void Watchdog::report(const WatchdogReport& r) {
   std::int64_t& last = last_stderr_ns_[static_cast<int>(r.kind)];
   if (now - last < 1'000'000'000) return;
   last = now;
+  if (r.kind == WatchdogReport::Kind::kDeadlock) {
+    // Cycle members are ULT trace ids, not workers — name the full cycle.
+    char cyc[WatchdogReport::kMaxCycle * 16];
+    std::size_t off = 0;
+    for (int i = 0; i < r.cycle_len && off + 16 < sizeof(cyc); ++i)
+      off += static_cast<std::size_t>(std::snprintf(
+          cyc + off, sizeof(cyc) - off, "%s%" PRIu32, i == 0 ? "" : " -> ",
+          r.cycle[i]));
+    cyc[off] = '\0';
+    std::fprintf(stderr,
+                 "[lpt watchdog] deadlock: cycle [%s] (%d ULTs), victim %" PRIu32
+                 "%s%s\n",
+                 cyc, r.cycle_len, r.victim,
+                 r.remediation != RemediationKind::kNone ? ", remediated: " : "",
+                 r.remediation != RemediationKind::kNone
+                     ? remediation_kind_name(r.remediation)
+                     : "");
+    return;
+  }
+  if (r.kind == WatchdogReport::Kind::kAbandonedLock) {
+    std::fprintf(stderr,
+                 "[lpt watchdog] abandoned_lock: ULT %" PRIu32
+                 " ended while holding a lock%s\n",
+                 r.cycle_len > 0 ? r.cycle[0] : 0,
+                 r.victim != 0 ? " (force-released)" : "");
+    return;
+  }
   std::fprintf(stderr,
                "[lpt watchdog] %s: worker %d stuck for %.0f ms "
                "(queue depth %" PRId64 ", %" PRIu64 " unanswered ticks%s%s)\n",

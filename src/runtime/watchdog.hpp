@@ -60,6 +60,7 @@ enum class RemediationKind : std::uint8_t {
   kRetick = 1,      ///< directed preemption re-tick at an overrunning worker
   kCancel = 2,      ///< deadline expiry → cancel request + directed tick
   kKltReplace = 3,  ///< stalled worker's host KLT force-replaced
+  kDeadlockBreak = 4,  ///< deadlock cycle victim cancelled out of its wait
 };
 const char* remediation_kind_name(RemediationKind k);
 
@@ -72,6 +73,8 @@ struct WatchdogReport {
     kQuantumOverrun = 2,
     kFaultStorm = 3,
     kSyscallBlocked = 4,
+    kDeadlock = 5,       ///< waits-for cycle confirmed by the detector
+    kAbandonedLock = 6,  ///< lock owner ended while still holding it
   };
   Kind kind;
   int worker = -1;
@@ -81,6 +84,15 @@ struct WatchdogReport {
   /// Action the remediation ladder took for this episode (kNone when
   /// remediation is off, the budget ran out, or the action failed).
   RemediationKind remediation = RemediationKind::kNone;
+  // kDeadlock / kAbandonedLock payload: the cycle members (trace ids and
+  // prof::WaitKind of the awaited resource), truncated at kMaxCycle, and the
+  // victim's trace id (0 when detection-only). For kAbandonedLock, cycle[0]
+  // is the dead owner and cycle_kinds[0] the abandoned resource's kind.
+  static constexpr int kMaxCycle = 8;
+  std::uint32_t cycle[kMaxCycle] = {};
+  std::uint8_t cycle_kinds[kMaxCycle] = {};
+  int cycle_len = 0;
+  std::uint32_t victim = 0;
 };
 const char* watchdog_kind_name(WatchdogReport::Kind k);
 
@@ -173,6 +185,10 @@ class Watchdog {
   }
 
  private:
+  /// Runtime::deadlock_poll (park.cpp) reports cycles through report() and
+  /// consumes the remediation budget of the poll period it runs in.
+  friend class Runtime;
+
   void poll(std::int64_t now);
   void report(const WatchdogReport& r);
   void thread_loop();
@@ -187,15 +203,19 @@ class Watchdog {
   std::int64_t next_poll_ns_ = 0;
   /// Default-sink rate limit, per flag kind: a starving runtime flags every
   /// period, but one noisy kind must not silence reports of the others.
-  std::int64_t last_stderr_ns_[5] = {};
+  std::int64_t last_stderr_ns_[7] = {};
   /// Remediation ladder state: actions taken in the current poll period
   /// (capped at options().remediate_max_per_period) and the master switch,
   /// resolved at start().
   bool remediate_ = false;
   int remediate_budget_ = 0;
+  /// Deadlock-detection cadence: run Runtime::deadlock_poll every
+  /// deadlock_every_ watchdog polls (RuntimeOptions::deadlock_periods).
+  int deadlock_every_ = 1;
+  int deadlock_tick_ = 0;
 
   std::atomic<std::uint64_t> checks_{0};
-  std::atomic<std::uint64_t> flags_[5] = {};
+  std::atomic<std::uint64_t> flags_[7] = {};
 
   // Own-thread mode.
   std::atomic<bool> thread_stop_{false};

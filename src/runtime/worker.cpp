@@ -31,12 +31,24 @@ __attribute__((noinline)) WorkerTls* worker_tls() {
 namespace detail {
 
 ThreadCtl* current_ult_or_null() {
-  WorkerTls* tls = worker_tls();
-  if (tls->worker == nullptr || !tls->in_ult) return nullptr;
-  // Identity comes from the hosting KLT, not the worker: after a forced KLT
-  // replacement (watchdog remediation) the worker's current_ult moves on
-  // with the new host while this KLT still runs its old ULT.
-  return tls->hosted_ult;
+  // Runs in *preemptible* ULT context: a signal-yield preemption can move
+  // this ULT to another KLT between any two instructions, after which `tls`
+  // still points at the previous host's block — whose fields now describe
+  // that KLT's next tenant (or none), not us. Re-reading the TLS address
+  // after the loads detects any migration: a match proves every load
+  // executed against the KLT we are on right now (a round trip back to the
+  // same KLT is benign — being resumed there means its block describes this
+  // ULT again); a mismatch discards the loads and retries on the new host.
+  // Identity comes from the hosting KLT (hosted_ult), not the worker: after
+  // a forced KLT replacement (watchdog remediation) the worker's current_ult
+  // moves on with the new host while this KLT still runs its old ULT.
+  for (;;) {
+    WorkerTls* tls = worker_tls();
+    Worker* w = tls->worker;
+    const bool in = tls->in_ult;
+    ThreadCtl* t = tls->hosted_ult;
+    if (worker_tls() == tls) return (w == nullptr || !in) ? nullptr : t;
+  }
 }
 
 namespace {
@@ -68,10 +80,11 @@ bool claim_host_token(WorkerTls* tls) {
     // the wedged tenant the watchdog replaced the KLT to get away from
     // (docs/robustness.md "Self-healing").
     if (self->fault.kind == FaultKind::kNone)
-      self->fault.kind = FaultKind::kCancelled;
+      self->fault.kind = self->cancel_fault;
     self->store_state(ThreadState::kFailed);
     w->metrics.ult_faults.add(1);
-    if (self->fault.kind == FaultKind::kCancelled) {
+    if (self->fault.kind == FaultKind::kCancelled ||
+        self->fault.kind == FaultKind::kDeadlock) {
       w->metrics.ult_cancels.add(1);
       LPT_TRACE_EVENT(trace::EventType::kUltCancel, self->trace_id, 2);
     } else {
@@ -112,10 +125,32 @@ void end_no_preempt(ThreadCtl* self) {
 
 __attribute__((noinline)) void mark_in_ult() { worker_tls()->in_ult = true; }
 
+/// Pin the calling ULT to its current KLT for a suspension prologue.
+/// suspend_*() are entered from *preemptible* context (yield, end-of-guard
+/// deferral, thread exit): without the pin, a signal-yield preemption landing
+/// between the worker_tls() read and the context switch migrates the ULT to
+/// another KLT, and the prologue's continuation would claim the previous
+/// host's token and post onto its worker — two KLTs driving one scheduler
+/// context. The depth counter lives on the ThreadCtl, so the increment
+/// lands on the right object no matter which KLT executes it; once raised,
+/// the handler defers and the KLT can no longer change under us.
+void pin_to_klt(ThreadCtl* self) {
+  self->no_preempt_depth = self->no_preempt_depth + 1;
+}
+
+/// Plain decrement — not end_no_preempt(): the suspension the caller just
+/// completed already was the safe point, and a tick deferred while pinned
+/// stays pending for the next one.
+void unpin_from_klt(ThreadCtl* self) {
+  self->no_preempt_depth = self->no_preempt_depth - 1;
+}
+
 __attribute__((noinline)) void suspend_yield(ThreadCtl* self) {
+  LPT_CHECK(self != nullptr);
+  pin_to_klt(self);
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
-  LPT_CHECK(w != nullptr && self != nullptr);
+  LPT_CHECK(w != nullptr);
   if (!claim_host_token(tls)) orphan_terminate(self, /*finished=*/false);
   // Order matters: clear in_ult before writing the post action so a signal
   // in between is a harmless no-op instead of a post-action clobber.
@@ -123,13 +158,16 @@ __attribute__((noinline)) void suspend_yield(ThreadCtl* self) {
   w->post = PostAction{PostKind::kYield, self, nullptr, nullptr};
   context_switch(self->ctx, w->sched_ctx);
   mark_in_ult();
+  unpin_from_klt(self);
 }
 
 __attribute__((noinline)) void suspend_block(ThreadCtl* self, Spinlock* sl,
                                              Mutex* m) {
+  LPT_CHECK(self != nullptr);
+  pin_to_klt(self);
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
-  LPT_CHECK(w != nullptr && self != nullptr);
+  LPT_CHECK(w != nullptr);
   if (!claim_host_token(tls)) {
     // Orphaned mid-block: the block itself stays valid — the thread is in a
     // waiter list others will wake through make_ready. Save the context,
@@ -146,18 +184,22 @@ __attribute__((noinline)) void suspend_block(ThreadCtl* self, Spinlock* sl,
     k->native_op = KltNativeOp::kExit;
     context_switch(self->ctx, k->native_ctx);
     mark_in_ult();
+    unpin_from_klt(self);
     return;
   }
   tls->in_ult = false;
   w->post = PostAction{PostKind::kBlock, self, sl, m};
   context_switch(self->ctx, w->sched_ctx);
   mark_in_ult();
+  unpin_from_klt(self);
 }
 
 __attribute__((noinline)) void suspend_exit(ThreadCtl* self) {
+  LPT_CHECK(self != nullptr);
+  pin_to_klt(self);  // terminal: never unpinned, the ThreadCtl dies with it
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
-  LPT_CHECK(w != nullptr && self != nullptr);
+  LPT_CHECK(w != nullptr);
   if (!claim_host_token(tls)) orphan_terminate(self, /*finished=*/true);
   tls->in_ult = false;
   self->store_state(ThreadState::kFinished);
@@ -171,9 +213,11 @@ __attribute__((noinline)) void suspend_fail(ThreadCtl* self) {
   // ends kFailed and its stack goes through quarantine, not straight back
   // to the pool — an unwound-through stack is intact, but treating every
   // failed ULT's stack identically keeps the release path single.
+  LPT_CHECK(self != nullptr);
+  pin_to_klt(self);  // terminal: never unpinned, the ThreadCtl dies with it
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
-  LPT_CHECK(w != nullptr && self != nullptr);
+  LPT_CHECK(w != nullptr);
   if (!claim_host_token(tls)) orphan_terminate(self, /*finished=*/false);
   tls->in_ult = false;
   self->store_state(ThreadState::kFailed);
@@ -191,12 +235,15 @@ __attribute__((noinline)) void suspend_cancel(ThreadCtl* self) {
   // failure record says kCancelled and the action is counted separately.
   // Like every containment path, the abandoned stack's destructors are
   // skipped; the stack itself goes through quarantine.
+  LPT_CHECK(self != nullptr);
+  pin_to_klt(self);  // terminal: never unpinned, the ThreadCtl dies with it
   WorkerTls* tls = worker_tls();
   Worker* w = tls->worker;
-  LPT_CHECK(w != nullptr && self != nullptr);
+  LPT_CHECK(w != nullptr);
   if (!claim_host_token(tls)) orphan_terminate(self, /*finished=*/false);
   tls->in_ult = false;
-  self->fault.kind = FaultKind::kCancelled;
+  // kCancelled unless a deadlock break marked this thread its victim.
+  self->fault.kind = self->cancel_fault;
   self->store_state(ThreadState::kFailed);
   w->metrics.ult_faults.add(1);
   w->metrics.ult_cancels.add(1);

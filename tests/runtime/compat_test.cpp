@@ -240,6 +240,92 @@ TEST(Compat, CancelUnknownOrFinishedThreadIsEsrch) {
   EXPECT_EQ(thread_cancel(thread_t{}), ESRCH);
 }
 
+void* relock_body(void* p) {
+  auto* m = static_cast<mutex_t*>(p);
+  if (mutex_lock(m) != 0) return nullptr;
+  // PTHREAD_MUTEX_ERRORCHECK semantics: the relock reports EDEADLK instead
+  // of parking the thread behind itself forever.
+  const int err = mutex_lock(m);
+  mutex_unlock(m);
+  return reinterpret_cast<void*>(static_cast<std::intptr_t>(err));
+}
+
+TEST(Compat, RelockingHeldMutexReturnsEdeadlk) {
+  Runtime rt{RuntimeOptions{}};
+  mutex_t m;
+  ASSERT_EQ(mutex_init(&m), 0);
+  thread_t t{};
+  ASSERT_EQ(thread_create(&t, nullptr, &relock_body, &m), 0);
+  void* ret = nullptr;
+  ASSERT_EQ(thread_join(t, &ret), 0);
+  EXPECT_EQ(reinterpret_cast<std::intptr_t>(ret), EDEADLK);
+  // The failed relock left the mutex usable; another thread can take it.
+  thread_t t2{};
+  ASSERT_EQ(thread_create(&t2, nullptr,
+                          [](void* p) -> void* {
+                            auto* mm = static_cast<mutex_t*>(p);
+                            const int err = mutex_lock(mm);
+                            if (err == 0) mutex_unlock(mm);
+                            return reinterpret_cast<void*>(
+                                static_cast<std::intptr_t>(err));
+                          },
+                          &m),
+            0);
+  ASSERT_EQ(thread_join(t2, &ret), 0);
+  EXPECT_EQ(reinterpret_cast<std::intptr_t>(ret), 0);
+  EXPECT_EQ(mutex_destroy(&m), 0);
+}
+
+TEST(Compat, DeadlockVictimJoinsAsEdeadlk) {
+  // A runtime-broken deadlock cycle surfaces through the veneer as EDEADLK
+  // from thread_join — pthreads' closest verdict for "killed as a victim".
+  RuntimeOptions o;
+  o.num_workers = 2;
+  o.watchdog_period_ms = 20;
+  o.remediation = true;
+  o.abandon_release = true;
+  Runtime rt(o);
+
+  static mutex_t m1, m2;
+  mutex_init(&m1);
+  mutex_init(&m2);
+  static std::atomic<bool> a_holds{false}, b_holds{false};
+  a_holds.store(false);
+  b_holds.store(false);
+  thread_t a{}, b{};
+  ASSERT_EQ(thread_create(&a, nullptr,
+                          [](void*) -> void* {
+                            mutex_lock(&m1);
+                            a_holds.store(true, std::memory_order_release);
+                            while (!b_holds.load(std::memory_order_acquire))
+                              yield();
+                            mutex_lock(&m2);
+                            mutex_unlock(&m2);
+                            mutex_unlock(&m1);
+                            return nullptr;
+                          },
+                          nullptr),
+            0);
+  ASSERT_EQ(thread_create(&b, nullptr,
+                          [](void*) -> void* {
+                            mutex_lock(&m2);
+                            b_holds.store(true, std::memory_order_release);
+                            while (!a_holds.load(std::memory_order_acquire))
+                              yield();
+                            mutex_lock(&m1);
+                            mutex_unlock(&m1);
+                            mutex_unlock(&m2);
+                            return nullptr;
+                          },
+                          nullptr),
+            0);
+  const int ea = thread_join(a, nullptr);
+  const int eb = thread_join(b, nullptr);
+  // Exactly one is the break victim (EDEADLK); the other completes.
+  EXPECT_TRUE((ea == EDEADLK && eb == 0) || (ea == 0 && eb == EDEADLK))
+      << "ea=" << ea << " eb=" << eb;
+}
+
 TEST(Compat, CancelledThreadJoinsAsEintr) {
   RuntimeOptions o;
   o.num_workers = 2;

@@ -90,6 +90,19 @@ bool run_batch(Runtime& rt, std::uint64_t round) {
       pipe_ok.store(true, std::memory_order_release);
   });
 
+  // Any early return below would otherwise wedge in ~Thread: the blocking
+  // reader's destructor joins it, and the join can only finish once the
+  // unwedge byte is written. Destructed before the Thread handles (declared
+  // after them), so failure paths release the reader instead of hanging.
+  struct Unwedge {
+    int fd;
+    bool fired = false;
+    void fire() {
+      if (!fired) fired = ::write(fd, "u", 1) == 1;
+    }
+    ~Unwedge() { fire(); }
+  };
+
   // A nonblocking reader bounded by a deadline: exercises the EAGAIN
   // backoff loop ending in ETIMEDOUT (nothing is ever written to this end).
   int nbfd[2];
@@ -103,6 +116,60 @@ bool run_batch(Runtime& rt, std::uint64_t round) {
         io::last_error() == ETIMEDOUT)
       timed_ok.store(true, std::memory_order_release);
   });
+
+  Unwedge unwedge{pipefd[1]};
+
+  // Deadlock injection: a deliberate two-ULT mutex cycle the watchdog's
+  // detector must flag and break. Fresh heap locks every round (they must
+  // outlive the cancelled victim); abandon_release (set in main) force-frees
+  // the victim's abandoned lock so the survivor always completes the batch.
+  auto dm1 = std::make_shared<Mutex>();
+  auto dm2 = std::make_shared<Mutex>();
+  std::atomic<bool> da_holds{false}, db_holds{false};
+  // The handshake spins are bounded: if the partner dies before setting its
+  // flag (any unrelated remediation rung could cancel it), the survivor backs
+  // out and finishes instead of spinning forever under ~Thread's join.
+  const std::int64_t spin_deadline = now_ns() + 20'000'000'000LL;
+  Thread da = rt.spawn([&, dm1, dm2] {
+    dm1->lock();
+    da_holds.store(true, std::memory_order_release);
+    while (!db_holds.load(std::memory_order_acquire)) {
+      if (now_ns() > spin_deadline) {
+        dm1->unlock();
+        return;
+      }
+      this_thread::yield();
+    }
+    dm2->lock();  // closes the cycle; one of the two dies here
+    dm2->unlock();
+    dm1->unlock();
+  });
+  Thread db = rt.spawn([&, dm1, dm2] {
+    dm2->lock();
+    db_holds.store(true, std::memory_order_release);
+    while (!da_holds.load(std::memory_order_acquire)) {
+      if (now_ns() > spin_deadline) {
+        dm2->unlock();
+        return;
+      }
+      this_thread::yield();
+    }
+    dm1->lock();
+    dm1->unlock();
+    dm2->unlock();
+  });
+
+  // Every fourth round, a self-deadlock: caught synchronously at lock(),
+  // counted in the same identity the tail reconciles.
+  const bool inject_self = round % 4 == 0;
+  Thread selfdl;
+  if (inject_self) {
+    auto sm = std::make_shared<Mutex>();
+    selfdl = rt.spawn([sm] {
+      sm->lock();
+      sm->lock();  // never returns: terminated as its own 1-cycle
+    });
+  }
 
   // Timed waits: a sleeper, and a pair racing a mutex with try_lock_for.
   joiners.push_back(
@@ -123,9 +190,27 @@ bool run_batch(Runtime& rt, std::uint64_t round) {
   if (runaway.join_status().fault.kind != FaultKind::kCancelled) return false;
   if (victim.join_status().fault.kind != FaultKind::kCancelled) return false;
 
+  // The injected cycle must have been broken, with a deterministic victim:
+  // the breaker cancels the youngest cycle member, and db was spawned after
+  // da. da's completion is the bounded proof — it holds dm1 and can only
+  // acquire dm2 once db died and abandon_release freed it, so neither ULT
+  // can finish while the cycle stands. (join_for consumes the handle on
+  // success, so the survivor's clean exit is implied by join_for returning
+  // true at all: a faulted da would still join, but then db's verdict below
+  // would read kNone and fail the round.)
+  if (!da.join_for(std::chrono::seconds(30))) return false;
+  // db is already dead by the time da finished; this returns immediately.
+  if (db.join_status().fault.kind != FaultKind::kDeadlock) return false;
+  if (inject_self) {
+    // Caught synchronously at the recursive lock() — no watchdog cadence
+    // involved, so an unbounded join_status is effectively immediate.
+    if (selfdl.join_status().fault.kind != FaultKind::kDeadlock) return false;
+  }
+
   // Unwedge the pipe reader (the joins above kept it blocked well past the
   // grace period) and settle both io threads.
-  bool ok = ::write(pipefd[1], "u", 1) == 1;
+  unwedge.fire();
+  bool ok = unwedge.fired;
   ok = reader.join_for(std::chrono::seconds(30)) && ok;
   ok = timed_reader.join_for(std::chrono::seconds(30)) && ok;
   ::close(pipefd[0]);
@@ -153,6 +238,15 @@ int main(int argc, char** argv) {
     // Short grace so every batch's pipe reader outlives it and the wedge
     // sentinel gets continuous compensate/reabsorb exercise.
     o.syscall_grace_ns = 10'000'000;
+    // Every batch injects a mutex cycle; force-release of the victim's
+    // abandoned lock is what lets the surviving ULT finish the batch.
+    o.abandon_release = true;
+    // Disable the worker-stall rung: under this lock-churn load it false
+    // positives and its klt_replace cancels an innocent batch ULT, breaking
+    // the exact fault-kind contracts below. The stall ladder has dedicated
+    // coverage in the remediation suite; this soak audits the deadlock
+    // detector, the wedge sentinel, and shutdown hygiene.
+    o.watchdog_stall_ticks = 1'000'000;
     Runtime rt(o);
 
     const std::int64_t end = now_ns() + seconds * 1'000'000'000LL;
@@ -162,6 +256,12 @@ int main(int argc, char** argv) {
       }
       ++rounds;
     }
+
+    // The breaker's accounting lands on the watchdog thread after the victim
+    // is already joinable, so the final round's break/cycle counters can lag
+    // the join by a beat — give the watchdog a few periods to settle before
+    // auditing them.
+    usleep(200'000);
 
     const Runtime::Stats s = rt.stats();
     std::printf(
@@ -180,6 +280,14 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(s.syscall_comp_activated),
         static_cast<unsigned long long>(s.syscall_comp_reabsorbed),
         static_cast<unsigned long long>(s.syscall_comp_saturated));
+    std::printf(
+        "soak: deadlock: cycles=%llu breaks=%llu self=%llu "
+        "abandoned=%llu released=%llu\n",
+        static_cast<unsigned long long>(s.deadlock_cycles),
+        static_cast<unsigned long long>(s.remediations_deadlock_break),
+        static_cast<unsigned long long>(s.self_deadlocks),
+        static_cast<unsigned long long>(s.abandoned_locks),
+        static_cast<unsigned long long>(s.abandoned_released));
     if (s.ult_cancels < 2 * rounds) return fail("cancels did not keep up");
     if (s.remediations_cancel < rounds) return fail("deadline rung never ran");
     // Every batch blocked in at least two annotated syscalls; after all
@@ -191,6 +299,22 @@ int main(int argc, char** argv) {
       return fail("compensation books do not reconcile");
     if (s.syscall_comp_activated == 0)
       return fail("wedge sentinel never compensated a blocked reader");
+    // Deadlock accounting (docs/robustness.md): every injected cycle was
+    // broken (the batch already proved exactly one victim each), every
+    // injected self-deadlock was caught, and the detector identity holds —
+    // each flagged cycle is explained by exactly one break or one
+    // synchronous self-deadlock, with no unexplained extras.
+    if (s.remediations_deadlock_break < rounds)
+      return fail("deadlock breaker missed an injected cycle");
+    if (s.self_deadlocks < (rounds + 3) / 4)
+      return fail("self-deadlock check missed an injected relock");
+    if (s.deadlock_cycles != s.remediations_deadlock_break + s.self_deadlocks)
+      return fail("deadlock cycles do not reconcile with breaks + selfs");
+    // Every victim died holding a lock, and abandon_release freed each one.
+    if (s.abandoned_locks < s.remediations_deadlock_break)
+      return fail("cycle victims' abandoned locks went untracked");
+    if (s.abandoned_released != s.abandoned_locks)
+      return fail("abandon_release left a tracked lock wedged");
   }  // Runtime destructor: the clean-shutdown half of the check.
 
   // Every KLT — workers, pool spares, retired orphans, compensating hosts,

@@ -86,6 +86,9 @@ Event::Kind classify(const std::string& type) {
   if (type == "ult_block") return Event::kBlock;
   if (type == "ult_wake") return Event::kWake;
   if (type == "ult_exit") return Event::kExit;
+  // A cancelled ULT (deadline, directed cancel, deadlock break) never emits
+  // ult_exit; its cancellation is the end of its timeline all the same.
+  if (type == "ult_cancel") return Event::kExit;
   return Event::kOther;
 }
 
@@ -101,6 +104,16 @@ struct Timelines {
   // Per-ULT lifecycle events, each sorted by timestamp (input order).
   std::map<std::uint64_t, std::vector<Event>> per_ult;
 };
+
+/// One member of a detector-flagged deadlock cycle ("deadlock" events:
+/// ult=member, arg0=cycle id, arg1=awaited WaitKind | 0x100 when this member
+/// was cancelled to break the cycle).
+struct CycleMember {
+  std::uint64_t ult = 0;
+  std::uint64_t wait_kind = 0;
+  bool victim = false;
+};
+constexpr std::uint64_t kDeadlockVictimFlag = 0x100;
 
 /// Walk one ULT backward from `upto`, prepending segments to `path` (which
 /// is built cause-first by reversing at the end). Returns the waker to hop
@@ -208,7 +221,9 @@ int main(int argc, char** argv) {
   std::fclose(f);
 
   Timelines tl;
-  std::map<std::uint64_t, std::int64_t> exits;  // ult -> exit ts
+  std::map<std::uint64_t, std::int64_t> exits;            // ult -> exit ts
+  std::map<std::uint64_t, std::vector<CycleMember>> cycles;  // cycle id -> members
+  std::map<std::uint64_t, std::uint64_t> victim_cycle;    // victim ult -> cycle id
   std::size_t pos = 0;
   while (pos < text.size()) {
     std::size_t eol = text.find('\n', pos);
@@ -222,11 +237,21 @@ int main(int argc, char** argv) {
     e.ts = std::strtoll(v.c_str(), nullptr, 10);
     if (!json_field(line, "type", &v)) continue;
     e.kind = classify(v);
-    if (e.kind == Event::kOther) continue;
+    const bool is_deadlock = v == "deadlock";
+    if (e.kind == Event::kOther && !is_deadlock) continue;
     if (json_field(line, "ult", &v)) e.ult = std::strtoull(v.c_str(), nullptr, 10);
     if (json_field(line, "arg0", &v)) e.arg0 = std::strtoull(v.c_str(), nullptr, 10);
     if (json_field(line, "arg1", &v)) e.arg1 = std::strtoull(v.c_str(), nullptr, 10);
     if (e.ult == 0) continue;
+    if (is_deadlock) {
+      CycleMember m;
+      m.ult = e.ult;
+      m.wait_kind = e.arg1 & ~kDeadlockVictimFlag;
+      m.victim = (e.arg1 & kDeadlockVictimFlag) != 0;
+      cycles[e.arg0].push_back(m);
+      if (m.victim) victim_cycle[m.ult] = e.arg0;
+      continue;
+    }
     tl.per_ult[e.ult].push_back(e);
     if (e.kind == Event::kExit) exits[e.ult] = e.ts;
   }
@@ -257,9 +282,11 @@ int main(int argc, char** argv) {
   // Walk backward from the exit, hopping across wake edges.
   std::vector<Segment> path;  // effect-first; reversed below
   std::uint64_t ult = target;
+  std::uint64_t chain_end = target;  // cause-side terminus of the walk
   std::int64_t upto = ex->second;
   int hops = 0;
   while (ult != 0 && hops++ < max_hops) {
+    chain_end = ult;
     std::int64_t hop_ts = 0;
     ult = walk_back(tl, ult, upto, &path, &hop_ts);
     upto = hop_ts;
@@ -286,5 +313,20 @@ int main(int argc, char** argv) {
                 total > 0 ? 100.0 * static_cast<double>(kv.second) /
                                 static_cast<double>(total)
                           : 0.0);
+
+  // If the cause-side end of the chain is a ULT the watchdog cancelled to
+  // break a deadlock, the real root cause is the cycle itself — name every
+  // member from the detector's kDeadlock events (docs/robustness.md).
+  auto vc = victim_cycle.find(chain_end);
+  if (vc != victim_cycle.end()) {
+    const std::vector<CycleMember>& members = cycles[vc->second];
+    std::printf(
+        "\nchain ends at ULT %" PRIu64
+        ", cancelled by the watchdog to break deadlock cycle %" PRIu64 ":\n",
+        chain_end, vc->second);
+    for (const CycleMember& m : members)
+      std::printf("  ULT %-6" PRIu64 " blocked-on-%s%s\n", m.ult,
+                  wait_kind_name(m.wait_kind), m.victim ? "  [victim]" : "");
+  }
   return 0;
 }
